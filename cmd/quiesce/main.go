@@ -1,0 +1,107 @@
+// Command quiesce explores Algorithm A2's quiescence behaviour
+// (Proposition A.9 and §5.3): it casts a finite burst of broadcasts,
+// reports when the system stops sending messages, then casts one more
+// message after quiescence and shows the latency-degree penalty
+// (Theorem 5.2). It also sweeps the broadcast period to locate the
+// frequency below which rounds never stop and every message keeps latency
+// degree one.
+//
+// Usage:
+//
+//	quiesce [-groups n] [-d per-group] [-inter delay]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wanamcast/internal/harness"
+	"wanamcast/internal/types"
+)
+
+func main() {
+	groups := flag.Int("groups", 2, "number of groups")
+	d := flag.Int("d", 3, "processes per group")
+	inter := flag.Duration("inter", 100*time.Millisecond, "inter-group one-way delay")
+	flag.Parse()
+
+	burst(*groups, *d, *inter)
+	fmt.Println()
+	sweep(*groups, *d, *inter)
+}
+
+func burst(groups, d int, inter time.Duration) {
+	fmt.Println("Proposition A.9 — quiescence after a finite burst")
+	s := harness.Build(harness.AlgoA2, harness.Options{Groups: groups, PerGroup: d, Inter: inter})
+	all := s.Topo.AllGroups()
+	for g := 0; g < groups; g++ {
+		s.CastAt(0, s.Topo.Members(types.GroupID(g))[0], "warm", all)
+	}
+	lastCast := time.Duration(0)
+	for i := 1; i <= 5; i++ {
+		lastCast = time.Duration(i) * 30 * time.Millisecond
+		s.CastAt(lastCast, s.Topo.Members(0)[i%d], i, all)
+	}
+	s.Run()
+	lastSend, _ := s.Col.LastSend()
+	fmt.Printf("  last cast at             %v\n", lastCast)
+	fmt.Printf("  last message sent at     %v (then silence — quiescent)\n", lastSend)
+	fmt.Printf("  virtual time at drain    %v\n", s.RT.Now())
+
+	// Theorem 5.2: the next cast pays latency degree two.
+	late := s.Cast(s.Topo.Members(types.GroupID(groups - 1))[0], "late", all)
+	s.Run()
+	deg, ok := s.DegreeOf(late)
+	if !ok {
+		fmt.Fprintln(os.Stderr, "quiesce: late message not delivered")
+		os.Exit(1)
+	}
+	fmt.Printf("  cast after quiescence    Δ=%d (Theorem 5.2: the restart costs one extra hop)\n", deg)
+	if v := s.Check(); len(v) != 0 {
+		fmt.Fprintf(os.Stderr, "quiesce: property violations: %v\n", v)
+		os.Exit(1)
+	}
+}
+
+func sweep(groups, d int, inter time.Duration) {
+	fmt.Println("§5.3 — period sweep: below the round time, rounds stay useful and Δ stays 1")
+	fmt.Println("  period    mean Δ   rounds-stopped?")
+	for _, frac := range []int{4, 2, 1} { // inter/4, inter/2, inter (≈ round time), then above
+		sweepOne(groups, d, inter, inter/time.Duration(frac))
+	}
+	sweepOne(groups, d, inter, 3*inter)
+}
+
+func sweepOne(groups, d int, inter, period time.Duration) {
+	s := harness.Build(harness.AlgoA2, harness.Options{Groups: groups, PerGroup: d, Inter: inter})
+	all := s.Topo.AllGroups()
+	for g := 0; g < groups; g++ {
+		s.CastAt(0, s.Topo.Members(types.GroupID(g))[0], "warm", all)
+	}
+	var ids []types.MessageID
+	for j := 1; j <= 12; j++ {
+		j := j
+		from := s.Topo.Members(types.GroupID(j % groups))[j%d]
+		s.RT.Scheduler().At(time.Duration(j)*period, func() {
+			ids = append(ids, s.Cast(from, j, all))
+		})
+	}
+	s.Run()
+	var sum int64
+	for _, id := range ids {
+		dg, ok := s.DegreeOf(id)
+		if !ok {
+			fmt.Fprintln(os.Stderr, "quiesce: message lost in sweep")
+			os.Exit(1)
+		}
+		sum += dg
+	}
+	mean := float64(sum) / float64(len(ids))
+	stopped := "no"
+	if mean > 1.5 {
+		stopped = "yes (every cast restarts rounds)"
+	}
+	fmt.Printf("  %-9v %-8.2f %s\n", period, mean, stopped)
+}

@@ -1,0 +1,129 @@
+// Command wannode runs ONE process of a wide-area system as its own OS
+// process, talking real TCP to the other wannode instances. Start one per
+// process ID (the topology and base port must agree across instances),
+// then type commands on stdin:
+//
+//	bcast <text>          atomic broadcast (Algorithm A2)
+//	mcast <g0,g1> <text>  genuine atomic multicast (Algorithm A1)
+//	quit
+//
+// Example, a 2×2 system in four shells:
+//
+//	wannode -id 0 -groups 2 -d 2 &
+//	wannode -id 1 -groups 2 -d 2 &
+//	wannode -id 2 -groups 2 -d 2 &
+//	wannode -id 3 -groups 2 -d 2
+//
+// Deliveries print as they happen; every instance prints the same order.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"wanamcast/internal/abcast"
+	"wanamcast/internal/amcast"
+	"wanamcast/internal/rmcast"
+	"wanamcast/internal/transport/tcp"
+	"wanamcast/internal/types"
+)
+
+func main() {
+	var (
+		id       = flag.Int("id", 0, "this process's ID (0..groups*d-1)")
+		groups   = flag.Int("groups", 2, "number of groups")
+		d        = flag.Int("d", 2, "processes per group")
+		basePort = flag.Int("port", 19000, "base port (process p listens on port+p)")
+		wan      = flag.Duration("wan", 100*time.Millisecond, "injected one-way inter-group delay")
+	)
+	flag.Parse()
+
+	topo := types.NewTopology(*groups, *d)
+	if *id < 0 || *id >= topo.N() {
+		fmt.Fprintf(os.Stderr, "wannode: -id must be in [0,%d)\n", topo.N())
+		os.Exit(1)
+	}
+	self := types.ProcessID(*id)
+
+	tcp.RegisterWireTypes()
+	rt := tcp.New(tcp.Config{
+		Topo:     topo,
+		Local:    []types.ProcessID{self},
+		BasePort: *basePort,
+		WANDelay: *wan,
+	})
+
+	var seq uint64
+	nextID := func() types.MessageID {
+		seq++
+		return types.MessageID{Origin: self, Seq: seq}
+	}
+	deliver := func(kind string) func(mid types.MessageID, payload any) {
+		return func(mid types.MessageID, payload any) {
+			fmt.Printf("[%v] A-Deliver %s %v: %v\n", self, kind, mid, payload)
+		}
+	}
+	a1 := amcast.New(amcast.Config{
+		Host:       rt.Proc(self),
+		Detector:   rt.Detector(self),
+		SkipStages: true,
+		NextID:     nextID,
+		OnDeliver:  func(m rmcast.Message) { deliver("mcast")(m.ID, m.Payload) },
+	})
+	a2 := abcast.New(abcast.Config{
+		Host:      rt.Proc(self),
+		Detector:  rt.Detector(self),
+		NextID:    nextID,
+		OnDeliver: deliver("bcast"),
+	})
+	if err := rt.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "wannode:", err)
+		os.Exit(1)
+	}
+	defer rt.Stop()
+	fmt.Printf("[%v] up: group %v, listening on %d, peers on %d..%d\n",
+		self, topo.GroupOf(self), *basePort+*id, *basePort, *basePort+topo.N()-1)
+
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == "quit":
+			return
+		case strings.HasPrefix(line, "bcast "):
+			text := strings.TrimPrefix(line, "bcast ")
+			rt.Run(self, func() { a2.ABCast(text) })
+		case strings.HasPrefix(line, "mcast "):
+			rest := strings.TrimPrefix(line, "mcast ")
+			parts := strings.SplitN(rest, " ", 2)
+			if len(parts) != 2 {
+				fmt.Println("usage: mcast <g0,g1,...> <text>")
+				continue
+			}
+			var dest []types.GroupID
+			ok := true
+			for _, s := range strings.Split(parts[0], ",") {
+				g, err := strconv.Atoi(strings.TrimSpace(s))
+				if err != nil || g < 0 || g >= *groups {
+					ok = false
+					break
+				}
+				dest = append(dest, types.GroupID(g))
+			}
+			if !ok || len(dest) == 0 {
+				fmt.Println("usage: mcast <g0,g1,...> <text>")
+				continue
+			}
+			text := parts[1]
+			rt.Run(self, func() { a1.AMCast(text, types.NewGroupSet(dest...)) })
+		default:
+			fmt.Println("commands: bcast <text> | mcast <g0,g1> <text> | quit")
+		}
+	}
+}

@@ -1,0 +1,356 @@
+// Package abcast implements Algorithm A2 of the paper: the first
+// fault-tolerant atomic broadcast with a latency degree of one (§5).
+//
+// The algorithm is proactive: processes execute an unbounded sequence of
+// rounds. In round K, each group agrees (by intra-group consensus) on its
+// bundle of messages — the messages R-Delivered locally but not yet
+// A-Delivered — then groups exchange bundles, and everyone A-Delivers the
+// union of all round-K bundles in a deterministic order. Because a message
+// R-MCast inside its caster's group rides the very next bundle exchange,
+// its only inter-group delay is that single exchange: latency degree one.
+//
+// Quiescence (Prop. A.9) comes from the Barrier variable: a round that
+// delivers nothing does not raise the Barrier, so once R-Delivered messages
+// drain and casts cease, line 11's guard goes false forever and processes
+// stop. A cast arriving after quiescence restarts rounds — the caster's
+// group via line 11's first disjunct, the other groups via the bundle they
+// receive (line 10) — at the cost of latency degree two (Theorem 5.2),
+// which §3 proves unavoidable.
+package abcast
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"wanamcast/internal/consensus"
+	"wanamcast/internal/fd"
+	"wanamcast/internal/node"
+	"wanamcast/internal/rmcast"
+	"wanamcast/internal/types"
+)
+
+// Record is one broadcast message as it travels in bundles.
+type Record struct {
+	ID      types.MessageID
+	Payload any
+}
+
+// BundleMsg is the (K, msgSet) inter-group message of line 15.
+type BundleMsg struct {
+	Round uint64
+	Set   []Record
+}
+
+// Config configures an A2 endpoint on one process.
+type Config struct {
+	Host     node.Registrar
+	Detector fd.Detector
+	// OnDeliver is invoked on every A-Deliver, in delivery order. May be
+	// nil.
+	OnDeliver func(id types.MessageID, payload any)
+	// ConsensusRetry overrides the consensus retry interval.
+	ConsensusRetry time.Duration
+	// LabelPrefix namespaces the wire labels (default "a2").
+	LabelPrefix string
+	// AlwaysOn disables the quiescence prediction: rounds run forever
+	// (Barrier is treated as infinite). Used by the proactivity ablation;
+	// note an AlwaysOn run never drains its event queue.
+	AlwaysOn bool
+	// NextID overrides cast-ID allocation. Hosts running several casting
+	// endpoints on one process must share one allocator, or their message
+	// IDs collide. Nil uses a private per-endpoint counter.
+	NextID func() types.MessageID
+	// KeepAliveRounds is the quiescence predictor's patience: after a
+	// useful round, keep executing up to this many further rounds even if
+	// they deliver nothing, before predicting that casts have stopped.
+	// The paper's Algorithm A2 corresponds to 1 (the round after a useful
+	// one always runs, lines 22–23); higher values implement the "more
+	// elaborate prediction strategies" §5.3 suggests for bursty traffic:
+	// a cast arriving within the patience window still enjoys latency
+	// degree one, at the price of extra empty-round traffic. Zero means 1.
+	KeepAliveRounds int
+	// Pipeline is the maximum number of rounds in flight. The paper's
+	// Algorithm A2 is strictly sequential (Pipeline 1, the default): the
+	// wait at line 16 blocks round K+1's consensus until round K's
+	// bundles arrive, so round throughput is one per inter-group delay.
+	// Higher values are an extension: a group may propose and ship rounds
+	// K+1..K+Pipeline−1 while earlier bundles are still in flight;
+	// A-Delivery still happens strictly in round order, so every §2.2
+	// property is preserved, and a message never waits a full WAN delay
+	// for the next proposable round. Messages decided in an in-flight
+	// round are excluded from later proposals to avoid duplicate shipping.
+	Pipeline int
+}
+
+// Bcast is the per-process Algorithm A2 endpoint.
+type Bcast struct {
+	api       node.API
+	onDeliver func(types.MessageID, any)
+	label     string
+	alwaysOn  bool
+	keepAlive uint64
+
+	rm   *rmcast.RMcast
+	cons *consensus.Consensus
+
+	k          uint64 // current delivery round (line 2's K)
+	proposeK   uint64 // next round to propose (== K when Pipeline is 1)
+	pipeline   uint64
+	rdelivered map[types.MessageID]Record
+	adelivered map[types.MessageID]bool
+	rdOrder    []types.MessageID // R-Delivery order, for deterministic proposals
+	barrier    uint64
+	bundles    map[uint64]map[types.GroupID][]Record // Msgs, keyed by round then sender group
+	decided    map[uint64][]Record                   // own group's decided bundle per round
+	inFlight   map[types.MessageID]uint64            // proposed, round not yet decided
+	inDecided  map[types.MessageID]bool              // decided into a bundle, not yet delivered
+	castSeq    uint64
+	nextID     func() types.MessageID
+}
+
+var _ node.Protocol = (*Bcast)(nil)
+
+// New builds an A2 endpoint and registers it (with its sub-protocols) on
+// the host process.
+func New(cfg Config) *Bcast {
+	if cfg.Host == nil || cfg.Detector == nil {
+		panic("abcast: Config.Host and Detector are required")
+	}
+	prefix := cfg.LabelPrefix
+	if prefix == "" {
+		prefix = "a2"
+	}
+	keepAlive := uint64(cfg.KeepAliveRounds)
+	if keepAlive == 0 {
+		keepAlive = 1
+	}
+	pipeline := uint64(cfg.Pipeline)
+	if pipeline == 0 {
+		pipeline = 1
+	}
+	b := &Bcast{
+		api:        cfg.Host,
+		onDeliver:  cfg.OnDeliver,
+		label:      prefix,
+		alwaysOn:   cfg.AlwaysOn,
+		keepAlive:  keepAlive,
+		pipeline:   pipeline,
+		k:          1,
+		proposeK:   1,
+		rdelivered: make(map[types.MessageID]Record),
+		adelivered: make(map[types.MessageID]bool),
+		bundles:    make(map[uint64]map[types.GroupID][]Record),
+		decided:    make(map[uint64][]Record),
+		inFlight:   make(map[types.MessageID]uint64),
+		inDecided:  make(map[types.MessageID]bool),
+		nextID:     cfg.NextID,
+	}
+	if b.nextID == nil {
+		b.nextID = func() types.MessageID {
+			b.castSeq++
+			return types.MessageID{Origin: b.api.Self(), Seq: b.castSeq}
+		}
+	}
+	b.rm = rmcast.New(rmcast.Config{
+		API:        cfg.Host,
+		Mode:       rmcast.ModeEager, // intra-group only: cheap, robust agreement
+		OnDeliver:  b.onRDeliver,
+		ProtoLabel: prefix + ".rm",
+	})
+	b.cons = consensus.New(consensus.Config{
+		API:           cfg.Host,
+		Detector:      cfg.Detector,
+		OnDecide:      b.onDecide,
+		RetryInterval: cfg.ConsensusRetry,
+		ProtoLabel:    prefix + ".cons",
+	})
+	cfg.Host.Register(b.rm)
+	cfg.Host.Register(b.cons)
+	cfg.Host.Register(b)
+	return b
+}
+
+// Proto implements node.Protocol.
+func (b *Bcast) Proto() string { return b.label }
+
+// Start implements node.Protocol.
+func (b *Bcast) Start() {}
+
+// ABCast atomically broadcasts payload to all groups and returns the
+// assigned message ID (Task 1, lines 4–5): the message is reliably
+// multicast to the caster's own group only.
+func (b *Bcast) ABCast(payload any) types.MessageID {
+	id := b.nextID()
+	b.api.RecordCast(id)
+	own := types.NewGroupSet(b.api.Group())
+	b.rm.MCast(rmcast.Message{ID: id, Dest: own, Payload: payload})
+	return id
+}
+
+// Round returns the process's current round number K (for tests).
+func (b *Bcast) Round() uint64 { return b.k }
+
+// Barrier returns the current Barrier value (for tests).
+func (b *Bcast) Barrier() uint64 { return b.barrier }
+
+// onRDeliver is Task 2, lines 6–7.
+func (b *Bcast) onRDeliver(m rmcast.Message) {
+	if _, ok := b.rdelivered[m.ID]; ok {
+		return
+	}
+	b.rdelivered[m.ID] = Record{ID: m.ID, Payload: m.Payload}
+	b.rdOrder = append(b.rdOrder, m.ID)
+	b.tryPropose()
+}
+
+// Receive implements node.Protocol: it handles bundle messages from other
+// groups (Task 3, lines 8–10).
+func (b *Bcast) Receive(from types.ProcessID, body any) {
+	bm, ok := body.(BundleMsg)
+	if !ok {
+		panic(fmt.Sprintf("abcast: unexpected message %T", body))
+	}
+	g := b.api.Topo().GroupOf(from)
+	perGroup := b.bundles[bm.Round]
+	if perGroup == nil {
+		perGroup = make(map[types.GroupID][]Record)
+		b.bundles[bm.Round] = perGroup
+	}
+	if _, seen := perGroup[g]; !seen {
+		perGroup[g] = bm.Set
+	}
+	if bm.Round > b.barrier {
+		b.barrier = bm.Round
+	}
+	b.tryPropose()
+	b.tryCompleteRound()
+}
+
+// tryPropose is Task 4, lines 11–13, generalized for pipelining: with the
+// paper's Pipeline of 1 exactly one round (the current K) may be proposed,
+// matching the propK guard; with a deeper pipeline, rounds up to
+// K+Pipeline−1 may be proposed before round K completes.
+func (b *Bcast) tryPropose() {
+	for b.proposeK < b.k+b.pipeline {
+		prop := b.proposable()
+		if !b.alwaysOn && b.proposeK > b.barrier && len(prop) == 0 {
+			return
+		}
+		for _, rec := range prop {
+			b.inFlight[rec.ID] = b.proposeK
+		}
+		b.cons.Propose(b.proposeK, prop)
+		b.proposeK++
+	}
+}
+
+// proposable returns RDELIVERED \ ADELIVERED, minus messages already
+// proposed to an undecided round or decided into an undelivered bundle
+// (relevant only when pipelining), in R-Delivery order.
+func (b *Bcast) proposable() []Record {
+	var out []Record
+	for _, id := range b.rdOrder {
+		if b.adelivered[id] || b.inDecided[id] {
+			continue
+		}
+		if _, pending := b.inFlight[id]; pending {
+			continue
+		}
+		out = append(out, b.rdelivered[id])
+	}
+	return out
+}
+
+// onDecide records a round's decided bundle and ships it (line 14's
+// "When Decided(K, msgSet')" and line 15). With pipelining, decisions for
+// rounds beyond the current delivery round ship immediately; A-Delivery
+// still happens strictly in round order in tryCompleteRound.
+func (b *Bcast) onDecide(inst uint64, v consensus.Value) {
+	set, ok := v.([]Record)
+	if !ok && v != nil {
+		panic(fmt.Sprintf("abcast: consensus decided unexpected value %T", v))
+	}
+	if _, already := b.decided[inst]; already {
+		return
+	}
+	b.decided[inst] = set
+	for _, rec := range set {
+		b.inDecided[rec.ID] = true
+	}
+	// Messages we proposed to this round are no longer in flight; any the
+	// decision dropped become proposable again.
+	for id, r := range b.inFlight {
+		if r == inst {
+			delete(b.inFlight, id)
+		}
+	}
+	// Line 15: ship our group's bundle to every process outside the group.
+	myGroup := b.api.Group()
+	topo := b.api.Topo()
+	var tos []types.ProcessID
+	for _, q := range topo.AllProcesses() {
+		if topo.GroupOf(q) != myGroup {
+			tos = append(tos, q)
+		}
+	}
+	b.api.Multicast(tos, b.label, BundleMsg{Round: inst, Set: set})
+	b.tryCompleteRound()
+	b.tryPropose()
+}
+
+// tryCompleteRound is the event-driven form of the wait at line 16: once
+// our own round-K bundle is decided and a bundle from every other group has
+// arrived, execute lines 17–23.
+func (b *Bcast) tryCompleteRound() {
+	own, ok := b.decided[b.k]
+	if !ok {
+		return
+	}
+	topo := b.api.Topo()
+	myGroup := b.api.Group()
+	perGroup := b.bundles[b.k]
+	for _, g := range topo.AllGroups().Groups() {
+		if g == myGroup {
+			continue
+		}
+		if _, have := perGroup[g]; !have {
+			return
+		}
+	}
+	// Lines 17–18: the round's delivery set is the union of all bundles.
+	union := make([]Record, 0, len(own))
+	union = append(union, own...)
+	for _, g := range topo.AllGroups().Groups() {
+		if g != myGroup {
+			union = append(union, perGroup[g]...)
+		}
+	}
+	// Line 19: deterministic order — ascending message ID.
+	sort.Slice(union, func(i, j int) bool { return union[i].ID.Less(union[j].ID) })
+	for _, rec := range union {
+		delete(b.inDecided, rec.ID)
+		if b.adelivered[rec.ID] {
+			continue
+		}
+		b.adelivered[rec.ID] = true
+		b.api.RecordDeliver(rec.ID)
+		b.api.Tracef("a2: A-Deliver %v in round %d", rec.ID, b.k)
+		if b.onDeliver != nil {
+			b.onDeliver(rec.ID, rec.Payload)
+		}
+	}
+	delete(b.bundles, b.k)
+	delete(b.decided, b.k)
+	// Line 21.
+	b.k++
+	// Lines 22–23: keep rounds running only if this one was useful. The
+	// predictor's patience (KeepAliveRounds, paper default 1) extends the
+	// Barrier past the next round for bursty workloads.
+	if len(union) > 0 && b.k+b.keepAlive-1 > b.barrier {
+		b.barrier = b.k + b.keepAlive - 1
+	}
+	// An already-received decision or bundle may complete the next round.
+	b.tryPropose()
+	b.tryCompleteRound()
+}

@@ -1,0 +1,22 @@
+package abcast
+
+import (
+	"testing"
+	"time"
+
+	"wanamcast/internal/types"
+)
+
+func TestLeaderCrashBeforeCast(t *testing.T) {
+	r := newRig(t, 2, 3, 1)
+	r.crash(0, 0)
+	r.rt.Scheduler().At(5*time.Millisecond, func() { r.cast(1) })
+	r.rt.Scheduler().MaxSteps = 500000
+	r.rt.Run()
+	r.verify(t)
+	for _, p := range []int{1, 2, 3, 4, 5} {
+		if len(r.checker.Sequence(types.ProcessID(p))) != 1 {
+			t.Errorf("p%d delivered %d", p, len(r.checker.Sequence(types.ProcessID(p))))
+		}
+	}
+}

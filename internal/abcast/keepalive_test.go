@@ -1,0 +1,100 @@
+package abcast
+
+import (
+	"testing"
+	"time"
+
+	"wanamcast/internal/check"
+	"wanamcast/internal/metrics"
+	"wanamcast/internal/network"
+	"wanamcast/internal/node"
+	"wanamcast/internal/types"
+)
+
+// newRigKA is newRig with a configurable quiescence-predictor patience.
+func newRigKA(t *testing.T, groups, per, keepAlive int) *rig {
+	t.Helper()
+	topo := types.NewTopology(groups, per)
+	col := &metrics.Collector{LogSends: true}
+	rt := node.NewRuntime(topo, network.Model{IntraGroup: time.Millisecond, InterGroup: 100 * time.Millisecond}, 1, col)
+	r := &rig{
+		topo:    topo,
+		rt:      rt,
+		col:     col,
+		checker: check.New(topo),
+		eps:     make([]*Bcast, topo.N()),
+		crashed: make(map[types.ProcessID]bool),
+	}
+	for _, id := range topo.AllProcesses() {
+		id := id
+		r.eps[id] = New(Config{
+			Host:            rt.Proc(id),
+			Detector:        rt.Oracle(),
+			KeepAliveRounds: keepAlive,
+			OnDeliver: func(mid types.MessageID, payload any) {
+				r.checker.RecordDeliver(id, mid)
+			},
+		})
+	}
+	rt.Start()
+	return r
+}
+
+// TestKeepAliveBridgesGaps: a cast gap of ~1.5 round times makes the
+// paper's 1-round predictor quiesce (Δ=2 for the next cast), while a
+// patience of 3 rounds bridges it (Δ=1) — §5.3's suggested refinement.
+func TestKeepAliveBridgesGaps(t *testing.T) {
+	run := func(keepAlive int) int64 {
+		r := newRigKA(t, 2, 3, keepAlive)
+		r.warm()
+		// Rounds take ~104ms. Cast again after a ~260ms gap.
+		var probe types.MessageID
+		r.rt.Scheduler().At(260*time.Millisecond, func() { probe = r.cast(1) })
+		r.rt.Run()
+		r.verify(t)
+		deg, ok := r.col.LatencyDegree(probe)
+		if !ok {
+			t.Fatal("probe not delivered")
+		}
+		return deg
+	}
+	if deg := run(1); deg != 2 {
+		t.Errorf("paper predictor: degree = %d, want 2 (rounds stopped during the gap)", deg)
+	}
+	if deg := run(3); deg != 1 {
+		t.Errorf("patient predictor: degree = %d, want 1 (rounds bridged the gap)", deg)
+	}
+}
+
+// TestKeepAliveStillQuiescent: whatever the patience, a finite workload
+// still drains — Prop. A.9 must survive the extension.
+func TestKeepAliveStillQuiescent(t *testing.T) {
+	for _, ka := range []int{1, 2, 5} {
+		r := newRigKA(t, 2, 2, ka)
+		r.warm()
+		r.castAt(50*time.Millisecond, 1)
+		r.rt.Scheduler().MaxSteps = 2_000_000
+		r.rt.Run() // termination is the assertion
+		r.verify(t)
+		k := r.eps[0].Round()
+		bar := r.eps[0].Barrier()
+		if k <= bar {
+			t.Errorf("keepAlive=%d: still runnable after drain: K=%d Barrier=%d", ka, k, bar)
+		}
+	}
+}
+
+// TestKeepAliveCostsEmptyRounds: the patience is paid in empty-round
+// bundle traffic.
+func TestKeepAliveCostsEmptyRounds(t *testing.T) {
+	msgs := func(keepAlive int) uint64 {
+		r := newRigKA(t, 2, 3, keepAlive)
+		r.warm()
+		r.rt.Run()
+		return r.col.Snapshot().PerProtocol["a2"].Total
+	}
+	m1, m4 := msgs(1), msgs(4)
+	if m4 <= m1 {
+		t.Errorf("patience 4 sent %d bundle messages, patience 1 sent %d — expected extra empty rounds", m4, m1)
+	}
+}

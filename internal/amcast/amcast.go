@@ -1,0 +1,437 @@
+// Package amcast implements Algorithm A1 of the paper: a genuine,
+// fault-tolerant atomic multicast with the optimal latency degree of two
+// for messages addressed to multiple groups (§4).
+//
+// The implementation is a line-by-line transcription of Algorithm A1.
+// Every multicast message progresses through four stages:
+//
+//	s0: each destination group runs consensus to fix its timestamp proposal;
+//	s1: destination groups exchange proposals via (TS, m) messages;
+//	s2: groups whose proposal was below the maximum re-run consensus to
+//	    advance their clock past the final timestamp;
+//	s3: m is deliverable; it is A-Delivered once (m.ts, m.id) is minimal
+//	    among all pending messages.
+//
+// Two optimizations distinguish A1 from Fritzke et al. [5] (§4.1): messages
+// addressed to a single group jump from s0 to s3, and a group whose
+// proposal equals the final timestamp skips s2. Both are controlled by
+// Config.SkipStages so the [5] baseline can reuse this engine verbatim.
+package amcast
+
+import (
+	"fmt"
+	"time"
+
+	"wanamcast/internal/consensus"
+	"wanamcast/internal/fd"
+	"wanamcast/internal/node"
+	"wanamcast/internal/rmcast"
+	"wanamcast/internal/types"
+)
+
+// Stage is a message's position in the s0–s3 pipeline.
+type Stage int
+
+// Stages of Algorithm A1. The numbering follows the paper.
+const (
+	Stage0 Stage = iota // timestamp proposal pending (consensus)
+	Stage1              // proposals being exchanged across groups
+	Stage2              // clock catch-up pending (second consensus)
+	Stage3              // deliverable, waiting to be minimal
+)
+
+// String implements fmt.Stringer.
+func (s Stage) String() string { return fmt.Sprintf("s%d", int(s)) }
+
+// Descriptor is the per-message record that travels through consensus
+// proposals and (TS, m) messages: the message itself plus its current
+// timestamp and stage as known to the sender/proposer.
+type Descriptor struct {
+	ID      types.MessageID
+	Dest    types.GroupSet
+	Payload any
+	TS      uint64
+	Stage   Stage
+}
+
+// TSMsg is the (TS, m) inter-group message of line 24: it carries the
+// sender group's timestamp proposal and, per the paper's footnote 4, also
+// propagates m itself in case the caster crashed.
+type TSMsg struct {
+	Desc Descriptor
+}
+
+// Config configures an A1 endpoint on one process.
+type Config struct {
+	Host     node.Registrar
+	Detector fd.Detector
+	// OnDeliver is invoked on every A-Deliver, in delivery order. May be
+	// nil.
+	OnDeliver func(m rmcast.Message)
+	// SkipStages enables A1's stage-skipping optimizations. Disabling it
+	// yields the Fritzke et al. [5] pipeline: every message, including
+	// single-group ones, takes two consensus instances.
+	SkipStages bool
+	// RMMode selects the reliable multicast used for the initial cast:
+	// ModeDirect for A1 (non-uniform, d(k−1) messages), ModeEager for the
+	// [5] baseline's uniform primitive.
+	RMMode rmcast.Mode
+	// ConsensusRetry overrides the consensus retry interval.
+	ConsensusRetry time.Duration
+	// LabelPrefix namespaces the wire labels (default "a1"), letting two
+	// multicast engines coexist in one run.
+	LabelPrefix string
+	// NextID overrides cast-ID allocation. Hosts running several casting
+	// endpoints on one process (e.g. A1 and A2 side by side) must share
+	// one allocator, or their message IDs collide. Nil uses a private
+	// per-endpoint counter.
+	NextID func() types.MessageID
+}
+
+// pend is the local state of a message in PENDING.
+type pend struct {
+	id      types.MessageID
+	dest    types.GroupSet
+	payload any
+	ts      uint64
+	stage   Stage
+}
+
+// less is the (m.ts, m.id) order of line 4.
+func (p *pend) less(q *pend) bool {
+	if p.ts != q.ts {
+		return p.ts < q.ts
+	}
+	return p.id.Less(q.id)
+}
+
+// Mcast is the per-process Algorithm A1 endpoint.
+type Mcast struct {
+	api       node.API
+	onDeliver func(rmcast.Message)
+	skip      bool
+	label     string
+
+	rm   *rmcast.RMcast
+	cons *consensus.Consensus
+
+	k          uint64 // the group clock copy K (line 2)
+	propK      uint64
+	pending    map[types.MessageID]*pend
+	adelivered map[types.MessageID]bool
+	decisions  map[uint64][]Descriptor                      // buffered consensus decisions
+	tsProps    map[types.MessageID]map[types.GroupID]uint64 // received (TS, m) proposals
+	castSeq    uint64
+	nextID     func() types.MessageID
+}
+
+var _ node.Protocol = (*Mcast)(nil)
+
+// New builds an A1 endpoint and registers it (with its reliable-multicast
+// and consensus sub-protocols) on the host process.
+func New(cfg Config) *Mcast {
+	if cfg.Host == nil || cfg.Detector == nil {
+		panic("amcast: Config.Host and Detector are required")
+	}
+	prefix := cfg.LabelPrefix
+	if prefix == "" {
+		prefix = "a1"
+	}
+	mode := cfg.RMMode
+	if mode == 0 {
+		mode = rmcast.ModeDirect
+	}
+	a := &Mcast{
+		api:        cfg.Host,
+		onDeliver:  cfg.OnDeliver,
+		skip:       cfg.SkipStages,
+		label:      prefix,
+		k:          1,
+		propK:      1,
+		pending:    make(map[types.MessageID]*pend),
+		adelivered: make(map[types.MessageID]bool),
+		decisions:  make(map[uint64][]Descriptor),
+		tsProps:    make(map[types.MessageID]map[types.GroupID]uint64),
+		nextID:     cfg.NextID,
+	}
+	if a.nextID == nil {
+		a.nextID = func() types.MessageID {
+			a.castSeq++
+			return types.MessageID{Origin: a.api.Self(), Seq: a.castSeq}
+		}
+	}
+	a.rm = rmcast.New(rmcast.Config{
+		API:        cfg.Host,
+		Mode:       mode,
+		OnDeliver:  a.onRDeliver,
+		ProtoLabel: prefix + ".rm",
+	})
+	a.cons = consensus.New(consensus.Config{
+		API:           cfg.Host,
+		Detector:      cfg.Detector,
+		OnDecide:      a.onDecide,
+		RetryInterval: cfg.ConsensusRetry,
+		ProtoLabel:    prefix + ".cons",
+	})
+	cfg.Host.Register(a.rm)
+	cfg.Host.Register(a.cons)
+	cfg.Host.Register(a)
+	return a
+}
+
+// Proto implements node.Protocol.
+func (a *Mcast) Proto() string { return a.label }
+
+// Start implements node.Protocol.
+func (a *Mcast) Start() {}
+
+// AMCast atomically multicasts payload to the groups in dest and returns
+// the assigned message ID (Task 1, lines 8–9). The caster need not belong
+// to dest.
+func (a *Mcast) AMCast(payload any, dest types.GroupSet) types.MessageID {
+	if dest.Size() == 0 {
+		panic("amcast: A-MCast with empty destination")
+	}
+	id := a.nextID()
+	a.api.RecordCast(id)
+	a.rm.MCast(rmcast.Message{ID: id, Dest: dest, Payload: payload})
+	return id
+}
+
+// K returns the process's copy of its group's clock (for tests).
+func (a *Mcast) K() uint64 { return a.k }
+
+// PendingCount returns |PENDING| (for tests).
+func (a *Mcast) PendingCount() int { return len(a.pending) }
+
+// Receive implements node.Protocol: it handles (TS, m) messages.
+func (a *Mcast) Receive(from types.ProcessID, body any) {
+	tm, ok := body.(TSMsg)
+	if !ok {
+		panic(fmt.Sprintf("amcast: unexpected message %T", body))
+	}
+	d := tm.Desc
+	if a.adelivered[d.ID] {
+		return // late proposal for a delivered message
+	}
+	// Line 10: a TS message also introduces m if unseen.
+	a.admit(d.ID, d.Dest, d.Payload)
+	// Record the sender group's proposal for line 33.
+	g := a.api.Topo().GroupOf(from)
+	props := a.tsProps[d.ID]
+	if props == nil {
+		props = make(map[types.GroupID]uint64)
+		a.tsProps[d.ID] = props
+	}
+	if _, seen := props[g]; !seen {
+		props[g] = d.TS
+	}
+	a.checkStage1(d.ID)
+}
+
+// onRDeliver is Task 2, lines 10–13.
+func (a *Mcast) onRDeliver(m rmcast.Message) {
+	a.admit(m.ID, m.Dest, m.Payload)
+}
+
+// admit adds m to PENDING at stage s0 with the current clock as its
+// provisional timestamp (lines 11–13), unless already pending or delivered.
+func (a *Mcast) admit(id types.MessageID, dest types.GroupSet, payload any) {
+	if a.adelivered[id] {
+		return
+	}
+	if _, ok := a.pending[id]; ok {
+		return
+	}
+	a.pending[id] = &pend{id: id, dest: dest, payload: payload, ts: a.k, stage: Stage0}
+	a.tryPropose()
+}
+
+// tryPropose is Task at lines 14–17: propose every pending s0/s2 message to
+// the group's next consensus instance, at most once per instance.
+func (a *Mcast) tryPropose() {
+	if a.propK > a.k {
+		return
+	}
+	var set []Descriptor
+	for _, p := range a.pending {
+		if p.stage == Stage0 || p.stage == Stage2 {
+			set = append(set, Descriptor{ID: p.id, Dest: p.dest, Payload: p.payload, TS: p.ts, Stage: p.stage})
+		}
+	}
+	if len(set) == 0 {
+		return
+	}
+	sortDescriptors(set)
+	a.cons.Propose(a.k, set)
+	a.propK = a.k + 1
+}
+
+// onDecide buffers consensus decisions and consumes them in K order
+// (line 18's "When Decided(K, msgSet')").
+func (a *Mcast) onDecide(inst uint64, v consensus.Value) {
+	set, ok := v.([]Descriptor)
+	if !ok {
+		panic(fmt.Sprintf("amcast: consensus decided unexpected value %T", v))
+	}
+	a.decisions[inst] = set
+	for {
+		cur, ok := a.decisions[a.k]
+		if !ok {
+			return
+		}
+		delete(a.decisions, a.k)
+		a.processDecision(a.k, cur)
+	}
+}
+
+// processDecision executes lines 19–32 for the decision of instance k.
+func (a *Mcast) processDecision(k uint64, set []Descriptor) {
+	var (
+		maxTS    uint64
+		toStage1 []types.MessageID
+	)
+	for _, d := range set {
+		if a.adelivered[d.ID] {
+			// Defensive: a delivered message cannot re-enter PENDING.
+			a.api.Tracef("a1: decision %d contains already-delivered %v", k, d.ID)
+			continue
+		}
+		p := a.pending[d.ID]
+		if p == nil {
+			// Line 30: the decision introduces m to this process.
+			p = &pend{id: d.ID, dest: d.Dest, payload: d.Payload}
+			a.pending[d.ID] = p
+		}
+		multi := d.Dest.Size() > 1
+		switch {
+		case multi && d.Stage == Stage0:
+			// Lines 21–24: fix the group proposal and exchange it.
+			p.ts = k
+			p.stage = Stage1
+			a.sendTS(p)
+			toStage1 = append(toStage1, d.ID)
+		case multi: // d.Stage == Stage2
+			// Line 26: the final timestamp was fixed at line 39.
+			p.ts = d.TS
+			p.stage = Stage3
+		case !a.skip:
+			// Fritzke [5] pipeline: single-group messages also take both
+			// consensus instances (s0→s1→s2→s3).
+			if d.Stage == Stage0 {
+				p.ts = k
+				p.stage = Stage1
+				toStage1 = append(toStage1, d.ID)
+			} else {
+				p.ts = d.TS
+				p.stage = Stage3
+			}
+		default:
+			// Lines 28–29: single destination group, the proposal is
+			// final; skip straight to s3.
+			p.ts = k
+			p.stage = Stage3
+		}
+		if p.ts > maxTS {
+			maxTS = p.ts
+		}
+	}
+	// Line 31: advance the group clock past every timestamp just fixed.
+	if maxTS < a.k {
+		maxTS = a.k
+	}
+	a.k = maxTS + 1
+	// Line 32.
+	a.adeliveryTest()
+	// Proposals from other groups may have arrived before we reached s1.
+	for _, id := range toStage1 {
+		a.checkStage1(id)
+	}
+	a.tryPropose()
+}
+
+// sendTS sends (TS, m) to every process of every other destination group
+// (line 24).
+func (a *Mcast) sendTS(p *pend) {
+	myGroup := a.api.Group()
+	desc := Descriptor{ID: p.id, Dest: p.dest, Payload: p.payload, TS: p.ts, Stage: Stage1}
+	var tos []types.ProcessID
+	for _, g := range p.dest.Groups() {
+		if g == myGroup {
+			continue
+		}
+		tos = append(tos, a.api.Topo().Members(g)...)
+	}
+	a.api.Multicast(tos, a.label, TSMsg{Desc: desc})
+}
+
+// checkStage1 evaluates lines 33–40 for message id: once a proposal from
+// every other destination group is known, either skip to s3 (our proposal
+// was the maximum) or adopt the maximum and go through s2.
+func (a *Mcast) checkStage1(id types.MessageID) {
+	p := a.pending[id]
+	if p == nil || p.stage != Stage1 {
+		return
+	}
+	props := a.tsProps[id]
+	myGroup := a.api.Group()
+	maxRecv := uint64(0)
+	for _, g := range p.dest.Groups() {
+		if g == myGroup {
+			continue
+		}
+		ts, ok := props[g]
+		if !ok {
+			return // line 33 not yet satisfied
+		}
+		if ts > maxRecv {
+			maxRecv = ts
+		}
+	}
+	if a.skip && p.ts >= maxRecv {
+		// Lines 35–37: our group proposed the final timestamp; the clock
+		// already advanced past it at line 31, so s2 is unnecessary.
+		p.stage = Stage3
+		a.adeliveryTest()
+		return
+	}
+	// Lines 39–40 (or the forced-s2 Fritzke path).
+	if maxRecv > p.ts {
+		p.ts = maxRecv
+	}
+	p.stage = Stage2
+	a.tryPropose()
+}
+
+// adeliveryTest is the ADeliveryTest procedure (lines 3–7): deliver, in
+// order, every s3 message whose (ts, id) is minimal among all of PENDING.
+func (a *Mcast) adeliveryTest() {
+	for {
+		var min *pend
+		for _, p := range a.pending {
+			if min == nil || p.less(min) {
+				min = p
+			}
+		}
+		if min == nil || min.stage != Stage3 {
+			return
+		}
+		a.api.RecordDeliver(min.id)
+		a.adelivered[min.id] = true
+		delete(a.pending, min.id)
+		delete(a.tsProps, min.id)
+		a.api.Tracef("a1: A-Deliver %v ts=%d", min.id, min.ts)
+		if a.onDeliver != nil {
+			a.onDeliver(rmcast.Message{ID: min.id, Dest: min.dest, Payload: min.payload})
+		}
+	}
+}
+
+// sortDescriptors orders a proposal deterministically by message ID.
+func sortDescriptors(set []Descriptor) {
+	for i := 1; i < len(set); i++ {
+		for j := i; j > 0 && set[j].ID.Less(set[j-1].ID); j-- {
+			set[j], set[j-1] = set[j-1], set[j]
+		}
+	}
+}

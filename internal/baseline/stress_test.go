@@ -1,0 +1,102 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"wanamcast/internal/types"
+)
+
+// TestDelporteOverlappingChainsNoDeadlock floods the system with
+// multi-group messages whose destination chains overlap every way
+// possible. Because chains always traverse groups in ascending order, the
+// wait-for graph of the one-at-a-time serialization is acyclic, so the
+// run must drain — MaxSteps turns a deadlock or livelock into a failure —
+// and every message must deliver consistently.
+func TestDelporteOverlappingChainsNoDeadlock(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			r := newRig(t, 4, 2, buildDelporte)
+			rng := rand.New(rand.NewSource(seed))
+			destSets := [][]types.GroupID{
+				{0, 1}, {1, 2}, {2, 3}, {0, 3}, {0, 1, 2}, {1, 2, 3}, {0, 1, 2, 3},
+			}
+			for i := 0; i < 25; i++ {
+				from := types.ProcessID(rng.Intn(8))
+				dest := destSets[rng.Intn(len(destSets))]
+				at := time.Duration(rng.Intn(200)) * time.Millisecond
+				r.rt.Scheduler().At(at, func() { r.amcast(from, dest...) })
+			}
+			r.rt.Scheduler().MaxSteps = 10_000_000
+			r.rt.Run() // draining proves the wait-for graph stayed acyclic
+			r.verify(t)
+		})
+	}
+}
+
+// TestSeqBcastConcurrentCastersBurst: many casters in the same instant;
+// the sequencer's numbers must produce one gap-free order everywhere.
+func TestSeqBcastConcurrentCastersBurst(t *testing.T) {
+	for _, uniform := range []bool{false, true} {
+		r := newBrig(t, 3, 2, uniform)
+		for p := 0; p < 6; p++ {
+			r.bcast(types.ProcessID(p))
+		}
+		r.rt.Run()
+		if v := r.checker.Check(nil, func(types.MessageID) bool { return true }); len(v) != 0 {
+			t.Fatalf("uniform=%v: %v", uniform, v)
+		}
+		ref := r.checker.Sequence(0)
+		if len(ref) != 6 {
+			t.Fatalf("uniform=%v: p0 delivered %d of 6", uniform, len(ref))
+		}
+		for _, p := range r.topo.AllProcesses()[1:] {
+			seq := r.checker.Sequence(p)
+			for i := range ref {
+				if seq[i] != ref[i] {
+					t.Fatalf("uniform=%v: order diverges at p%v[%d]", uniform, p, i)
+				}
+			}
+		}
+	}
+}
+
+// TestDetMergeManySlots: several slotted rounds of casts interleaved with
+// heartbeats; merge order must be globally consistent across slots.
+func TestDetMergeManySlots(t *testing.T) {
+	r := newRig(t, 2, 2, buildDetMerge)
+	for slot := 0; slot < 4; slot++ {
+		slot := slot
+		at := time.Duration(5+slot*40) * time.Millisecond
+		r.rt.Scheduler().At(at, func() {
+			for p := 0; p < 4; p++ {
+				r.amcast(types.ProcessID(p), 0, 1)
+			}
+		})
+	}
+	r.rt.Run()
+	r.verify(t)
+	for _, p := range r.topo.AllProcesses() {
+		if got := len(r.checker.Sequence(p)); got != 16 {
+			t.Fatalf("p%v delivered %d of 16", p, got)
+		}
+	}
+}
+
+// TestSkeenBurstAllToAll: every process multicasts to every group at once;
+// the pure-timestamp protocol must still totally order the burst.
+func TestSkeenBurstAllToAll(t *testing.T) {
+	r := newRig(t, 3, 2, buildSkeen)
+	for p := 0; p < 6; p++ {
+		r.amcast(types.ProcessID(p), 0, 1, 2)
+	}
+	r.rt.Run()
+	r.verify(t)
+	ref := r.checker.Sequence(0)
+	if len(ref) != 6 {
+		t.Fatalf("p0 delivered %d of 6", len(ref))
+	}
+}

@@ -1,0 +1,198 @@
+// Package check verifies, on concrete run traces, the properties that
+// define atomic multicast and broadcast in §2.2 of the paper:
+//
+//   - uniform integrity: every process A-Delivers a message at most once,
+//     only if it was cast, and only if the process is addressed;
+//   - validity: a message cast by a correct process is A-Delivered by every
+//     correct addressee;
+//   - uniform agreement: a message A-Delivered by any process (even one
+//     that later crashes) is A-Delivered by every correct addressee;
+//   - uniform prefix order: for any two processes p and q, the delivery
+//     sequences projected on messages addressed to both are prefix-related.
+//
+// Tests feed the checker every cast and delivery and then call Check with
+// the set of correct processes.
+package check
+
+import (
+	"fmt"
+
+	"wanamcast/internal/types"
+)
+
+// Checker accumulates one run's trace. The zero value is unusable;
+// construct with New. Not safe for concurrent use (simulated runs are
+// single-threaded; the live harness locks around it).
+type Checker struct {
+	topo   *types.Topology
+	casts  map[types.MessageID]types.GroupSet
+	seqs   map[types.ProcessID][]types.MessageID
+	seen   map[types.ProcessID]map[types.MessageID]bool
+	faults []string // violations detected at record time
+}
+
+// New returns a checker for topo.
+func New(topo *types.Topology) *Checker {
+	return &Checker{
+		topo:  topo,
+		casts: make(map[types.MessageID]types.GroupSet),
+		seqs:  make(map[types.ProcessID][]types.MessageID),
+		seen:  make(map[types.ProcessID]map[types.MessageID]bool),
+	}
+}
+
+// RecordCast notes that id was A-XCast to dest.
+func (c *Checker) RecordCast(id types.MessageID, dest types.GroupSet) {
+	if _, dup := c.casts[id]; dup {
+		c.faults = append(c.faults, fmt.Sprintf("duplicate cast of %v", id))
+		return
+	}
+	c.casts[id] = dest
+}
+
+// RecordDeliver notes that p A-Delivered id, checking uniform integrity
+// immediately.
+func (c *Checker) RecordDeliver(p types.ProcessID, id types.MessageID) {
+	dest, cast := c.casts[id]
+	if !cast {
+		c.faults = append(c.faults, fmt.Sprintf("integrity: %v delivered %v which was never cast", p, id))
+		return
+	}
+	if !dest.Contains(c.topo.GroupOf(p)) {
+		c.faults = append(c.faults, fmt.Sprintf("integrity: %v delivered %v not addressed to its group %v", p, id, dest))
+		return
+	}
+	if c.seen[p] == nil {
+		c.seen[p] = make(map[types.MessageID]bool)
+	}
+	if c.seen[p][id] {
+		c.faults = append(c.faults, fmt.Sprintf("integrity: %v delivered %v twice", p, id))
+		return
+	}
+	c.seen[p][id] = true
+	c.seqs[p] = append(c.seqs[p], id)
+}
+
+// Sequence returns p's delivery sequence. Callers must not modify it.
+func (c *Checker) Sequence(p types.ProcessID) []types.MessageID { return c.seqs[p] }
+
+// Check returns every property violation observed in the run. correct
+// reports whether a process stayed correct; correctCaster reports whether
+// the caster of a message is correct (validity applies only to those).
+// A nil correct treats every process as correct.
+func (c *Checker) Check(correct func(types.ProcessID) bool, correctCaster func(types.MessageID) bool) []string {
+	if correct == nil {
+		correct = func(types.ProcessID) bool { return true }
+	}
+	violations := append([]string(nil), c.faults...)
+
+	// Validity and uniform agreement.
+	for id, dest := range c.casts {
+		deliveredBySomeone := false
+		for _, seen := range c.seen {
+			if seen[id] {
+				deliveredBySomeone = true
+				break
+			}
+		}
+		mustDeliver := deliveredBySomeone || (correctCaster != nil && correctCaster(id))
+		if !mustDeliver {
+			continue
+		}
+		for _, g := range dest.Groups() {
+			for _, q := range c.topo.Members(g) {
+				if !correct(q) {
+					continue
+				}
+				if c.seen[q] == nil || !c.seen[q][id] {
+					reason := "agreement"
+					if !deliveredBySomeone {
+						reason = "validity"
+					}
+					violations = append(violations,
+						fmt.Sprintf("%s: correct %v never delivered %v (dest %v)", reason, q, id, dest))
+				}
+			}
+		}
+	}
+
+	// Uniform prefix order, pairwise.
+	procs := c.topo.AllProcesses()
+	for i, p := range procs {
+		for _, q := range procs[i+1:] {
+			if v := c.prefixViolation(p, q); v != "" {
+				violations = append(violations, v)
+			}
+		}
+	}
+	return violations
+}
+
+// prefixViolation checks uniform prefix order between p and q and returns a
+// description of the first violation, or "".
+func (c *Checker) prefixViolation(p, q types.ProcessID) string {
+	gp, gq := c.topo.GroupOf(p), c.topo.GroupOf(q)
+	proj := func(seq []types.MessageID) []types.MessageID {
+		var out []types.MessageID
+		for _, id := range seq {
+			dest := c.casts[id]
+			if dest.Contains(gp) && dest.Contains(gq) {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	sp, sq := proj(c.seqs[p]), proj(c.seqs[q])
+	n := len(sp)
+	if len(sq) < n {
+		n = len(sq)
+	}
+	for i := 0; i < n; i++ {
+		if sp[i] != sq[i] {
+			return fmt.Sprintf("prefix order: %v and %v diverge at position %d: %v vs %v", p, q, i, sp[i], sq[i])
+		}
+	}
+	return ""
+}
+
+// GenuinenessViolations inspects a send log (from metrics with LogSends)
+// and returns the sends that a genuine atomic multicast must not perform:
+// sends by a process that is neither the caster nor an addressee of any
+// cast message, or sends to such a process. protoPrefix selects the
+// protocol family under scrutiny (e.g. "a1"); consensus and rmcast
+// sub-protocol labels share the prefix.
+func (c *Checker) GenuinenessViolations(sends []SendRecord, protoPrefix string) []string {
+	// A process is involved if it cast some message or belongs to the
+	// destination of some cast message.
+	involved := make(map[types.ProcessID]bool)
+	for id, dest := range c.casts {
+		involved[id.Origin] = true
+		for _, p := range c.topo.ProcessesIn(dest) {
+			involved[p] = true
+		}
+	}
+	var out []string
+	for _, s := range sends {
+		if !hasPrefix(s.Proto, protoPrefix) {
+			continue
+		}
+		if !involved[s.From] {
+			out = append(out, fmt.Sprintf("genuineness: uninvolved %v sent %s message to %v", s.From, s.Proto, s.To))
+		}
+		if !involved[s.To] {
+			out = append(out, fmt.Sprintf("genuineness: %v sent %s message to uninvolved %v", s.From, s.Proto, s.To))
+		}
+	}
+	return out
+}
+
+// SendRecord mirrors metrics.SendEvent without importing metrics (keeping
+// this package dependency-light for reuse by the live harness).
+type SendRecord struct {
+	Proto    string
+	From, To types.ProcessID
+}
+
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}

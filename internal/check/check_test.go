@@ -1,0 +1,238 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"wanamcast/internal/types"
+)
+
+func id(o, s int) types.MessageID {
+	return types.MessageID{Origin: types.ProcessID(o), Seq: uint64(s)}
+}
+
+func allCorrect(types.ProcessID) bool { return true }
+
+func TestCleanRunPasses(t *testing.T) {
+	topo := types.NewTopology(2, 2)
+	c := New(topo)
+	m1, m2 := id(0, 1), id(2, 1)
+	dest := types.NewGroupSet(0, 1)
+	c.RecordCast(m1, dest)
+	c.RecordCast(m2, dest)
+	for p := 0; p < 4; p++ {
+		c.RecordDeliver(types.ProcessID(p), m1)
+		c.RecordDeliver(types.ProcessID(p), m2)
+	}
+	if v := c.Check(allCorrect, nil); len(v) != 0 {
+		t.Fatalf("clean run flagged: %v", v)
+	}
+}
+
+func TestIntegrityNeverCast(t *testing.T) {
+	topo := types.NewTopology(1, 1)
+	c := New(topo)
+	c.RecordDeliver(0, id(0, 1))
+	v := c.Check(allCorrect, nil)
+	if len(v) == 0 || !strings.Contains(v[0], "never cast") {
+		t.Fatalf("missing violation: %v", v)
+	}
+}
+
+func TestIntegrityDoubleDelivery(t *testing.T) {
+	topo := types.NewTopology(1, 1)
+	c := New(topo)
+	m := id(0, 1)
+	c.RecordCast(m, types.NewGroupSet(0))
+	c.RecordDeliver(0, m)
+	c.RecordDeliver(0, m)
+	v := c.Check(allCorrect, nil)
+	found := false
+	for _, s := range v {
+		if strings.Contains(s, "twice") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("double delivery not flagged: %v", v)
+	}
+}
+
+func TestIntegrityWrongAddressee(t *testing.T) {
+	topo := types.NewTopology(2, 1)
+	c := New(topo)
+	m := id(0, 1)
+	c.RecordCast(m, types.NewGroupSet(0))
+	c.RecordDeliver(1, m) // p1 is in group 1, not addressed
+	v := c.Check(allCorrect, nil)
+	if len(v) == 0 || !strings.Contains(v[0], "not addressed") {
+		t.Fatalf("wrong addressee not flagged: %v", v)
+	}
+}
+
+func TestAgreementViolation(t *testing.T) {
+	topo := types.NewTopology(1, 2)
+	c := New(topo)
+	m := id(0, 1)
+	c.RecordCast(m, types.NewGroupSet(0))
+	c.RecordDeliver(0, m) // p1 never delivers
+	v := c.Check(allCorrect, nil)
+	found := false
+	for _, s := range v {
+		if strings.Contains(s, "agreement") && strings.Contains(s, "p1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("agreement violation not flagged: %v", v)
+	}
+}
+
+func TestAgreementSkipsCrashed(t *testing.T) {
+	topo := types.NewTopology(1, 2)
+	c := New(topo)
+	m := id(0, 1)
+	c.RecordCast(m, types.NewGroupSet(0))
+	c.RecordDeliver(0, m)
+	correct := func(p types.ProcessID) bool { return p != 1 }
+	if v := c.Check(correct, nil); len(v) != 0 {
+		t.Fatalf("crashed process's missing delivery flagged: %v", v)
+	}
+}
+
+func TestValidityCorrectCaster(t *testing.T) {
+	topo := types.NewTopology(1, 2)
+	c := New(topo)
+	m := id(0, 1)
+	c.RecordCast(m, types.NewGroupSet(0))
+	// Nobody delivers; caster is correct → validity violation at both.
+	v := c.Check(allCorrect, func(types.MessageID) bool { return true })
+	if len(v) != 2 {
+		t.Fatalf("want 2 validity violations, got %v", v)
+	}
+	if !strings.Contains(v[0], "validity") {
+		t.Fatalf("not labelled validity: %v", v)
+	}
+}
+
+func TestValidityFaultyCasterUndelivered(t *testing.T) {
+	topo := types.NewTopology(1, 2)
+	c := New(topo)
+	m := id(0, 1)
+	c.RecordCast(m, types.NewGroupSet(0))
+	// Nobody delivers, caster crashed → allowed.
+	v := c.Check(allCorrect, func(types.MessageID) bool { return false })
+	if len(v) != 0 {
+		t.Fatalf("faulty caster's undelivered message flagged: %v", v)
+	}
+}
+
+func TestPrefixOrderViolation(t *testing.T) {
+	topo := types.NewTopology(1, 2)
+	c := New(topo)
+	a, b := id(0, 1), id(0, 2)
+	dest := types.NewGroupSet(0)
+	c.RecordCast(a, dest)
+	c.RecordCast(b, dest)
+	c.RecordDeliver(0, a)
+	c.RecordDeliver(0, b)
+	c.RecordDeliver(1, b)
+	c.RecordDeliver(1, a)
+	v := c.Check(allCorrect, nil)
+	found := false
+	for _, s := range v {
+		if strings.Contains(s, "prefix order") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("prefix violation not flagged: %v", v)
+	}
+}
+
+func TestPrefixOrderProjectionIgnoresDisjoint(t *testing.T) {
+	// p and q share only m3; their differing orders on unshared messages
+	// are irrelevant.
+	topo := types.NewTopology(3, 1)
+	c := New(topo)
+	m1 := id(0, 1) // to g0, g2
+	m2 := id(1, 1) // to g1, g2
+	c.RecordCast(m1, types.NewGroupSet(0, 2))
+	c.RecordCast(m2, types.NewGroupSet(1, 2))
+	c.RecordDeliver(0, m1)
+	c.RecordDeliver(1, m2)
+	c.RecordDeliver(2, m2)
+	c.RecordDeliver(2, m1)
+	if v := c.Check(allCorrect, nil); len(v) != 0 {
+		t.Fatalf("disjoint projections flagged: %v", v)
+	}
+}
+
+func TestPrefixAllowsLaggard(t *testing.T) {
+	// q delivered a strict prefix of p's sequence: legal at any time t.
+	topo := types.NewTopology(1, 2)
+	c := New(topo)
+	a, b := id(0, 1), id(0, 2)
+	dest := types.NewGroupSet(0)
+	c.RecordCast(a, dest)
+	c.RecordCast(b, dest)
+	c.RecordDeliver(0, a)
+	c.RecordDeliver(0, b)
+	c.RecordDeliver(1, a)
+	// ...but agreement will flag the missing b at p1 — use correct=false.
+	correct := func(p types.ProcessID) bool { return p != 1 }
+	if v := c.Check(correct, nil); len(v) != 0 {
+		t.Fatalf("prefix laggard flagged: %v", v)
+	}
+}
+
+func TestDuplicateCastFlagged(t *testing.T) {
+	topo := types.NewTopology(1, 1)
+	c := New(topo)
+	m := id(0, 1)
+	c.RecordCast(m, types.NewGroupSet(0))
+	c.RecordCast(m, types.NewGroupSet(0))
+	v := c.Check(allCorrect, nil)
+	if len(v) == 0 || !strings.Contains(v[0], "duplicate cast") {
+		t.Fatalf("duplicate cast not flagged: %v", v)
+	}
+}
+
+func TestGenuinenessViolations(t *testing.T) {
+	topo := types.NewTopology(3, 2)
+	c := New(topo)
+	m := id(0, 1)
+	c.RecordCast(m, types.NewGroupSet(0, 1)) // g2 (p4, p5) uninvolved
+	sends := []SendRecord{
+		{Proto: "a1.cons", From: 0, To: 1}, // fine
+		{Proto: "a1", From: 4, To: 0},      // violation: p4 sends
+		{Proto: "a1.rm", From: 0, To: 5},   // violation: p5 receives
+		{Proto: "other", From: 4, To: 5},   // different protocol: ignored
+	}
+	v := c.GenuinenessViolations(sends, "a1")
+	if len(v) != 2 {
+		t.Fatalf("want 2 violations, got %v", v)
+	}
+}
+
+func TestSequenceAccessor(t *testing.T) {
+	topo := types.NewTopology(1, 1)
+	c := New(topo)
+	m := id(0, 1)
+	c.RecordCast(m, types.NewGroupSet(0))
+	c.RecordDeliver(0, m)
+	if seq := c.Sequence(0); len(seq) != 1 || seq[0] != m {
+		t.Errorf("Sequence = %v", seq)
+	}
+}
+
+func TestNilCorrectMeansAllCorrect(t *testing.T) {
+	topo := types.NewTopology(1, 2)
+	c := New(topo)
+	m := id(0, 1)
+	c.RecordCast(m, types.NewGroupSet(0))
+	c.RecordDeliver(0, m)
+	if v := c.Check(nil, nil); len(v) == 0 {
+		t.Fatal("nil correct must treat p1 as correct and flag agreement")
+	}
+}

@@ -1,0 +1,478 @@
+// Package consensus implements the uniform consensus abstraction the paper
+// assumes inside every group (§2.1–2.2): uniform integrity, termination,
+// and uniform agreement.
+//
+// The implementation is a multi-instance, leader-driven Paxos restricted to
+// one group. Leadership comes from the Ω oracle (internal/fd); safety never
+// depends on Ω, only liveness does. All consensus traffic stays inside the
+// group, so consensus contributes zero inter-group message delays — exactly
+// the accounting the paper uses for algorithms A1 and A2, where consensus
+// "is run inside groups exclusively" (§6).
+//
+// Liveness is proposer-driven: every process holding an undecided proposal
+// periodically re-forwards it to the current leader, and the leader
+// periodically re-drives its phases, so decisions survive leader crashes
+// and Ω mistakes. Crucially for the paper's quiescence property (Prop.
+// A.9), the retry timer is armed only while undecided proposals exist:
+// an idle consensus layer sends nothing and schedules nothing.
+package consensus
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"wanamcast/internal/fd"
+	"wanamcast/internal/node"
+	"wanamcast/internal/types"
+)
+
+// Value is an opaque consensus value. Implementations treat it as a black
+// box; clients of this package propose message sets.
+type Value any
+
+// Wire message bodies. They are exported so the live transport can register
+// them with encoding/gob.
+type (
+	// ForwardMsg carries a proposal from a group member to the leader.
+	ForwardMsg struct {
+		Instance uint64
+		Value    Value
+	}
+	// PrepareMsg is Paxos phase 1a.
+	PrepareMsg struct {
+		Instance uint64
+		Ballot   int64
+	}
+	// PromiseMsg is Paxos phase 1b.
+	PromiseMsg struct {
+		Instance uint64
+		Ballot   int64
+		VBallot  int64 // highest ballot in which the sender accepted, or -1
+		VValue   Value
+	}
+	// AcceptMsg is Paxos phase 2a.
+	AcceptMsg struct {
+		Instance uint64
+		Ballot   int64
+		Value    Value
+	}
+	// AcceptedMsg is Paxos phase 2b.
+	AcceptedMsg struct {
+		Instance uint64
+		Ballot   int64
+	}
+	// DecideMsg announces a decision to the group.
+	DecideMsg struct {
+		Instance uint64
+		Value    Value
+	}
+)
+
+// instance is the per-instance acceptor+leader state.
+type instance struct {
+	// Acceptor state.
+	promised int64 // highest ballot promised; -1 initially (ballot 0 always allowed)
+	accepted int64 // highest ballot accepted, -1 if none
+	aValue   Value
+
+	// Proposer state.
+	proposal    Value // this process's own proposal, nil if none
+	hasProposal bool
+
+	// Leader state (used only while this process believes it leads).
+	ballot    int64 // ballot this leader is driving, -1 if none
+	phase1OK  map[types.ProcessID]PromiseMsg
+	phase2OK  map[types.ProcessID]bool
+	leadValue Value
+	hasLead   bool
+
+	// Learner state.
+	decided  bool
+	decision Value
+
+	maxSeen int64 // highest ballot observed in any message
+}
+
+// Config configures a Consensus engine for one process.
+type Config struct {
+	API      node.API
+	Detector fd.Detector
+	// OnDecide is invoked exactly once per instance, in arrival order (not
+	// necessarily instance order; clients consume decisions by their own
+	// instance counter, as Algorithms A1/A2 do with K).
+	OnDecide func(instance uint64, value Value)
+	// RetryInterval is the re-drive period for undecided proposals.
+	// Defaults to 40 ms.
+	RetryInterval time.Duration
+	// ProtoLabel overrides the wire label (default "consensus"); distinct
+	// labels let two consensus engines coexist on one process.
+	ProtoLabel string
+}
+
+// Consensus is the per-process consensus engine. Register it on the
+// process's node.Proc; it is driven entirely by Start/Receive/timers.
+type Consensus struct {
+	api   node.API
+	det   fd.Detector
+	onDec func(uint64, Value)
+	retry time.Duration
+	label string
+
+	group   []types.ProcessID
+	rank    int // index of self in group
+	d       int // group size
+	quorum  int
+	insts   map[uint64]*instance
+	pending map[uint64]bool // undecided instances with a local proposal
+	timerOn bool
+}
+
+var _ node.Protocol = (*Consensus)(nil)
+
+// New builds a consensus engine. It panics on a missing API, Detector, or
+// OnDecide: those are wiring bugs.
+func New(cfg Config) *Consensus {
+	if cfg.API == nil || cfg.Detector == nil || cfg.OnDecide == nil {
+		panic("consensus: Config.API, Detector and OnDecide are required")
+	}
+	retry := cfg.RetryInterval
+	if retry <= 0 {
+		retry = 40 * time.Millisecond
+	}
+	label := cfg.ProtoLabel
+	if label == "" {
+		label = "consensus"
+	}
+	c := &Consensus{
+		api:     cfg.API,
+		det:     cfg.Detector,
+		onDec:   cfg.OnDecide,
+		retry:   retry,
+		label:   label,
+		insts:   make(map[uint64]*instance),
+		pending: make(map[uint64]bool),
+	}
+	c.group = cfg.API.Topo().Members(cfg.API.Group())
+	c.d = len(c.group)
+	c.quorum = c.d/2 + 1
+	c.rank = -1
+	for i, p := range c.group {
+		if p == cfg.API.Self() {
+			c.rank = i
+			break
+		}
+	}
+	if c.rank < 0 {
+		panic(fmt.Sprintf("consensus: %v not in its own group", cfg.API.Self()))
+	}
+	return c
+}
+
+// Proto implements node.Protocol.
+func (c *Consensus) Proto() string { return c.label }
+
+// Start implements node.Protocol: it subscribes to leadership changes so
+// proposals are re-routed and new leaders take over undecided instances.
+func (c *Consensus) Start() {
+	c.det.Subscribe(func(g types.GroupID, leader types.ProcessID) {
+		if g != c.api.Group() || c.api.Crashed() {
+			return
+		}
+		c.onLeaderChange(leader)
+	})
+}
+
+// Propose submits value for the given instance. Re-proposing an instance
+// that already has a local proposal or a decision is a no-op, matching the
+// at-most-one-proposal-per-instance discipline (propK in the paper).
+func (c *Consensus) Propose(inst uint64, value Value) {
+	in := c.inst(inst)
+	if in.decided || in.hasProposal {
+		return
+	}
+	in.proposal = value
+	in.hasProposal = true
+	c.pending[inst] = true
+	c.drive(inst)
+	c.armTimer()
+}
+
+// Decided returns the decision for inst, if any.
+func (c *Consensus) Decided(inst uint64) (Value, bool) {
+	in, ok := c.insts[inst]
+	if !ok || !in.decided {
+		return nil, false
+	}
+	return in.decision, true
+}
+
+// Receive implements node.Protocol.
+func (c *Consensus) Receive(from types.ProcessID, body any) {
+	switch m := body.(type) {
+	case ForwardMsg:
+		c.onForward(from, m)
+	case PrepareMsg:
+		c.onPrepare(from, m)
+	case PromiseMsg:
+		c.onPromise(from, m)
+	case AcceptMsg:
+		c.onAccept(from, m)
+	case AcceptedMsg:
+		c.onAccepted(from, m)
+	case DecideMsg:
+		c.learn(m.Instance, m.Value)
+	default:
+		panic(fmt.Sprintf("consensus: unexpected message %T", body))
+	}
+}
+
+func (c *Consensus) inst(k uint64) *instance {
+	in, ok := c.insts[k]
+	if !ok {
+		in = &instance{promised: -1, accepted: -1, ballot: -1, maxSeen: -1}
+		c.insts[k] = in
+	}
+	return in
+}
+
+func (c *Consensus) leader() types.ProcessID { return c.det.Leader(c.api.Group()) }
+
+func (c *Consensus) isLeader() bool { return c.leader() == c.api.Self() }
+
+// drive makes progress on instance k from this process's perspective:
+// leaders run their phases, others forward the proposal to the leader.
+func (c *Consensus) drive(k uint64) {
+	in := c.inst(k)
+	if in.decided || !in.hasProposal {
+		return
+	}
+	if !c.isLeader() {
+		c.send(c.leader(), ForwardMsg{Instance: k, Value: in.proposal})
+		return
+	}
+	c.lead(k, in.proposal)
+}
+
+// lead starts (or restarts) this process's leadership of instance k with
+// initial value v.
+func (c *Consensus) lead(k uint64, v Value) {
+	in := c.inst(k)
+	if in.decided {
+		return
+	}
+	if !in.hasLead {
+		in.leadValue = v
+		in.hasLead = true
+	}
+	if in.ballot < 0 {
+		in.ballot = c.nextBallot(in)
+	}
+	if in.ballot == 0 {
+		// Ballot 0 belongs to the initial (rank-0) leader and needs no
+		// phase 1: acceptors start with promised = -1 and thus accept it.
+		c.broadcastAccept(k, in)
+		return
+	}
+	if in.phase1OK != nil {
+		// Phase 1 already in flight for this ballot; restarting here
+		// would discard promises and livelock against re-forwarded
+		// proposals. The retry timer re-drives with a fresh ballot if
+		// the instance stalls.
+		return
+	}
+	in.phase1OK = make(map[types.ProcessID]PromiseMsg, c.d)
+	for _, q := range c.group {
+		c.send(q, PrepareMsg{Instance: k, Ballot: in.ballot})
+	}
+}
+
+// nextBallot picks the smallest ballot owned by this process greater than
+// any ballot seen on instance in. Ballot b is owned by group rank b mod d.
+func (c *Consensus) nextBallot(in *instance) int64 {
+	b := int64(c.rank)
+	for b <= in.maxSeen || b < in.ballot {
+		b += int64(c.d)
+	}
+	return b
+}
+
+func (c *Consensus) broadcastAccept(k uint64, in *instance) {
+	in.phase2OK = make(map[types.ProcessID]bool, c.d)
+	for _, q := range c.group {
+		c.send(q, AcceptMsg{Instance: k, Ballot: in.ballot, Value: in.leadValue})
+	}
+}
+
+func (c *Consensus) onForward(from types.ProcessID, m ForwardMsg) {
+	in := c.inst(m.Instance)
+	if in.decided {
+		// Catch-up: tell the sender the decision directly.
+		c.send(from, DecideMsg{Instance: m.Instance, Value: in.decision})
+		return
+	}
+	if !c.isLeader() {
+		// Stale route; the proposer will retry toward the real leader.
+		return
+	}
+	c.lead(m.Instance, m.Value)
+}
+
+func (c *Consensus) onPrepare(from types.ProcessID, m PrepareMsg) {
+	in := c.inst(m.Instance)
+	if m.Ballot > in.maxSeen {
+		in.maxSeen = m.Ballot
+	}
+	if in.decided {
+		c.send(from, DecideMsg{Instance: m.Instance, Value: in.decision})
+		return
+	}
+	if m.Ballot < in.promised {
+		return // reject silently; the leader retries with a higher ballot
+	}
+	// Equal ballots are re-promised: retransmitted Prepares must be
+	// idempotent for liveness over lossy or reordered transports.
+	in.promised = m.Ballot
+	c.send(from, PromiseMsg{Instance: m.Instance, Ballot: m.Ballot, VBallot: in.accepted, VValue: in.aValue})
+}
+
+func (c *Consensus) onPromise(from types.ProcessID, m PromiseMsg) {
+	in := c.inst(m.Instance)
+	if in.decided || in.ballot != m.Ballot || in.phase1OK == nil {
+		return
+	}
+	in.phase1OK[from] = m
+	if len(in.phase1OK) < c.quorum {
+		return
+	}
+	// Quorum of promises: adopt the value of the highest accepted ballot,
+	// if any, else keep our own.
+	var (
+		bestBallot int64 = -1
+		bestValue  Value
+	)
+	for _, pm := range in.phase1OK {
+		if pm.VBallot > bestBallot {
+			bestBallot = pm.VBallot
+			bestValue = pm.VValue
+		}
+	}
+	if bestBallot >= 0 {
+		in.leadValue = bestValue
+	}
+	in.phase1OK = nil // phase 1 done for this ballot
+	c.broadcastAccept(m.Instance, in)
+}
+
+func (c *Consensus) onAccept(from types.ProcessID, m AcceptMsg) {
+	in := c.inst(m.Instance)
+	if m.Ballot > in.maxSeen {
+		in.maxSeen = m.Ballot
+	}
+	if in.decided {
+		c.send(from, DecideMsg{Instance: m.Instance, Value: in.decision})
+		return
+	}
+	if m.Ballot < in.promised {
+		return
+	}
+	in.promised = m.Ballot
+	in.accepted = m.Ballot
+	in.aValue = m.Value
+	c.send(from, AcceptedMsg{Instance: m.Instance, Ballot: m.Ballot})
+}
+
+func (c *Consensus) onAccepted(from types.ProcessID, m AcceptedMsg) {
+	in := c.inst(m.Instance)
+	if in.decided || in.ballot != m.Ballot || in.phase2OK == nil {
+		return
+	}
+	in.phase2OK[from] = true
+	if len(in.phase2OK) < c.quorum {
+		return
+	}
+	// Majority accepted: the value is chosen. Announce to the group.
+	for _, q := range c.group {
+		c.send(q, DecideMsg{Instance: m.Instance, Value: in.leadValue})
+	}
+	c.learn(m.Instance, in.leadValue)
+}
+
+// learn records a decision and fires the client callback exactly once.
+func (c *Consensus) learn(k uint64, v Value) {
+	in := c.inst(k)
+	if in.decided {
+		return
+	}
+	in.decided = true
+	in.decision = v
+	delete(c.pending, k)
+	c.api.RecordConsensus()
+	c.onDec(k, v)
+}
+
+func (c *Consensus) onLeaderChange(leader types.ProcessID) {
+	// Re-route pending proposals; a new leader takes over immediately.
+	for _, k := range c.sortedPending() {
+		c.drive(k)
+	}
+	c.armTimer()
+}
+
+// armTimer schedules the retry tick if undecided proposals exist. The timer
+// chain stops as soon as pending drains, keeping the layer quiescent.
+func (c *Consensus) armTimer() {
+	if c.timerOn || len(c.pending) == 0 {
+		return
+	}
+	c.timerOn = true
+	c.api.After(c.retry, func() {
+		c.timerOn = false
+		for _, k := range c.sortedPending() {
+			in := c.inst(k)
+			if in.decided {
+				continue
+			}
+			switch {
+			case !c.isLeader() || !in.hasLead:
+				c.drive(k)
+			case in.maxSeen > in.ballot:
+				// Outbid by a higher ballot: restart with a fresh one.
+				in.ballot = c.nextBallot(in)
+				in.phase1OK = nil
+				in.phase2OK = nil
+				c.lead(k, in.leadValue)
+			case in.phase1OK != nil:
+				// Phase 1 in flight: retransmit the Prepare and keep the
+				// promises collected so far. Equal-ballot Prepares are
+				// re-promised, so this converges even when the retry
+				// period is shorter than the group's round-trip time —
+				// bumping the ballot here instead would livelock.
+				for _, q := range c.group {
+					c.send(q, PrepareMsg{Instance: k, Ballot: in.ballot})
+				}
+			case in.phase2OK != nil:
+				// Phase 2 in flight: retransmit the Accept likewise.
+				for _, q := range c.group {
+					c.send(q, AcceptMsg{Instance: k, Ballot: in.ballot, Value: in.leadValue})
+				}
+			default:
+				c.lead(k, in.leadValue)
+			}
+		}
+		c.armTimer()
+	})
+}
+
+func (c *Consensus) sortedPending() []uint64 {
+	ks := make([]uint64, 0, len(c.pending))
+	for k := range c.pending {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+func (c *Consensus) send(to types.ProcessID, body any) {
+	c.api.Send(to, c.label, body)
+}

@@ -1,0 +1,97 @@
+// Package fd provides the leader oracle (Ω) each group relies on to solve
+// consensus. The paper assumes consensus is solvable within every group
+// (§2.1); Ω is the weakest failure detector for that, so protocols in this
+// repository depend only on the Detector interface below.
+//
+// Two implementations exist: the simulation oracle in this package, driven
+// by the simulated runtime's perfect knowledge of crashes (made imperfect by
+// a configurable suspicion delay, during which a crashed leader is still
+// trusted), and the heartbeat detector in internal/transport/tcp for live
+// runs.
+package fd
+
+import (
+	"sort"
+
+	"wanamcast/internal/types"
+)
+
+// Detector is the Ω leader oracle. Leader returns the current leader of a
+// group; eventually it returns the same correct process forever at every
+// correct process, which is all the consensus layer needs for liveness.
+type Detector interface {
+	// Leader returns the current leader of group g.
+	Leader(g types.GroupID) types.ProcessID
+	// Subscribe registers fn to run whenever the leader of any group
+	// changes. Registration order is preserved.
+	Subscribe(fn func(g types.GroupID, leader types.ProcessID))
+}
+
+// Oracle is the simulation Ω: the leader of a group is its lowest-ID member
+// not yet suspected. The simulated runtime calls Suspect when a crashed
+// process's suspicion delay elapses. The zero value is not usable;
+// construct with NewOracle.
+type Oracle struct {
+	topo      *types.Topology
+	suspected map[types.ProcessID]bool
+	leaders   []types.ProcessID // indexed by GroupID
+	subs      []func(types.GroupID, types.ProcessID)
+}
+
+var _ Detector = (*Oracle)(nil)
+
+// NewOracle returns an oracle for topo with no process suspected.
+func NewOracle(topo *types.Topology) *Oracle {
+	o := &Oracle{
+		topo:      topo,
+		suspected: make(map[types.ProcessID]bool),
+		leaders:   make([]types.ProcessID, topo.NumGroups()),
+	}
+	for g := 0; g < topo.NumGroups(); g++ {
+		o.leaders[g] = o.computeLeader(types.GroupID(g))
+	}
+	return o
+}
+
+// Leader implements Detector.
+func (o *Oracle) Leader(g types.GroupID) types.ProcessID { return o.leaders[g] }
+
+// Subscribe implements Detector.
+func (o *Oracle) Subscribe(fn func(types.GroupID, types.ProcessID)) {
+	o.subs = append(o.subs, fn)
+}
+
+// Suspect marks p as suspected and, if that changes p's group's leader,
+// notifies subscribers. Suspecting an already-suspected process is a no-op.
+func (o *Oracle) Suspect(p types.ProcessID) {
+	if o.suspected[p] {
+		return
+	}
+	o.suspected[p] = true
+	g := o.topo.GroupOf(p)
+	newLeader := o.computeLeader(g)
+	if newLeader == o.leaders[g] {
+		return
+	}
+	o.leaders[g] = newLeader
+	for _, fn := range o.subs {
+		fn(g, newLeader)
+	}
+}
+
+// Suspected reports whether p is currently suspected.
+func (o *Oracle) Suspected(p types.ProcessID) bool { return o.suspected[p] }
+
+func (o *Oracle) computeLeader(g types.GroupID) types.ProcessID {
+	members := append([]types.ProcessID(nil), o.topo.Members(g)...)
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	for _, p := range members {
+		if !o.suspected[p] {
+			return p
+		}
+	}
+	// Every member suspected: the paper assumes at least one correct
+	// process per group, so this means suspicion outran reality; keep the
+	// lowest ID so Leader always returns *some* member.
+	return members[0]
+}

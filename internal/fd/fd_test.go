@@ -1,0 +1,97 @@
+package fd
+
+import (
+	"testing"
+
+	"wanamcast/internal/types"
+)
+
+func TestInitialLeaders(t *testing.T) {
+	topo := types.NewTopology(3, 3)
+	o := NewOracle(topo)
+	for g := 0; g < 3; g++ {
+		want := types.ProcessID(g * 3)
+		if got := o.Leader(types.GroupID(g)); got != want {
+			t.Errorf("Leader(g%d) = %v, want %v", g, got, want)
+		}
+	}
+}
+
+func TestSuspectAdvancesLeader(t *testing.T) {
+	topo := types.NewTopology(2, 3)
+	o := NewOracle(topo)
+	o.Suspect(0)
+	if got := o.Leader(0); got != 1 {
+		t.Errorf("after suspecting p0, leader = %v, want p1", got)
+	}
+	if got := o.Leader(1); got != 3 {
+		t.Errorf("other group's leader changed to %v", got)
+	}
+	o.Suspect(1)
+	if got := o.Leader(0); got != 2 {
+		t.Errorf("after suspecting p1, leader = %v, want p2", got)
+	}
+}
+
+func TestSuspectNonLeaderKeepsLeader(t *testing.T) {
+	topo := types.NewTopology(1, 3)
+	o := NewOracle(topo)
+	fired := 0
+	o.Subscribe(func(types.GroupID, types.ProcessID) { fired++ })
+	o.Suspect(2)
+	if o.Leader(0) != 0 {
+		t.Error("suspecting a non-leader changed the leader")
+	}
+	if fired != 0 {
+		t.Error("subscriber fired without a leader change")
+	}
+}
+
+func TestSubscribeNotifiesInOrder(t *testing.T) {
+	topo := types.NewTopology(1, 3)
+	o := NewOracle(topo)
+	var order []int
+	o.Subscribe(func(g types.GroupID, l types.ProcessID) { order = append(order, 1) })
+	o.Subscribe(func(g types.GroupID, l types.ProcessID) { order = append(order, 2) })
+	o.Suspect(0)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Errorf("subscriber order = %v", order)
+	}
+}
+
+func TestSubscribePayload(t *testing.T) {
+	topo := types.NewTopology(2, 2)
+	o := NewOracle(topo)
+	var gotG types.GroupID = -1
+	var gotL types.ProcessID = -1
+	o.Subscribe(func(g types.GroupID, l types.ProcessID) { gotG, gotL = g, l })
+	o.Suspect(2) // leader of group 1
+	if gotG != 1 || gotL != 3 {
+		t.Errorf("notification (%v,%v), want (g1,p3)", gotG, gotL)
+	}
+}
+
+func TestSuspectIdempotent(t *testing.T) {
+	topo := types.NewTopology(1, 2)
+	o := NewOracle(topo)
+	fired := 0
+	o.Subscribe(func(types.GroupID, types.ProcessID) { fired++ })
+	o.Suspect(0)
+	o.Suspect(0)
+	if fired != 1 {
+		t.Errorf("duplicate suspicion fired %d notifications", fired)
+	}
+	if !o.Suspected(0) || o.Suspected(1) {
+		t.Error("Suspected() wrong")
+	}
+}
+
+func TestAllSuspectedFallsBackToLowest(t *testing.T) {
+	topo := types.NewTopology(1, 2)
+	o := NewOracle(topo)
+	o.Suspect(0)
+	o.Suspect(1)
+	if got := o.Leader(0); got != 0 {
+		t.Errorf("all-suspected leader = %v, want p0 fallback", got)
+	}
+}

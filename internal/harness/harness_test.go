@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"wanamcast/internal/types"
+)
+
+// TestFigure1aLatencyDegrees drives one multicast to k groups through each
+// Figure 1(a) algorithm and checks the measured latency degree against the
+// paper's row. The caster sits in the last destination group, the generic
+// placement under which Delporte's chain costs its full k+1 hops.
+func TestFigure1aLatencyDegrees(t *testing.T) {
+	for _, k := range []int{2, 3, 4} {
+		for _, tc := range []struct {
+			algo Algo
+			want func(k int) int64
+		}{
+			{AlgoDelporte, func(k int) int64 { return int64(k) + 1 }},
+			{AlgoRodrigues, func(int) int64 { return 4 }},
+			{AlgoFritzke, func(int) int64 { return 2 }},
+			{AlgoA1, func(int) int64 { return 2 }},
+			{AlgoSkeen, func(int) int64 { return 2 }},
+			{AlgoDetMerge, func(int) int64 { return 1 }},
+		} {
+			// DetMerge's Δ=1 run follows [1]'s slotted model: every
+			// publisher casts in the same slot, so each message's merge is
+			// enabled by concurrent casts rather than by later (causally
+			// dependent) heartbeats. Latency degree is a minimum over
+			// admissible runs, and this is the witness run.
+			s := Build(tc.algo, Options{
+				Groups: k, PerGroup: 3,
+				DetMergeInterval: time.Second,
+				DetMergeStop:     500 * time.Millisecond,
+			})
+			dest := make([]types.GroupID, k)
+			for i := range dest {
+				dest[i] = types.GroupID(i)
+			}
+			members := s.Topo.Members(types.GroupID(k - 1))
+			caster := members[len(members)-1]
+			var id types.MessageID
+			s.RT.Scheduler().At(15*time.Millisecond, func() {
+				id = s.Cast(caster, "payload", types.NewGroupSet(dest...))
+				if tc.algo == AlgoDetMerge {
+					for _, p := range s.Topo.AllProcesses() {
+						if p != caster {
+							s.Cast(p, "slot-fill", types.NewGroupSet(dest...))
+						}
+					}
+				}
+			})
+			s.Run()
+			deg, ok := s.DegreeOf(id)
+			if !ok {
+				t.Fatalf("%s k=%d: message not delivered", tc.algo, k)
+			}
+			if want := tc.want(k); deg != want {
+				t.Errorf("%s k=%d: latency degree = %d, want %d", tc.algo, k, deg, want)
+			}
+			if v := s.Check(); len(v) != 0 {
+				t.Errorf("%s k=%d: property violations: %v", tc.algo, k, v)
+			}
+			wantDeliveries := k * 3
+			got := 0
+			for _, d := range s.Deliveries {
+				if d.ID == id {
+					got++
+				}
+			}
+			if got != wantDeliveries {
+				t.Errorf("%s k=%d: %d deliveries of the cast, want %d", tc.algo, k, got, wantDeliveries)
+			}
+		}
+	}
+}
+
+// TestFigure1bLatencyDegrees drives a broadcast through each Figure 1(b)
+// algorithm. A2 is probed while synchronized rounds run (its latency-1
+// regime); the others are cold-started.
+func TestFigure1bLatencyDegrees(t *testing.T) {
+	for _, tc := range []struct {
+		algo Algo
+		want int64
+	}{
+		{AlgoSousa, 2},
+		{AlgoVicente, 2},
+		{AlgoA2, 1},
+		{AlgoDetMerge, 1},
+	} {
+		s := Build(tc.algo, Options{
+			Groups: 3, PerGroup: 3,
+			DetMergeInterval: time.Second,
+			DetMergeStop:     500 * time.Millisecond,
+		})
+		all := s.Topo.AllGroups()
+		if tc.algo == AlgoA2 {
+			// Synchronize rounds: one warm-up broadcast per group at t=0.
+			for g := 0; g < 3; g++ {
+				s.CastAt(0, s.Topo.Members(types.GroupID(g))[0], "warm", all)
+			}
+		}
+		caster := s.Topo.Members(0)[1]
+		var id types.MessageID
+		s.RT.Scheduler().At(15*time.Millisecond, func() {
+			id = s.Cast(caster, "probe", all)
+			if tc.algo == AlgoDetMerge {
+				// [1]'s slotted model: every publisher casts in the slot.
+				for _, p := range s.Topo.AllProcesses() {
+					if p != caster {
+						s.Cast(p, "slot-fill", all)
+					}
+				}
+			}
+		})
+		s.Run()
+		deg, ok := s.DegreeOf(id)
+		if !ok {
+			t.Fatalf("%s: probe not delivered", tc.algo)
+		}
+		if deg != tc.want {
+			t.Errorf("%s: latency degree = %d, want %d", tc.algo, deg, tc.want)
+		}
+		if v := s.Check(); len(v) != 0 {
+			t.Errorf("%s: property violations: %v", tc.algo, v)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Package metrics collects the two quantities the paper's evaluation
+// (Figure 1) reports — latency degree and inter-group message counts — plus
+// wall-clock (virtual-time) delivery latencies and the quiescence signal
+// used by Proposition A.9 experiments.
+//
+// The latency degree of a message m in a run R (§2.3) is
+//
+//	Δ(m,R) = max over deliverers q of ts(A-Deliver(m) at q) − ts(A-XCast(m) at caster)
+//
+// where ts are the modified Lamport clocks that tick only on inter-group
+// sends. The network layer maintains the clocks; protocols report cast and
+// deliver events here.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"wanamcast/internal/types"
+)
+
+// Collector accumulates statistics for one run. The zero value is ready to
+// use. Collectors are not safe for concurrent use; in simulated runs all
+// events execute on the scheduler goroutine, and the live runtime wraps the
+// collector in its own lock.
+type Collector struct {
+	// LogSends, when set before the run, keeps a full per-send event log
+	// (used by genuineness and quiescence tests). Off by default: large
+	// benchmarks would otherwise hold every send in memory.
+	LogSends bool
+
+	totalMsgs      uint64
+	interGroupMsgs uint64
+	perProto       map[string]*ProtoCount
+	sends          []SendEvent
+
+	casts      map[types.MessageID]*castRecord
+	lastSend   time.Duration
+	anySend    bool
+	consensusN uint64
+}
+
+// SendEvent is one logged point-to-point send.
+type SendEvent struct {
+	Proto      string
+	From, To   types.ProcessID
+	InterGroup bool
+	At         time.Duration
+}
+
+// ProtoCount is the message accounting for one protocol label.
+type ProtoCount struct {
+	Total      uint64
+	InterGroup uint64
+}
+
+type castRecord struct {
+	castTS     int64 // Lamport clock at the A-XCast event
+	castAt     time.Duration
+	deliveries []Delivery
+}
+
+// Delivery records one A-Deliver event.
+type Delivery struct {
+	Process types.ProcessID
+	TS      int64 // Lamport clock at the A-Deliver event
+	At      time.Duration
+}
+
+// OnSend records one point-to-point message send. interGroup reports whether
+// sender and receiver are in different groups; proto labels the protocol
+// layer that produced the message (e.g. "consensus", "a1").
+func (c *Collector) OnSend(proto string, from, to types.ProcessID, interGroup bool, at time.Duration) {
+	c.totalMsgs++
+	c.lastSend = at
+	c.anySend = true
+	if c.perProto == nil {
+		c.perProto = make(map[string]*ProtoCount)
+	}
+	pc := c.perProto[proto]
+	if pc == nil {
+		pc = &ProtoCount{}
+		c.perProto[proto] = pc
+	}
+	pc.Total++
+	if interGroup {
+		c.interGroupMsgs++
+		pc.InterGroup++
+	}
+	if c.LogSends {
+		c.sends = append(c.sends, SendEvent{Proto: proto, From: from, To: to, InterGroup: interGroup, At: at})
+	}
+}
+
+// Sends returns the logged send events (empty unless LogSends was set).
+// Callers must not modify the returned slice.
+func (c *Collector) Sends() []SendEvent { return c.sends }
+
+// OnCast records the A-XCast of message id with the caster's Lamport clock
+// value at the cast event.
+func (c *Collector) OnCast(id types.MessageID, lamportTS int64, at time.Duration) {
+	if c.casts == nil {
+		c.casts = make(map[types.MessageID]*castRecord)
+	}
+	if _, ok := c.casts[id]; ok {
+		return // duplicate cast report; keep the first
+	}
+	c.casts[id] = &castRecord{castTS: lamportTS, castAt: at}
+}
+
+// OnDeliver records an A-Deliver of id at process p with p's Lamport clock
+// value at the delivery event. Deliveries of unknown casts are dropped (the
+// checker package, not metrics, flags integrity violations).
+func (c *Collector) OnDeliver(id types.MessageID, p types.ProcessID, lamportTS int64, at time.Duration) {
+	rec, ok := c.casts[id]
+	if !ok {
+		return
+	}
+	rec.deliveries = append(rec.deliveries, Delivery{Process: p, TS: lamportTS, At: at})
+}
+
+// OnConsensusInstance records the completion of one intra-group consensus
+// instance (used by the ablation benchmarks on stage skipping).
+func (c *Collector) OnConsensusInstance() { c.consensusN++ }
+
+// LatencyDegree returns Δ(id) = max deliverer Lamport clock minus the
+// caster's clock at cast time, and whether id was cast and delivered at
+// least once.
+func (c *Collector) LatencyDegree(id types.MessageID) (int64, bool) {
+	rec, ok := c.casts[id]
+	if !ok || len(rec.deliveries) == 0 {
+		return 0, false
+	}
+	var maxTS int64
+	for i, d := range rec.deliveries {
+		if i == 0 || d.TS > maxTS {
+			maxTS = d.TS
+		}
+	}
+	return maxTS - rec.castTS, true
+}
+
+// WallLatency returns the virtual-time span between the cast of id and its
+// last recorded delivery.
+func (c *Collector) WallLatency(id types.MessageID) (time.Duration, bool) {
+	rec, ok := c.casts[id]
+	if !ok || len(rec.deliveries) == 0 {
+		return 0, false
+	}
+	var last time.Duration
+	for _, d := range rec.deliveries {
+		if d.At > last {
+			last = d.At
+		}
+	}
+	return last - rec.castAt, true
+}
+
+// Deliveries returns the recorded deliveries of id. Callers must not modify
+// the returned slice.
+func (c *Collector) Deliveries(id types.MessageID) []Delivery {
+	rec, ok := c.casts[id]
+	if !ok {
+		return nil
+	}
+	return rec.deliveries
+}
+
+// LastSend returns the virtual time of the most recent send and whether any
+// send happened at all. Quiescence experiments assert that LastSend stops
+// advancing once casts cease.
+func (c *Collector) LastSend() (time.Duration, bool) { return c.lastSend, c.anySend }
+
+// Stats is an immutable snapshot of a run's aggregate statistics.
+type Stats struct {
+	TotalMessages      uint64
+	InterGroupMessages uint64
+	ConsensusInstances uint64
+	PerProtocol        map[string]ProtoCount
+
+	// Cast/delivery aggregates over all messages that were both cast and
+	// delivered at least once.
+	MessagesCast      int
+	MessagesDelivered int
+	// Latency degree distribution.
+	MinDegree, MaxDegree int64
+	MeanDegree           float64
+	// Wall (virtual-time) latency of the last delivery of each message.
+	MeanWallLatency time.Duration
+	MaxWallLatency  time.Duration
+	// Percentiles of the wall-latency distribution (nearest-rank).
+	P50Wall, P95Wall, P99Wall time.Duration
+}
+
+// Snapshot computes aggregate statistics over everything recorded so far.
+func (c *Collector) Snapshot() Stats {
+	st := Stats{
+		TotalMessages:      c.totalMsgs,
+		InterGroupMessages: c.interGroupMsgs,
+		ConsensusInstances: c.consensusN,
+		PerProtocol:        make(map[string]ProtoCount, len(c.perProto)),
+		MessagesCast:       len(c.casts),
+	}
+	for name, pc := range c.perProto {
+		st.PerProtocol[name] = *pc
+	}
+	var (
+		sumDeg  int64
+		sumWall time.Duration
+		walls   []time.Duration
+		first   = true
+	)
+	for id := range c.casts {
+		deg, ok := c.LatencyDegree(id)
+		if !ok {
+			continue
+		}
+		wall, _ := c.WallLatency(id)
+		walls = append(walls, wall)
+		sumDeg += deg
+		sumWall += wall
+		if first {
+			st.MinDegree, st.MaxDegree = deg, deg
+			first = false
+		} else {
+			if deg < st.MinDegree {
+				st.MinDegree = deg
+			}
+			if deg > st.MaxDegree {
+				st.MaxDegree = deg
+			}
+		}
+		if wall > st.MaxWallLatency {
+			st.MaxWallLatency = wall
+		}
+	}
+	st.MessagesDelivered = len(walls)
+	if len(walls) > 0 {
+		st.MeanDegree = float64(sumDeg) / float64(len(walls))
+		st.MeanWallLatency = sumWall / time.Duration(len(walls))
+		sort.Slice(walls, func(i, j int) bool { return walls[i] < walls[j] })
+		st.P50Wall = percentile(walls, 50)
+		st.P95Wall = percentile(walls, 95)
+		st.P99Wall = percentile(walls, 99)
+	}
+	return st
+}
+
+// percentile returns the nearest-rank p-th percentile of sorted samples.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100 // ceil(p/100 * n), nearest-rank
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// String renders a compact human-readable summary.
+func (st Stats) String() string {
+	protos := make([]string, 0, len(st.PerProtocol))
+	for name := range st.PerProtocol {
+		protos = append(protos, name)
+	}
+	sort.Strings(protos)
+	s := fmt.Sprintf("msgs=%d inter-group=%d consensus=%d cast=%d delivered=%d degree=[%d..%d] mean=%.2f wall(mean=%v p50=%v p95=%v p99=%v max=%v)",
+		st.TotalMessages, st.InterGroupMessages, st.ConsensusInstances,
+		st.MessagesCast, st.MessagesDelivered,
+		st.MinDegree, st.MaxDegree, st.MeanDegree,
+		st.MeanWallLatency, st.P50Wall, st.P95Wall, st.P99Wall, st.MaxWallLatency)
+	for _, name := range protos {
+		pc := st.PerProtocol[name]
+		s += fmt.Sprintf("\n  %-14s total=%-6d inter-group=%d", name, pc.Total, pc.InterGroup)
+	}
+	return s
+}

@@ -1,0 +1,191 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"wanamcast/internal/types"
+)
+
+func id(o, s int) types.MessageID {
+	return types.MessageID{Origin: types.ProcessID(o), Seq: uint64(s)}
+}
+
+func TestLatencyDegree(t *testing.T) {
+	var c Collector
+	m := id(0, 1)
+	c.OnCast(m, 3, 10*time.Millisecond)
+	c.OnDeliver(m, 1, 4, 20*time.Millisecond)
+	c.OnDeliver(m, 2, 5, 30*time.Millisecond)
+	deg, ok := c.LatencyDegree(m)
+	if !ok || deg != 2 {
+		t.Fatalf("degree = %d ok=%v, want 2", deg, ok)
+	}
+	wall, ok := c.WallLatency(m)
+	if !ok || wall != 20*time.Millisecond {
+		t.Fatalf("wall = %v ok=%v, want 20ms", wall, ok)
+	}
+}
+
+func TestLatencyDegreeUnknownMessage(t *testing.T) {
+	var c Collector
+	if _, ok := c.LatencyDegree(id(0, 1)); ok {
+		t.Error("unknown message must not report a degree")
+	}
+	c.OnCast(id(0, 1), 0, 0)
+	if _, ok := c.LatencyDegree(id(0, 1)); ok {
+		t.Error("undelivered message must not report a degree")
+	}
+}
+
+func TestDuplicateCastKeepsFirst(t *testing.T) {
+	var c Collector
+	m := id(0, 1)
+	c.OnCast(m, 1, 0)
+	c.OnCast(m, 99, 0)
+	c.OnDeliver(m, 0, 2, time.Millisecond)
+	deg, _ := c.LatencyDegree(m)
+	if deg != 1 {
+		t.Errorf("duplicate cast overwrote the first: degree %d", deg)
+	}
+}
+
+func TestDeliverBeforeCastDropped(t *testing.T) {
+	var c Collector
+	c.OnDeliver(id(0, 1), 0, 5, 0) // no cast recorded
+	if st := c.Snapshot(); st.MessagesDelivered != 0 {
+		t.Error("delivery without cast must not count")
+	}
+}
+
+func TestOnSendAccounting(t *testing.T) {
+	var c Collector
+	c.OnSend("a1", 0, 1, false, 1*time.Millisecond)
+	c.OnSend("a1", 0, 3, true, 2*time.Millisecond)
+	c.OnSend("cons", 1, 2, false, 3*time.Millisecond)
+	st := c.Snapshot()
+	if st.TotalMessages != 3 || st.InterGroupMessages != 1 {
+		t.Fatalf("total=%d inter=%d", st.TotalMessages, st.InterGroupMessages)
+	}
+	if pc := st.PerProtocol["a1"]; pc.Total != 2 || pc.InterGroup != 1 {
+		t.Errorf("a1 accounting: %+v", pc)
+	}
+	last, any := c.LastSend()
+	if !any || last != 3*time.Millisecond {
+		t.Errorf("LastSend = %v any=%v", last, any)
+	}
+}
+
+func TestLastSendWithNoSends(t *testing.T) {
+	var c Collector
+	if _, any := c.LastSend(); any {
+		t.Error("LastSend must report no sends on a fresh collector")
+	}
+}
+
+func TestSendLogDisabledByDefault(t *testing.T) {
+	var c Collector
+	c.OnSend("x", 0, 1, true, 0)
+	if len(c.Sends()) != 0 {
+		t.Error("send log must be off by default")
+	}
+	c2 := Collector{LogSends: true}
+	c2.OnSend("x", 0, 1, true, 0)
+	if len(c2.Sends()) != 1 {
+		t.Error("send log must record when enabled")
+	}
+	s := c2.Sends()[0]
+	if s.Proto != "x" || s.From != 0 || s.To != 1 || !s.InterGroup {
+		t.Errorf("send record = %+v", s)
+	}
+}
+
+func TestSnapshotAggregates(t *testing.T) {
+	var c Collector
+	for i := 0; i < 3; i++ {
+		m := id(0, i+1)
+		c.OnCast(m, int64(i), time.Duration(i)*time.Millisecond)
+		c.OnDeliver(m, 1, int64(i+1+i%2), time.Duration(10+i)*time.Millisecond)
+	}
+	c.OnCast(id(9, 9), 0, 0) // never delivered
+	st := c.Snapshot()
+	if st.MessagesCast != 4 || st.MessagesDelivered != 3 {
+		t.Fatalf("cast=%d delivered=%d", st.MessagesCast, st.MessagesDelivered)
+	}
+	if st.MinDegree != 1 || st.MaxDegree != 2 {
+		t.Errorf("degree range [%d..%d], want [1..2]", st.MinDegree, st.MaxDegree)
+	}
+	wantMean := (1.0 + 2.0 + 1.0) / 3.0
+	if st.MeanDegree != wantMean {
+		t.Errorf("mean degree %f, want %f", st.MeanDegree, wantMean)
+	}
+}
+
+func TestWallPercentiles(t *testing.T) {
+	var c Collector
+	// 100 messages with wall latencies 1ms..100ms.
+	for i := 1; i <= 100; i++ {
+		m := id(0, i)
+		c.OnCast(m, 0, 0)
+		c.OnDeliver(m, 1, 1, time.Duration(i)*time.Millisecond)
+	}
+	st := c.Snapshot()
+	if st.P50Wall != 50*time.Millisecond {
+		t.Errorf("p50 = %v, want 50ms", st.P50Wall)
+	}
+	if st.P95Wall != 95*time.Millisecond {
+		t.Errorf("p95 = %v, want 95ms", st.P95Wall)
+	}
+	if st.P99Wall != 99*time.Millisecond {
+		t.Errorf("p99 = %v, want 99ms", st.P99Wall)
+	}
+}
+
+func TestWallPercentilesSingleSample(t *testing.T) {
+	var c Collector
+	m := id(0, 1)
+	c.OnCast(m, 0, 0)
+	c.OnDeliver(m, 1, 1, 7*time.Millisecond)
+	st := c.Snapshot()
+	if st.P50Wall != 7*time.Millisecond || st.P99Wall != 7*time.Millisecond {
+		t.Errorf("single-sample percentiles: p50=%v p99=%v", st.P50Wall, st.P99Wall)
+	}
+}
+
+func TestConsensusCounter(t *testing.T) {
+	var c Collector
+	c.OnConsensusInstance()
+	c.OnConsensusInstance()
+	if st := c.Snapshot(); st.ConsensusInstances != 2 {
+		t.Errorf("consensus instances = %d", st.ConsensusInstances)
+	}
+}
+
+func TestDeliveriesAccessor(t *testing.T) {
+	var c Collector
+	m := id(1, 1)
+	c.OnCast(m, 0, 0)
+	c.OnDeliver(m, 2, 1, time.Millisecond)
+	ds := c.Deliveries(m)
+	if len(ds) != 1 || ds[0].Process != 2 || ds[0].TS != 1 {
+		t.Errorf("Deliveries = %+v", ds)
+	}
+	if c.Deliveries(id(8, 8)) != nil {
+		t.Error("unknown message must yield nil deliveries")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	var c Collector
+	c.OnSend("a1", 0, 1, true, 0)
+	m := id(0, 1)
+	c.OnCast(m, 0, 0)
+	c.OnDeliver(m, 1, 2, time.Millisecond)
+	s := c.Snapshot().String()
+	for _, frag := range []string{"msgs=1", "inter-group=1", "a1", "degree=[2..2]"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("Stats.String() missing %q in %q", frag, s)
+		}
+	}
+}

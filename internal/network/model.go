@@ -1,0 +1,65 @@
+// Package network models link delays for the simulated WAN.
+//
+// The paper's setting (§1): processes inside a group communicate over
+// "high-end local links" while groups are interconnected through
+// "high-latency communication links ... orders of magnitude slower". The
+// model captures exactly that: one delay for intra-group links, one for
+// inter-group links, optional uniform jitter, and an optional per-pair
+// override for irregular topologies. Links are quasi-reliable (§2.1): no
+// loss, no corruption, no duplication — delay is the only effect.
+package network
+
+import (
+	"math/rand"
+	"time"
+
+	"wanamcast/internal/types"
+)
+
+// Model describes link delays. The zero value gives a zero-latency network,
+// which is still a valid asynchronous run (latency degrees are unaffected:
+// they count hops via Lamport clocks, not wall time).
+type Model struct {
+	// IntraGroup is the one-way delay between processes of the same group.
+	IntraGroup time.Duration
+	// InterGroup is the one-way delay between processes of different groups.
+	InterGroup time.Duration
+	// Jitter, if positive, adds a uniformly distributed extra delay in
+	// [0, Jitter) to every message, drawn from the run's seeded RNG.
+	Jitter time.Duration
+	// PairDelay, if non-nil, overrides the base delay for a (from, to)
+	// pair when it returns ok=true. Jitter still applies on top.
+	PairDelay func(from, to types.ProcessID) (time.Duration, bool)
+}
+
+// WAN returns the default wide-area model used across the benchmarks:
+// 1 ms local links and interGroup one-way delay between groups.
+func WAN(interGroup time.Duration) Model {
+	return Model{IntraGroup: 1 * time.Millisecond, InterGroup: interGroup}
+}
+
+// Delay returns the one-way delay for a message from from to to. rng may be
+// nil when Jitter is zero.
+func (m Model) Delay(topo *types.Topology, from, to types.ProcessID, rng *rand.Rand) time.Duration {
+	var d time.Duration
+	if m.PairDelay != nil {
+		if override, ok := m.PairDelay(from, to); ok {
+			d = override
+		} else {
+			d = m.baseDelay(topo, from, to)
+		}
+	} else {
+		d = m.baseDelay(topo, from, to)
+	}
+	if m.Jitter > 0 && rng != nil {
+		d += time.Duration(rng.Int63n(int64(m.Jitter)))
+	}
+	return d
+}
+
+func (m Model) baseDelay(topo *types.Topology, from, to types.ProcessID) time.Duration {
+	if topo.SameGroup(from, to) {
+		return m.IntraGroup
+	}
+	return m.InterGroup
+}

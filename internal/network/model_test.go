@@ -1,0 +1,96 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"wanamcast/internal/types"
+)
+
+func TestBaseDelays(t *testing.T) {
+	topo := types.NewTopology(2, 2)
+	m := Model{IntraGroup: time.Millisecond, InterGroup: 100 * time.Millisecond}
+	if d := m.Delay(topo, 0, 1, nil); d != time.Millisecond {
+		t.Errorf("intra delay = %v", d)
+	}
+	if d := m.Delay(topo, 0, 2, nil); d != 100*time.Millisecond {
+		t.Errorf("inter delay = %v", d)
+	}
+	if d := m.Delay(topo, 0, 0, nil); d != time.Millisecond {
+		t.Errorf("self delay = %v (self counts as intra)", d)
+	}
+}
+
+func TestZeroModel(t *testing.T) {
+	topo := types.NewTopology(2, 2)
+	var m Model
+	if d := m.Delay(topo, 0, 3, nil); d != 0 {
+		t.Errorf("zero model delay = %v", d)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	topo := types.NewTopology(2, 2)
+	m := Model{IntraGroup: time.Millisecond, InterGroup: 10 * time.Millisecond, Jitter: 5 * time.Millisecond}
+	rng := rand.New(rand.NewSource(1))
+	sawNonBase := false
+	for i := 0; i < 200; i++ {
+		d := m.Delay(topo, 0, 2, rng)
+		if d < 10*time.Millisecond || d >= 15*time.Millisecond {
+			t.Fatalf("jittered delay %v out of [10ms,15ms)", d)
+		}
+		if d != 10*time.Millisecond {
+			sawNonBase = true
+		}
+	}
+	if !sawNonBase {
+		t.Error("jitter never moved the delay")
+	}
+}
+
+func TestJitterDeterministicPerSeed(t *testing.T) {
+	topo := types.NewTopology(2, 2)
+	m := Model{InterGroup: 10 * time.Millisecond, Jitter: 5 * time.Millisecond}
+	sample := func(seed int64) []time.Duration {
+		rng := rand.New(rand.NewSource(seed))
+		out := make([]time.Duration, 20)
+		for i := range out {
+			out[i] = m.Delay(topo, 0, 2, rng)
+		}
+		return out
+	}
+	a, b := sample(7), sample(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("jitter not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestPairDelayOverride(t *testing.T) {
+	topo := types.NewTopology(2, 2)
+	m := Model{
+		IntraGroup: time.Millisecond,
+		InterGroup: 100 * time.Millisecond,
+		PairDelay: func(from, to types.ProcessID) (time.Duration, bool) {
+			if from == 0 && to == 2 {
+				return 7 * time.Millisecond, true
+			}
+			return 0, false
+		},
+	}
+	if d := m.Delay(topo, 0, 2, nil); d != 7*time.Millisecond {
+		t.Errorf("override ignored: %v", d)
+	}
+	if d := m.Delay(topo, 2, 0, nil); d != 100*time.Millisecond {
+		t.Errorf("non-overridden pair = %v, want base", d)
+	}
+}
+
+func TestWANConstructor(t *testing.T) {
+	m := WAN(50 * time.Millisecond)
+	if m.IntraGroup != time.Millisecond || m.InterGroup != 50*time.Millisecond {
+		t.Errorf("WAN model = %+v", m)
+	}
+}

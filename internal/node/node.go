@@ -1,0 +1,262 @@
+// Package node hosts the per-process protocol runtime shared by the
+// simulated and the live transports.
+//
+// Every protocol in this repository (consensus, reliable multicast, the
+// paper's A1 and A2, and all baselines) is written as an event-driven state
+// machine against the API interface: it reacts to Start, incoming messages,
+// and timers, and emits point-to-point sends. The runtime guarantees the
+// paper's "each line is executed atomically" semantics by executing all
+// events of a process sequentially, and it maintains the modified Lamport
+// clock of §2.3 (ticking only on inter-group sends) used to measure latency
+// degrees.
+package node
+
+import (
+	"fmt"
+	"time"
+
+	"wanamcast/internal/types"
+)
+
+// Protocol is an event-driven protocol instance bound to one process.
+type Protocol interface {
+	// Proto returns the wire label that routes messages to this protocol.
+	// It must be unique among the protocols registered on a process.
+	Proto() string
+	// Start runs once when the system starts, before any message delivery.
+	Start()
+	// Receive handles a message from another process (or from self).
+	Receive(from types.ProcessID, body any)
+}
+
+// API is the environment a protocol sees. It is implemented by *Proc.
+type API interface {
+	// Self returns the identity of the hosting process.
+	Self() types.ProcessID
+	// Group returns group(Self()).
+	Group() types.GroupID
+	// Topo returns the immutable system topology.
+	Topo() *types.Topology
+	// Send transmits body to process to under the given protocol label.
+	// Sending to self is delivered locally without touching the network
+	// (and without counting as a message). Sends from a crashed process
+	// are dropped.
+	Send(to types.ProcessID, proto string, body any)
+	// Multicast transmits body to every process in tos as ONE logical
+	// send event: the §2.3 clock ticks once if any destination lies
+	// outside the sender's group, and every copy carries that single
+	// timestamp. This mirrors the paper's "send m to {q | ...}"
+	// statements, whose proofs treat the fan-out as one event (e.g.
+	// Theorem 4.1: all (TS, m) copies share one timestamp). Message
+	// accounting still counts every copy individually.
+	Multicast(tos []types.ProcessID, proto string, body any)
+	// After schedules fn on this process after delay d. The callback does
+	// not run if the process has crashed by then.
+	After(d time.Duration, fn func())
+	// Now returns the current (virtual or wall) time of the run.
+	Now() time.Duration
+	// Clock returns the process's current modified Lamport clock (§2.3).
+	Clock() int64
+	// Crashed reports whether the hosting process has crashed.
+	Crashed() bool
+	// RecordCast reports an A-XCast event for metrics; the event is local,
+	// so its timestamp is the current clock.
+	RecordCast(id types.MessageID)
+	// RecordDeliver reports an A-Deliver event for metrics.
+	RecordDeliver(id types.MessageID)
+	// RecordConsensus reports completion of a consensus instance.
+	RecordConsensus()
+	// Tracef emits a debug trace line when tracing is enabled.
+	Tracef(format string, args ...any)
+}
+
+// Registrar is the registration surface protocol constructors use to attach
+// themselves (and their sub-protocols) to a process. *Proc implements it.
+type Registrar interface {
+	API
+	// Register attaches a protocol to the process's dispatch table.
+	Register(proto Protocol)
+}
+
+// Recorder receives measurement events. *metrics.Collector implements it;
+// the live runtime wraps it with a lock.
+type Recorder interface {
+	OnSend(proto string, from, to types.ProcessID, interGroup bool, at time.Duration)
+	OnCast(id types.MessageID, lamportTS int64, at time.Duration)
+	OnDeliver(id types.MessageID, p types.ProcessID, lamportTS int64, at time.Duration)
+	OnConsensusInstance()
+}
+
+// NopRecorder is a Recorder that discards everything.
+type NopRecorder struct{}
+
+func (NopRecorder) OnSend(string, types.ProcessID, types.ProcessID, bool, time.Duration) {}
+func (NopRecorder) OnCast(types.MessageID, int64, time.Duration)                         {}
+func (NopRecorder) OnDeliver(types.MessageID, types.ProcessID, int64, time.Duration)     {}
+func (NopRecorder) OnConsensusInstance()                                                 {}
+
+var _ Recorder = NopRecorder{}
+
+// Env is the transport/scheduling backend a Proc runs on. The simulated
+// runtime (this package) and the live TCP runtime implement it.
+type Env interface {
+	Now() time.Duration
+	// Transmit delivers body to process to with the given send timestamp.
+	// from has already updated its clock; the env applies network delay,
+	// accounting, and crash filtering.
+	Transmit(from, to types.ProcessID, proto string, body any, sendTS int64)
+	// Later schedules fn on process owner after d; fn must not run if the
+	// owner crashed in the meantime (the Proc re-checks, but the env may
+	// also drop it).
+	Later(owner *Proc, d time.Duration, fn func())
+	Recorder() Recorder
+	Tracef(format string, args ...any)
+}
+
+// Proc is one process: a Lamport clock, a crash flag, and a protocol
+// registry. Construct with NewProc.
+type Proc struct {
+	id      types.ProcessID
+	group   types.GroupID
+	topo    *types.Topology
+	env     Env
+	clock   int64
+	crashed bool
+	protos  map[string]Protocol
+	order   []string // registration order, for deterministic Start
+}
+
+var _ API = (*Proc)(nil)
+
+// NewProc creates a process bound to env.
+func NewProc(id types.ProcessID, topo *types.Topology, env Env) *Proc {
+	return &Proc{
+		id:     id,
+		group:  topo.GroupOf(id),
+		topo:   topo,
+		env:    env,
+		protos: make(map[string]Protocol),
+	}
+}
+
+// Register adds a protocol to the process. It panics on a duplicate label:
+// that is a wiring bug, not a runtime condition.
+func (p *Proc) Register(proto Protocol) {
+	name := proto.Proto()
+	if _, dup := p.protos[name]; dup {
+		panic(fmt.Sprintf("node: duplicate protocol %q on %v", name, p.id))
+	}
+	p.protos[name] = proto
+	p.order = append(p.order, name)
+}
+
+// StartAll runs Start on every registered protocol in registration order.
+func (p *Proc) StartAll() {
+	for _, name := range p.order {
+		p.protos[name].Start()
+	}
+}
+
+// Self implements API.
+func (p *Proc) Self() types.ProcessID { return p.id }
+
+// Group implements API.
+func (p *Proc) Group() types.GroupID { return p.group }
+
+// Topo implements API.
+func (p *Proc) Topo() *types.Topology { return p.topo }
+
+// Now implements API.
+func (p *Proc) Now() time.Duration { return p.env.Now() }
+
+// Clock implements API.
+func (p *Proc) Clock() int64 { return p.clock }
+
+// Crashed implements API.
+func (p *Proc) Crashed() bool { return p.crashed }
+
+// Crash marks the process as crashed: it stops sending, receiving, and
+// running timers. Crash-stop (§2.1): there is no recovery.
+func (p *Proc) Crash() { p.crashed = true }
+
+// Send implements API. It applies the §2.3 clock rule for send events:
+// inter-group sends tick the clock; intra-group sends do not.
+func (p *Proc) Send(to types.ProcessID, proto string, body any) {
+	p.Multicast([]types.ProcessID{to}, proto, body)
+}
+
+// Multicast implements API.
+func (p *Proc) Multicast(tos []types.ProcessID, proto string, body any) {
+	if p.crashed || len(tos) == 0 {
+		return
+	}
+	interGroup := false
+	for _, q := range tos {
+		if q != p.id && p.topo.GroupOf(q) != p.group {
+			interGroup = true
+			break
+		}
+	}
+	ts := p.clock
+	if interGroup {
+		ts = p.clock + 1
+		p.clock = ts
+	}
+	for _, q := range tos {
+		// Self-sends also go through Transmit: the env delivers them with
+		// the intra-group delay (keeping group members symmetric) but does
+		// not count them as network messages.
+		p.env.Transmit(p.id, q, proto, body, ts)
+	}
+}
+
+// After implements API.
+func (p *Proc) After(d time.Duration, fn func()) {
+	p.env.Later(p, d, func() {
+		if p.crashed {
+			return
+		}
+		fn()
+	})
+}
+
+// RecordCast implements API.
+func (p *Proc) RecordCast(id types.MessageID) {
+	p.env.Recorder().OnCast(id, p.clock, p.env.Now())
+}
+
+// RecordDeliver implements API.
+func (p *Proc) RecordDeliver(id types.MessageID) {
+	p.env.Recorder().OnDeliver(id, p.id, p.clock, p.env.Now())
+}
+
+// RecordConsensus implements API.
+func (p *Proc) RecordConsensus() { p.env.Recorder().OnConsensusInstance() }
+
+// Tracef implements API.
+func (p *Proc) Tracef(format string, args ...any) {
+	p.env.Tracef("%v t=%v lc=%d "+format, append([]any{p.id, p.env.Now(), p.clock}, args...)...)
+}
+
+// deliver applies the receive clock rule and dispatches to the protocol.
+// The env calls it (via Deliver) when a transmitted message arrives.
+func (p *Proc) deliver(from types.ProcessID, proto string, body any, sendTS int64) {
+	if p.crashed {
+		return
+	}
+	if sendTS > p.clock {
+		p.clock = sendTS
+	}
+	handler, ok := p.protos[proto]
+	if !ok {
+		// A message for an unregistered protocol is a wiring bug.
+		panic(fmt.Sprintf("node: %v received message for unknown protocol %q", p.id, proto))
+	}
+	handler.Receive(from, body)
+}
+
+// Deliver hands an incoming network message to the process. Envs call this
+// at delivery time.
+func (p *Proc) Deliver(from types.ProcessID, proto string, body any, sendTS int64) {
+	p.deliver(from, proto, body, sendTS)
+}

@@ -1,0 +1,309 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"wanamcast/internal/metrics"
+	"wanamcast/internal/network"
+	"wanamcast/internal/types"
+)
+
+// echo is a test protocol that records receptions and can send on demand.
+type echo struct {
+	api      API
+	label    string
+	received []recv
+}
+
+type recv struct {
+	from types.ProcessID
+	body any
+}
+
+func (e *echo) Proto() string { return e.label }
+func (e *echo) Start()        {}
+func (e *echo) Receive(from types.ProcessID, body any) {
+	e.received = append(e.received, recv{from, body})
+}
+
+func newTestRT(groups, per int) (*Runtime, *metrics.Collector) {
+	col := &metrics.Collector{LogSends: true}
+	topo := types.NewTopology(groups, per)
+	model := network.Model{IntraGroup: time.Millisecond, InterGroup: 100 * time.Millisecond}
+	rt := NewRuntime(topo, model, 1, col)
+	return rt, col
+}
+
+func register(rt *Runtime) []*echo {
+	es := make([]*echo, rt.Topo().N())
+	for _, id := range rt.Topo().AllProcesses() {
+		e := &echo{api: rt.Proc(id), label: "echo"}
+		rt.Proc(id).Register(e)
+		es[id] = e
+	}
+	rt.Start()
+	return es
+}
+
+// TestClockRulesIntraGroup: intra-group sends do not tick the clock (§2.3
+// rule 2, same-group case).
+func TestClockRulesIntraGroup(t *testing.T) {
+	rt, _ := newTestRT(2, 2)
+	es := register(rt)
+	rt.Proc(0).Send(1, "echo", "x")
+	rt.Run()
+	if rt.Proc(0).Clock() != 0 {
+		t.Errorf("sender clock = %d, want 0 (intra-group send)", rt.Proc(0).Clock())
+	}
+	if rt.Proc(1).Clock() != 0 {
+		t.Errorf("receiver clock = %d, want 0", rt.Proc(1).Clock())
+	}
+	if len(es[1].received) != 1 {
+		t.Fatal("message not delivered")
+	}
+}
+
+// TestClockRulesInterGroup: inter-group sends tick the sender and propagate
+// via max at the receiver (§2.3 rules 2 and 3).
+func TestClockRulesInterGroup(t *testing.T) {
+	rt, _ := newTestRT(2, 2)
+	register(rt)
+	rt.Proc(0).Send(2, "echo", "x")
+	rt.Run()
+	if rt.Proc(0).Clock() != 1 {
+		t.Errorf("sender clock = %d, want 1", rt.Proc(0).Clock())
+	}
+	if rt.Proc(2).Clock() != 1 {
+		t.Errorf("receiver clock = %d, want 1", rt.Proc(2).Clock())
+	}
+}
+
+// TestMulticastTicksOnce: a fan-out with any inter-group destination is one
+// send event — one tick, one shared timestamp (the Theorem 4.1 accounting).
+func TestMulticastTicksOnce(t *testing.T) {
+	rt, _ := newTestRT(2, 2)
+	register(rt)
+	rt.Proc(0).Multicast([]types.ProcessID{1, 2, 3}, "echo", "x")
+	rt.Run()
+	if rt.Proc(0).Clock() != 1 {
+		t.Errorf("sender clock = %d, want 1 (single tick for the fan-out)", rt.Proc(0).Clock())
+	}
+	// The intra-group recipient also carries the fan-out's timestamp.
+	if rt.Proc(1).Clock() != 1 {
+		t.Errorf("intra recipient clock = %d, want 1", rt.Proc(1).Clock())
+	}
+}
+
+// TestMulticastIntraOnlyNoTick: a fan-out entirely within the group does
+// not tick.
+func TestMulticastIntraOnlyNoTick(t *testing.T) {
+	rt, _ := newTestRT(2, 3)
+	register(rt)
+	rt.Proc(0).Multicast([]types.ProcessID{1, 2}, "echo", "x")
+	rt.Run()
+	if rt.Proc(0).Clock() != 0 {
+		t.Errorf("sender clock = %d, want 0", rt.Proc(0).Clock())
+	}
+}
+
+// TestReceiveTakesMax: receiving an older timestamp does not lower the
+// clock.
+func TestReceiveTakesMax(t *testing.T) {
+	rt, _ := newTestRT(3, 1)
+	register(rt)
+	// p0 sends to p2 twice with ticks in between; p2's clock is the max.
+	rt.Proc(0).Send(2, "echo", "a") // ts 1
+	rt.Proc(0).Send(2, "echo", "b") // ts 2
+	rt.Proc(1).Send(2, "echo", "c") // ts 1 (older)
+	rt.Run()
+	if rt.Proc(2).Clock() != 2 {
+		t.Errorf("receiver clock = %d, want 2", rt.Proc(2).Clock())
+	}
+}
+
+func TestSelfSendDeliversWithoutCounting(t *testing.T) {
+	rt, col := newTestRT(1, 2)
+	es := register(rt)
+	rt.Proc(0).Send(0, "echo", "self")
+	rt.Run()
+	if len(es[0].received) != 1 || es[0].received[0].from != 0 {
+		t.Fatalf("self-send not delivered: %+v", es[0].received)
+	}
+	if st := col.Snapshot(); st.TotalMessages != 0 {
+		t.Errorf("self-send counted as %d network messages", st.TotalMessages)
+	}
+}
+
+func TestSelfSendTakesIntraDelay(t *testing.T) {
+	rt, _ := newTestRT(1, 2)
+	var at time.Duration
+	p := rt.Proc(0)
+	e := &echo{api: p, label: "echo"}
+	p.Register(e)
+	p.Register(&hook{label: "t", fn: func() {}})
+	rt.Proc(1).Register(&echo{label: "echo"})
+	rt.Proc(1).Register(&hook{label: "t", fn: func() {}})
+	rt.Start()
+	p.Send(0, "echo", "x")
+	rt.Scheduler().At(0, func() {})
+	rt.Run()
+	_ = at
+	// Delivery is scheduled with the intra-group delay (1ms), keeping
+	// group members symmetric.
+	if len(e.received) != 1 {
+		t.Fatal("self message lost")
+	}
+	if got := rt.Now(); got != time.Millisecond {
+		t.Errorf("self-send delivered at %v, want 1ms", got)
+	}
+}
+
+type hook struct {
+	label string
+	fn    func()
+}
+
+func (h *hook) Proto() string                { return h.label }
+func (h *hook) Start()                       { h.fn() }
+func (h *hook) Receive(types.ProcessID, any) {}
+
+func TestCrashedProcessStopsSendingAndReceiving(t *testing.T) {
+	rt, col := newTestRT(2, 1)
+	es := register(rt)
+	rt.Proc(0).Send(1, "echo", "pre") // in flight
+	rt.Crash(1)
+	rt.Proc(1).Send(0, "echo", "from-crashed")
+	rt.Run()
+	if len(es[1].received) != 0 {
+		t.Error("crashed process received a message")
+	}
+	if len(es[0].received) != 0 {
+		t.Error("crashed process's send was transmitted")
+	}
+	// The pre-crash send still counts as sent.
+	if st := col.Snapshot(); st.TotalMessages != 1 {
+		t.Errorf("messages = %d, want 1", st.TotalMessages)
+	}
+}
+
+func TestCrashCancelsTimers(t *testing.T) {
+	rt, _ := newTestRT(1, 1)
+	fired := false
+	p := rt.Proc(0)
+	p.Register(&hook{label: "h", fn: func() {
+		p.After(10*time.Millisecond, func() { fired = true })
+	}})
+	rt.Start()
+	rt.CrashAt(0, 5*time.Millisecond)
+	rt.Run()
+	if fired {
+		t.Error("timer fired on a crashed process")
+	}
+}
+
+func TestCrashNotifiesOracleAfterSuspicionDelay(t *testing.T) {
+	rt, _ := newTestRT(1, 2)
+	register(rt)
+	rt.SuspicionDelay = 20 * time.Millisecond
+	rt.Crash(0)
+	rt.RunUntil(10 * time.Millisecond)
+	if rt.Oracle().Suspected(0) {
+		t.Error("suspected before the suspicion delay")
+	}
+	rt.RunUntil(30 * time.Millisecond)
+	if !rt.Oracle().Suspected(0) {
+		t.Error("not suspected after the suspicion delay")
+	}
+	if rt.Oracle().Leader(0) != 1 {
+		t.Error("leadership did not move")
+	}
+}
+
+func TestDuplicateProtocolPanics(t *testing.T) {
+	rt, _ := newTestRT(1, 1)
+	p := rt.Proc(0)
+	p.Register(&echo{label: "dup"})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate protocol")
+		}
+	}()
+	p.Register(&echo{label: "dup"})
+}
+
+func TestUnknownProtocolPanics(t *testing.T) {
+	rt, _ := newTestRT(1, 2)
+	register(rt)
+	rt.Proc(0).Send(1, "nope", "x")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on unknown protocol")
+		}
+	}()
+	rt.Run()
+}
+
+func TestStartTwicePanics(t *testing.T) {
+	rt, _ := newTestRT(1, 1)
+	rt.Start()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on double Start")
+		}
+	}()
+	rt.Start()
+}
+
+func TestStartOrderIsRegistrationOrder(t *testing.T) {
+	rt, _ := newTestRT(1, 1)
+	var order []string
+	p := rt.Proc(0)
+	p.Register(&hook{label: "a", fn: func() { order = append(order, "a") }})
+	p.Register(&hook{label: "b", fn: func() { order = append(order, "b") }})
+	rt.Start()
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Errorf("start order = %v", order)
+	}
+}
+
+func TestInterGroupDeliveryDelay(t *testing.T) {
+	rt, _ := newTestRT(2, 1)
+	es := register(rt)
+	rt.Proc(0).Send(1, "echo", "x")
+	rt.RunUntil(99 * time.Millisecond)
+	if len(es[1].received) != 0 {
+		t.Error("inter-group message arrived before the WAN delay")
+	}
+	rt.RunUntil(101 * time.Millisecond)
+	if len(es[1].received) != 1 {
+		t.Error("inter-group message did not arrive after the WAN delay")
+	}
+}
+
+func TestRecordersReceiveCastAndDeliver(t *testing.T) {
+	rt, col := newTestRT(2, 1)
+	register(rt)
+	id := types.MessageID{Origin: 0, Seq: 1}
+	rt.Proc(0).RecordCast(id)
+	rt.Proc(0).Send(1, "echo", "x") // tick
+	rt.Proc(1).RecordDeliver(id)    // receiver clock still 0 until delivery...
+	rt.Run()
+	deg, ok := col.LatencyDegree(id)
+	if !ok || deg != 0 {
+		t.Errorf("degree = %d ok=%v (deliver recorded before reception)", deg, ok)
+	}
+}
+
+func TestEmptyMulticastIsNoop(t *testing.T) {
+	rt, col := newTestRT(2, 1)
+	register(rt)
+	rt.Proc(0).Multicast(nil, "echo", "x")
+	rt.Run()
+	if rt.Proc(0).Clock() != 0 {
+		t.Error("empty multicast ticked the clock")
+	}
+	if st := col.Snapshot(); st.TotalMessages != 0 {
+		t.Error("empty multicast sent messages")
+	}
+}

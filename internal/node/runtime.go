@@ -1,0 +1,148 @@
+package node
+
+import (
+	"fmt"
+	"time"
+
+	"wanamcast/internal/fd"
+	"wanamcast/internal/network"
+	"wanamcast/internal/sim"
+	"wanamcast/internal/types"
+)
+
+// Runtime is the simulated whole-system runtime: it owns the scheduler, the
+// network model, one Proc per process, the failure-detector oracle, and the
+// metrics recorder. It implements Env.
+type Runtime struct {
+	sched  *sim.Scheduler
+	topo   *types.Topology
+	model  network.Model
+	rec    Recorder
+	oracle *fd.Oracle
+	procs  []*Proc
+
+	// SuspicionDelay is how long after a crash the Ω oracle starts
+	// suspecting the crashed process. It models failure-detection lag.
+	SuspicionDelay time.Duration
+
+	// Trace, if non-nil, receives debug trace lines.
+	Trace func(format string, args ...any)
+
+	started bool
+}
+
+var _ Env = (*Runtime)(nil)
+
+// NewRuntime builds a simulated system over topo with the given network
+// model and RNG seed. rec may be nil to discard metrics.
+func NewRuntime(topo *types.Topology, model network.Model, seed int64, rec Recorder) *Runtime {
+	if rec == nil {
+		rec = NopRecorder{}
+	}
+	rt := &Runtime{
+		sched:          sim.New(seed),
+		topo:           topo,
+		model:          model,
+		rec:            rec,
+		oracle:         fd.NewOracle(topo),
+		SuspicionDelay: 20 * time.Millisecond,
+	}
+	rt.procs = make([]*Proc, topo.N())
+	for _, id := range topo.AllProcesses() {
+		rt.procs[id] = NewProc(id, topo, rt)
+	}
+	return rt
+}
+
+// Proc returns the process with the given ID.
+func (rt *Runtime) Proc(id types.ProcessID) *Proc { return rt.procs[id] }
+
+// Topo returns the system topology.
+func (rt *Runtime) Topo() *types.Topology { return rt.topo }
+
+// Oracle returns the simulation's Ω oracle.
+func (rt *Runtime) Oracle() *fd.Oracle { return rt.oracle }
+
+// Scheduler returns the underlying discrete-event scheduler.
+func (rt *Runtime) Scheduler() *sim.Scheduler { return rt.sched }
+
+// Start invokes Start on every protocol of every process, in process order.
+// It must be called exactly once, after all protocols are registered.
+func (rt *Runtime) Start() {
+	if rt.started {
+		panic("node: Runtime.Start called twice")
+	}
+	rt.started = true
+	for _, p := range rt.procs {
+		p.StartAll()
+	}
+}
+
+// Run drains the event queue and returns the number of events executed.
+func (rt *Runtime) Run() uint64 { return rt.sched.Run() }
+
+// RunUntil executes events up to the virtual-time deadline.
+func (rt *Runtime) RunUntil(deadline time.Duration) uint64 { return rt.sched.RunUntil(deadline) }
+
+// Now implements Env.
+func (rt *Runtime) Now() time.Duration { return rt.sched.Now() }
+
+// Recorder implements Env.
+func (rt *Runtime) Recorder() Recorder { return rt.rec }
+
+// Tracef implements Env.
+func (rt *Runtime) Tracef(format string, args ...any) {
+	if rt.Trace != nil {
+		rt.Trace(format, args...)
+	}
+}
+
+// Transmit implements Env: it accounts the send, applies the network delay,
+// and delivers unless the receiver has crashed by arrival time. Self-sends
+// take the intra-group delay but are not counted as network messages.
+func (rt *Runtime) Transmit(from, to types.ProcessID, proto string, body any, sendTS int64) {
+	interGroup := !rt.topo.SameGroup(from, to)
+	if from != to {
+		rt.rec.OnSend(proto, from, to, interGroup, rt.sched.Now())
+	}
+	rt.Tracef("SEND %v->%v %s ts=%d %+v", from, to, proto, sendTS, body)
+	delay := rt.model.Delay(rt.topo, from, to, rt.sched.Rand())
+	prio := 0
+	if interGroup {
+		prio = 1 // at equal instants, local events precede WAN arrivals
+	}
+	receiver := rt.procs[to]
+	rt.sched.AfterPrio(delay, prio, func() {
+		receiver.Deliver(from, proto, body, sendTS)
+	})
+}
+
+// Later implements Env.
+func (rt *Runtime) Later(owner *Proc, d time.Duration, fn func()) {
+	rt.sched.After(d, fn)
+}
+
+// Crash crashes process id now: it stops sending and receiving immediately,
+// and the Ω oracle suspects it after SuspicionDelay.
+func (rt *Runtime) Crash(id types.ProcessID) {
+	p := rt.procs[id]
+	if p.Crashed() {
+		return
+	}
+	p.Crash()
+	rt.Tracef("CRASH %v at %v", id, rt.sched.Now())
+	rt.sched.After(rt.SuspicionDelay, func() {
+		rt.oracle.Suspect(id)
+	})
+}
+
+// CrashAt schedules a crash of id at virtual time at.
+func (rt *Runtime) CrashAt(id types.ProcessID, at time.Duration) {
+	rt.sched.At(at, func() { rt.Crash(id) })
+}
+
+// String summarises the runtime configuration.
+func (rt *Runtime) String() string {
+	return fmt.Sprintf("sim runtime: %d groups, %d processes, intra=%v inter=%v",
+		rt.topo.NumGroups(), rt.topo.N(), rt.model.IntraGroup, rt.model.InterGroup)
+}

@@ -1,0 +1,162 @@
+// Package sim provides a deterministic discrete-event scheduler used as the
+// virtual-time substrate for every simulated run in this repository.
+//
+// The paper's system model (§2.1) is asynchronous: messages experience
+// arbitrary but finite delays. The scheduler realises admissible runs of
+// that model by executing events in virtual-time order with deterministic
+// tie-breaking, so every experiment is exactly reproducible from its seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	at   time.Duration
+	prio int    // at equal times, lower priority class runs first
+	seq  uint64 // insertion order, the final deterministic tie-break
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is a single-threaded discrete-event executor. The zero value is
+// not usable; construct with New. Schedulers are not safe for concurrent
+// use: all protocol code in a simulation runs on the scheduler goroutine,
+// which also gives us the paper's "each line executes atomically" semantics
+// for free.
+type Scheduler struct {
+	queue eventHeap
+	now   time.Duration
+	seq   uint64
+	rng   *rand.Rand
+	steps uint64
+	// MaxSteps bounds Run to guard against livelock in buggy protocols;
+	// zero means no bound.
+	MaxSteps uint64
+}
+
+// New returns a scheduler whose random source is seeded with seed, so runs
+// are reproducible.
+func New(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Rand returns the scheduler's deterministic random source.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn to run at absolute virtual time at with priority class 0.
+// Scheduling in the past (at < Now) runs fn at the current time, preserving
+// FIFO order with other already-due events.
+func (s *Scheduler) At(at time.Duration, fn func()) { s.AtPrio(at, 0, fn) }
+
+// AtPrio schedules fn at absolute virtual time at with an explicit priority
+// class. Among events with equal timestamps, lower classes run first; the
+// simulated runtime uses class 1 for inter-group deliveries so that, within
+// one virtual instant, local and intra-group events happen "faster" than
+// wide-area arrivals — matching the paper's premise that local links are
+// orders of magnitude faster (§1) and realising the canonical runs of
+// Theorems 4.1 and 5.1 deterministically.
+func (s *Scheduler) AtPrio(at time.Duration, prio int, fn func()) {
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: at, prio: prio, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d from the current virtual time (class 0).
+func (s *Scheduler) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.now+d, fn)
+}
+
+// AfterPrio schedules fn to run d from now with the given priority class.
+func (s *Scheduler) AfterPrio(d time.Duration, prio int, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.AtPrio(s.now+d, prio, fn)
+}
+
+// Step executes the single earliest pending event and returns true, or
+// returns false if the queue is empty.
+func (s *Scheduler) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*event)
+	s.now = e.at
+	s.steps++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue drains. It returns the number of
+// events executed. If MaxSteps is set and reached, Run panics: a protocol
+// that never quiesces under a finite workload is a bug the tests must see.
+func (s *Scheduler) Run() uint64 {
+	start := s.steps
+	for s.Step() {
+		if s.MaxSteps != 0 && s.steps >= s.MaxSteps {
+			panic(fmt.Sprintf("sim: exceeded MaxSteps=%d at virtual time %v", s.MaxSteps, s.now))
+		}
+	}
+	return s.steps - start
+}
+
+// RunUntil executes events with timestamps ≤ deadline and then advances the
+// clock to deadline. Events scheduled beyond the deadline stay queued. It
+// returns the number of events executed.
+func (s *Scheduler) RunUntil(deadline time.Duration) uint64 {
+	start := s.steps
+	for len(s.queue) > 0 && s.queue[0].at <= deadline {
+		s.Step()
+		if s.MaxSteps != 0 && s.steps >= s.MaxSteps {
+			panic(fmt.Sprintf("sim: exceeded MaxSteps=%d at virtual time %v", s.MaxSteps, s.now))
+		}
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return s.steps - start
+}
+
+// Pending returns the number of queued events.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// Steps returns the total number of events executed so far.
+func (s *Scheduler) Steps() uint64 { return s.steps }

@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestRunExecutesInTimeOrder(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.At(30*time.Millisecond, func() { got = append(got, 3) })
+	s.At(10*time.Millisecond, func() { got = append(got, 1) })
+	s.At(20*time.Millisecond, func() { got = append(got, 2) })
+	if n := s.Run(); n != 3 {
+		t.Fatalf("Run executed %d events, want 3", n)
+	}
+	for i, v := range []int{1, 2, 3} {
+		if got[i] != v {
+			t.Fatalf("order = %v", got)
+		}
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Errorf("Now = %v, want 30ms", s.Now())
+	}
+}
+
+func TestTiesBreakByInsertionOrder(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("tie order = %v", got)
+		}
+	}
+}
+
+func TestPriorityClassesBeatInsertionOrder(t *testing.T) {
+	s := New(1)
+	var got []string
+	s.AtPrio(5*time.Millisecond, 1, func() { got = append(got, "wan") })
+	s.AtPrio(5*time.Millisecond, 0, func() { got = append(got, "local") })
+	s.Run()
+	if got[0] != "local" || got[1] != "wan" {
+		t.Fatalf("priority order = %v", got)
+	}
+}
+
+func TestAfterIsRelative(t *testing.T) {
+	s := New(1)
+	var at time.Duration
+	s.At(10*time.Millisecond, func() {
+		s.After(5*time.Millisecond, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 15*time.Millisecond {
+		t.Errorf("nested After fired at %v, want 15ms", at)
+	}
+}
+
+func TestSchedulingInThePastRunsNow(t *testing.T) {
+	s := New(1)
+	var at time.Duration
+	s.At(10*time.Millisecond, func() {
+		s.At(2*time.Millisecond, func() { at = s.Now() }) // in the past
+	})
+	s.Run()
+	if at != 10*time.Millisecond {
+		t.Errorf("past event fired at %v, want 10ms (no time travel)", at)
+	}
+}
+
+func TestNegativeAfterClampsToZero(t *testing.T) {
+	s := New(1)
+	ran := false
+	s.After(-time.Second, func() { ran = true })
+	s.Run()
+	if !ran || s.Now() != 0 {
+		t.Errorf("negative After: ran=%v now=%v", ran, s.Now())
+	}
+}
+
+func TestRunUntilLeavesFutureEventsQueued(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.At(10*time.Millisecond, func() { got = append(got, 1) })
+	s.At(30*time.Millisecond, func() { got = append(got, 2) })
+	s.RunUntil(20 * time.Millisecond)
+	if len(got) != 1 || s.Pending() != 1 {
+		t.Fatalf("got=%v pending=%d", got, s.Pending())
+	}
+	if s.Now() != 20*time.Millisecond {
+		t.Errorf("Now = %v, want deadline 20ms", s.Now())
+	}
+	s.Run()
+	if len(got) != 2 {
+		t.Errorf("remaining event not executed")
+	}
+}
+
+func TestRunUntilInclusiveBoundary(t *testing.T) {
+	s := New(1)
+	ran := false
+	s.At(20*time.Millisecond, func() { ran = true })
+	s.RunUntil(20 * time.Millisecond)
+	if !ran {
+		t.Error("event exactly at deadline must run")
+	}
+}
+
+func TestStepOnEmptyQueue(t *testing.T) {
+	s := New(1)
+	if s.Step() {
+		t.Error("Step on empty queue must return false")
+	}
+}
+
+func TestMaxStepsPanics(t *testing.T) {
+	s := New(1)
+	s.MaxSteps = 10
+	var loop func()
+	loop = func() { s.After(time.Millisecond, loop) }
+	s.After(0, loop)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected MaxSteps panic on livelock")
+		}
+	}()
+	s.Run()
+}
+
+func TestNilEventPanics(t *testing.T) {
+	s := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on nil event")
+		}
+	}()
+	s.At(0, nil)
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	trace := func(seed int64) []int {
+		s := New(seed)
+		var out []int
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < 200; i++ {
+			i := i
+			s.At(time.Duration(rng.Intn(50))*time.Millisecond, func() {
+				out = append(out, i)
+				if i%7 == 0 {
+					s.After(time.Duration(s.Rand().Intn(10))*time.Millisecond, func() {
+						out = append(out, -i)
+					})
+				}
+			})
+		}
+		s.Run()
+		return out
+	}
+	a, b := trace(5), trace(5)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestStepsCounter(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 5; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func() {})
+	}
+	s.Run()
+	if s.Steps() != 5 {
+		t.Errorf("Steps = %d, want 5", s.Steps())
+	}
+}
+
+func TestVirtualTimeMonotone(t *testing.T) {
+	s := New(3)
+	rng := rand.New(rand.NewSource(9))
+	last := time.Duration(-1)
+	ok := true
+	for i := 0; i < 300; i++ {
+		s.At(time.Duration(rng.Intn(100))*time.Millisecond, func() {
+			if s.Now() < last {
+				ok = false
+			}
+			last = s.Now()
+		})
+	}
+	s.Run()
+	if !ok {
+		t.Error("virtual time went backwards")
+	}
+}

@@ -1,0 +1,131 @@
+package tcp
+
+import (
+	"sort"
+	"time"
+
+	"wanamcast/internal/fd"
+	"wanamcast/internal/node"
+	"wanamcast/internal/types"
+)
+
+// heartbeatMsg is the failure detector's intra-group beat.
+type heartbeatMsg struct{}
+
+// heartbeatFD is the live Ω: every process beats to its group peers; a
+// peer silent for SuspectAfter is suspected; the leader is the lowest
+// unsuspected member. Ω's eventual accuracy holds as long as the loopback
+// keeps delivering beats within the timeout — adequate for the localhost
+// deployments this runtime targets.
+type heartbeatFD struct {
+	api          node.API
+	every        time.Duration
+	suspectAfter time.Duration
+
+	group     []types.ProcessID
+	lastSeen  map[types.ProcessID]time.Duration
+	suspected map[types.ProcessID]bool
+	leader    types.ProcessID
+	subs      []func(types.GroupID, types.ProcessID)
+}
+
+var _ fd.Detector = (*heartbeatFD)(nil)
+var _ node.Protocol = (*heartbeatFD)(nil)
+
+func newHeartbeatFD(api node.API, every, suspectAfter time.Duration) *heartbeatFD {
+	h := &heartbeatFD{
+		api:          api,
+		every:        every,
+		suspectAfter: suspectAfter,
+		lastSeen:     make(map[types.ProcessID]time.Duration),
+		suspected:    make(map[types.ProcessID]bool),
+	}
+	h.group = append(h.group, api.Topo().Members(api.Group())...)
+	sort.Slice(h.group, func(i, j int) bool { return h.group[i] < h.group[j] })
+	h.leader = h.group[0]
+	return h
+}
+
+// Proto implements node.Protocol.
+func (h *heartbeatFD) Proto() string { return "fd" }
+
+// Start implements node.Protocol: it launches the beat/check cycle.
+func (h *heartbeatFD) Start() {
+	now := h.api.Now()
+	for _, q := range h.group {
+		h.lastSeen[q] = now
+	}
+	h.tick()
+}
+
+func (h *heartbeatFD) tick() {
+	self := h.api.Self()
+	var tos []types.ProcessID
+	for _, q := range h.group {
+		if q != self {
+			tos = append(tos, q)
+		}
+	}
+	h.api.Multicast(tos, "fd", heartbeatMsg{})
+	h.checkSuspicions()
+	h.api.After(h.every, h.tick)
+}
+
+// Receive implements node.Protocol.
+func (h *heartbeatFD) Receive(from types.ProcessID, _ any) {
+	h.lastSeen[from] = h.api.Now()
+	if h.suspected[from] {
+		// Crash-stop model: a revived suspicion would be a false positive;
+		// trust the fresh beat again (Ω is allowed mistakes).
+		delete(h.suspected, from)
+		h.recomputeLeader()
+	}
+}
+
+func (h *heartbeatFD) checkSuspicions() {
+	now := h.api.Now()
+	changed := false
+	for _, q := range h.group {
+		if q == h.api.Self() || h.suspected[q] {
+			continue
+		}
+		if now-h.lastSeen[q] > h.suspectAfter {
+			h.suspected[q] = true
+			changed = true
+		}
+	}
+	if changed {
+		h.recomputeLeader()
+	}
+}
+
+func (h *heartbeatFD) recomputeLeader() {
+	leader := h.group[0]
+	for _, q := range h.group {
+		if !h.suspected[q] {
+			leader = q
+			break
+		}
+	}
+	if leader == h.leader {
+		return
+	}
+	h.leader = leader
+	for _, fn := range h.subs {
+		fn(h.api.Group(), leader)
+	}
+}
+
+// Leader implements fd.Detector. Only the local group's view is
+// maintained; protocols in this repository never ask about other groups.
+func (h *heartbeatFD) Leader(g types.GroupID) types.ProcessID {
+	if g != h.api.Group() {
+		return h.api.Topo().Members(g)[0]
+	}
+	return h.leader
+}
+
+// Subscribe implements fd.Detector.
+func (h *heartbeatFD) Subscribe(fn func(types.GroupID, types.ProcessID)) {
+	h.subs = append(h.subs, fn)
+}

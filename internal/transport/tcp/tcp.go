@@ -1,0 +1,426 @@
+// Package tcp is the live runtime: it runs the same protocol state
+// machines as the simulator over real TCP connections on localhost, with
+// an injected one-way WAN delay for inter-group links and a heartbeat
+// failure detector in place of the simulation oracle.
+//
+// Every process is a goroutine-confined event loop: incoming frames,
+// timers, and local hand-offs are funneled through a per-process inbox, so
+// protocol code keeps the paper's "each line executes atomically"
+// semantics without internal locking. The wire format is gob; call
+// RegisterWireTypes (or register your payload types) before Start.
+package tcp
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"wanamcast/internal/abcast"
+	"wanamcast/internal/amcast"
+	"wanamcast/internal/baseline"
+	"wanamcast/internal/consensus"
+	"wanamcast/internal/node"
+	"wanamcast/internal/rmcast"
+	"wanamcast/internal/types"
+)
+
+// RegisterWireTypes registers every protocol message of this repository
+// with encoding/gob. Application payloads beyond the basic types must be
+// registered separately by the caller.
+func RegisterWireTypes() {
+	gob.Register(types.MessageID{})
+	gob.Register(types.GroupSet{})
+	gob.Register(consensus.ForwardMsg{})
+	gob.Register(consensus.PrepareMsg{})
+	gob.Register(consensus.PromiseMsg{})
+	gob.Register(consensus.AcceptMsg{})
+	gob.Register(consensus.AcceptedMsg{})
+	gob.Register(consensus.DecideMsg{})
+	gob.Register(rmcast.DataMsg{})
+	gob.Register(rmcast.Message{})
+	gob.Register(amcast.TSMsg{})
+	gob.Register(amcast.Descriptor{})
+	gob.Register([]amcast.Descriptor{})
+	gob.Register(abcast.BundleMsg{})
+	gob.Register(abcast.Record{})
+	gob.Register([]abcast.Record{})
+	gob.Register(baseline.SkeenData{})
+	gob.Register(baseline.SkeenProp{})
+	gob.Register(heartbeatMsg{})
+}
+
+// frame is the wire envelope.
+type frame struct {
+	From  types.ProcessID
+	Proto string
+	TS    int64
+	Body  any
+}
+
+// Config configures a live runtime. By default it hosts every process of
+// topo in one OS process (each on its own localhost TCP port); set Local
+// to host only a subset and run the rest of Π in other OS processes (see
+// cmd/wannode) — the wire protocol is identical either way.
+type Config struct {
+	Topo *types.Topology
+	// Local lists the processes this runtime hosts. Nil means all of Π.
+	Local []types.ProcessID
+	// BasePort: process p listens on BasePort+p (default 19000).
+	BasePort int
+	// WANDelay is the injected one-way delay for inter-group frames
+	// (default 100 ms). LANDelay applies within a group (default 0: the
+	// loopback's real latency).
+	WANDelay time.Duration
+	LANDelay time.Duration
+	// HeartbeatEvery and SuspectAfter tune the failure detector
+	// (defaults 50 ms and 250 ms).
+	HeartbeatEvery time.Duration
+	SuspectAfter   time.Duration
+	// Recorder receives measurement events; it is locked internally.
+	// Nil discards.
+	Recorder node.Recorder
+}
+
+// Runtime is the live counterpart of node.Runtime.
+type Runtime struct {
+	cfg   Config
+	topo  *types.Topology
+	rec   *lockedRecorder
+	start time.Time
+
+	procs   []*node.Proc
+	inboxes []chan func()
+	fds     []*heartbeatFD
+	local   []types.ProcessID
+
+	listeners []net.Listener
+	connMu    sync.Mutex
+	conns     map[connKey]*connection
+	accepted  []net.Conn
+
+	stopOnce sync.Once
+	done     chan struct{}
+	wg       sync.WaitGroup
+}
+
+type connKey struct {
+	from, to types.ProcessID
+}
+
+type connection struct {
+	c   net.Conn
+	enc *gob.Encoder
+}
+
+var debugTCP = os.Getenv("WANAMCAST_TCP_DEBUG") != ""
+
+var _ node.Env = (*Runtime)(nil)
+
+// New builds (but does not start) a live runtime.
+func New(cfg Config) *Runtime {
+	if cfg.Topo == nil {
+		panic("tcp: Config.Topo is required")
+	}
+	if cfg.BasePort == 0 {
+		cfg.BasePort = 19000
+	}
+	if cfg.WANDelay == 0 {
+		cfg.WANDelay = 100 * time.Millisecond
+	}
+	if cfg.HeartbeatEvery == 0 {
+		cfg.HeartbeatEvery = 50 * time.Millisecond
+	}
+	if cfg.SuspectAfter == 0 {
+		cfg.SuspectAfter = 250 * time.Millisecond
+	}
+	rec := cfg.Recorder
+	if rec == nil {
+		rec = node.NopRecorder{}
+	}
+	rt := &Runtime{
+		cfg:   cfg,
+		topo:  cfg.Topo,
+		rec:   &lockedRecorder{inner: rec},
+		conns: make(map[connKey]*connection),
+		done:  make(chan struct{}),
+	}
+	n := cfg.Topo.N()
+	rt.procs = make([]*node.Proc, n)
+	rt.inboxes = make([]chan func(), n)
+	rt.fds = make([]*heartbeatFD, n)
+	local := cfg.Local
+	if local == nil {
+		local = cfg.Topo.AllProcesses()
+	}
+	rt.local = local
+	for _, id := range local {
+		rt.procs[id] = node.NewProc(id, cfg.Topo, rt)
+		rt.inboxes[id] = make(chan func(), 4096)
+		rt.fds[id] = newHeartbeatFD(rt.procs[id], cfg.HeartbeatEvery, cfg.SuspectAfter)
+		rt.procs[id].Register(rt.fds[id])
+	}
+	return rt
+}
+
+// Proc returns process id's node for protocol registration (before Start).
+// It panics for processes not hosted by this runtime.
+func (rt *Runtime) Proc(id types.ProcessID) *node.Proc {
+	if rt.procs[id] == nil {
+		panic(fmt.Sprintf("tcp: process %v is not hosted by this runtime", id))
+	}
+	return rt.procs[id]
+}
+
+// Detector returns process id's failure detector.
+func (rt *Runtime) Detector(id types.ProcessID) *heartbeatFD { return rt.fds[id] }
+
+// Start opens the listeners, launches the event loops, and runs every
+// protocol's Start on its own loop.
+func (rt *Runtime) Start() error {
+	rt.start = time.Now()
+	for _, id := range rt.local {
+		addr := rt.addr(id)
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			rt.Stop()
+			return fmt.Errorf("tcp: listen %s: %w", addr, err)
+		}
+		rt.listeners = append(rt.listeners, ln)
+		rt.wg.Add(1)
+		go rt.acceptLoop(id, ln)
+	}
+	for _, id := range rt.local {
+		id := id
+		rt.wg.Add(1)
+		go rt.procLoop(id)
+	}
+	var startWG sync.WaitGroup
+	for _, id := range rt.local {
+		id := id
+		startWG.Add(1)
+		rt.enqueue(id, func() {
+			rt.procs[id].StartAll()
+			startWG.Done()
+		})
+	}
+	startWG.Wait()
+	return nil
+}
+
+// Stop terminates the runtime: loops stop, sockets close.
+func (rt *Runtime) Stop() {
+	rt.stopOnce.Do(func() {
+		close(rt.done)
+		for _, ln := range rt.listeners {
+			_ = ln.Close()
+		}
+		rt.connMu.Lock()
+		for _, c := range rt.conns {
+			_ = c.c.Close()
+		}
+		for _, c := range rt.accepted {
+			_ = c.Close()
+		}
+		rt.connMu.Unlock()
+	})
+	rt.wg.Wait()
+}
+
+// Run executes fn on process id's event loop and waits for it — the only
+// safe way for external code to touch protocol state.
+func (rt *Runtime) Run(id types.ProcessID, fn func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	rt.enqueue(id, func() {
+		fn()
+		wg.Done()
+	})
+	wg.Wait()
+}
+
+// Crash crash-stops process id: its loop ignores everything from now on.
+func (rt *Runtime) Crash(id types.ProcessID) {
+	rt.Run(id, func() { rt.procs[id].Crash() })
+}
+
+func (rt *Runtime) addr(id types.ProcessID) string {
+	return fmt.Sprintf("127.0.0.1:%d", rt.cfg.BasePort+int(id))
+}
+
+func (rt *Runtime) enqueue(id types.ProcessID, fn func()) {
+	select {
+	case rt.inboxes[id] <- fn:
+	case <-rt.done:
+	}
+}
+
+func (rt *Runtime) procLoop(id types.ProcessID) {
+	defer rt.wg.Done()
+	for {
+		select {
+		case fn := <-rt.inboxes[id]:
+			fn()
+		case <-rt.done:
+			return
+		}
+	}
+}
+
+func (rt *Runtime) acceptLoop(id types.ProcessID, ln net.Listener) {
+	defer rt.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		rt.connMu.Lock()
+		rt.accepted = append(rt.accepted, conn)
+		rt.connMu.Unlock()
+		rt.wg.Add(1)
+		go rt.readLoop(id, conn)
+	}
+}
+
+func (rt *Runtime) readLoop(to types.ProcessID, conn net.Conn) {
+	defer rt.wg.Done()
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			if debugTCP {
+				fmt.Printf("DEBUG decode error at p%d: %v\n", to, err)
+			}
+			return // connection closed or corrupt; peers redial
+		}
+		delay := rt.cfg.LANDelay
+		if !rt.topo.SameGroup(f.From, to) {
+			delay = rt.cfg.WANDelay
+		}
+		if debugTCP && f.Proto != "fd" {
+			fmt.Printf("DEBUG %v recv %v->%v %s %+v\n", time.Since(rt.start).Round(time.Millisecond), f.From, to, f.Proto, f.Body)
+		}
+		// f is declared inside the loop body, so each closure captures its
+		// own frame.
+		deliver := func() {
+			rt.enqueue(to, func() {
+				if rt.procs[to] != nil {
+					rt.procs[to].Deliver(f.From, f.Proto, f.Body, f.TS)
+				}
+			})
+		}
+		if delay > 0 {
+			time.AfterFunc(delay, deliver)
+		} else {
+			deliver()
+		}
+	}
+}
+
+// Now implements node.Env: wall time since Start.
+func (rt *Runtime) Now() time.Duration { return time.Since(rt.start) }
+
+// Recorder implements node.Env.
+func (rt *Runtime) Recorder() node.Recorder { return rt.rec }
+
+// Tracef implements node.Env.
+func (rt *Runtime) Tracef(string, ...any) {}
+
+// Later implements node.Env.
+func (rt *Runtime) Later(owner *node.Proc, d time.Duration, fn func()) {
+	id := owner.Self()
+	if d <= 0 {
+		rt.enqueue(id, fn)
+		return
+	}
+	time.AfterFunc(d, func() { rt.enqueue(id, fn) })
+}
+
+// Transmit implements node.Env. It runs on the sender's loop; self-sends
+// short-circuit through the inbox.
+func (rt *Runtime) Transmit(from, to types.ProcessID, proto string, body any, sendTS int64) {
+	if from == to {
+		rt.enqueue(to, func() { rt.procs[to].Deliver(from, proto, body, sendTS) })
+		return
+	}
+	interGroup := !rt.topo.SameGroup(from, to)
+	rt.rec.OnSend(proto, from, to, interGroup, rt.Now())
+	conn, err := rt.conn(from, to)
+	if err != nil {
+		if debugTCP {
+			fmt.Printf("DEBUG dial error %v->%v: %v\n", from, to, err)
+		}
+		return // unreachable peer: quasi-reliable links lose nothing between correct processes; a dead peer does not matter
+	}
+	if err := conn.enc.Encode(frame{From: from, Proto: proto, TS: sendTS, Body: body}); err != nil {
+		if debugTCP {
+			fmt.Printf("DEBUG encode error %v->%v proto=%s: %v\n", from, to, proto, err)
+		}
+		rt.dropConn(from, to)
+	}
+}
+
+func (rt *Runtime) conn(from, to types.ProcessID) (*connection, error) {
+	rt.connMu.Lock()
+	defer rt.connMu.Unlock()
+	key := connKey{from, to}
+	if c, ok := rt.conns[key]; ok {
+		return c, nil
+	}
+	select {
+	case <-rt.done:
+		return nil, errors.New("tcp: runtime stopped")
+	default:
+	}
+	c, err := net.DialTimeout("tcp", rt.addr(to), time.Second)
+	if err != nil {
+		return nil, err
+	}
+	conn := &connection{c: c, enc: gob.NewEncoder(c)}
+	rt.conns[key] = conn
+	return conn, nil
+}
+
+func (rt *Runtime) dropConn(from, to types.ProcessID) {
+	rt.connMu.Lock()
+	defer rt.connMu.Unlock()
+	key := connKey{from, to}
+	if c, ok := rt.conns[key]; ok {
+		_ = c.c.Close()
+		delete(rt.conns, key)
+	}
+}
+
+// lockedRecorder makes any Recorder safe for the live runtime's loops.
+type lockedRecorder struct {
+	mu    sync.Mutex
+	inner node.Recorder
+}
+
+func (l *lockedRecorder) OnSend(proto string, from, to types.ProcessID, inter bool, at time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inner.OnSend(proto, from, to, inter, at)
+}
+
+func (l *lockedRecorder) OnCast(id types.MessageID, ts int64, at time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inner.OnCast(id, ts, at)
+}
+
+func (l *lockedRecorder) OnDeliver(id types.MessageID, p types.ProcessID, ts int64, at time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inner.OnDeliver(id, p, ts, at)
+}
+
+func (l *lockedRecorder) OnConsensusInstance() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inner.OnConsensusInstance()
+}

@@ -1,0 +1,76 @@
+package types
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+	"testing/quick"
+)
+
+// TestGroupSetBinaryRoundtripQuick: MarshalBinary/UnmarshalBinary is the
+// identity on every GroupSet (property-based).
+func TestGroupSetBinaryRoundtripQuick(t *testing.T) {
+	f := func(members []uint8) bool {
+		gs := make([]GroupID, len(members))
+		for i, m := range members {
+			gs[i] = GroupID(m)
+		}
+		in := NewGroupSet(gs...)
+		data, err := in.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var out GroupSet
+		if err := out.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		return in.Equal(out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGroupSetGobRoundtrip: the gob path the live transport uses.
+func TestGroupSetGobRoundtrip(t *testing.T) {
+	in := NewGroupSet(2, 0, 5)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+		t.Fatal(err)
+	}
+	var out GroupSet
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !in.Equal(out) {
+		t.Fatalf("roundtrip: %v -> %v", in, out)
+	}
+}
+
+// TestGroupSetGobEmpty: the zero set survives too.
+func TestGroupSetGobEmpty(t *testing.T) {
+	in := NewGroupSet()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+		t.Fatal(err)
+	}
+	var out GroupSet
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Size() != 0 {
+		t.Fatalf("roundtrip: empty -> %v", out)
+	}
+}
+
+// TestUnmarshalBinaryCorrupt: truncated input errors instead of panicking.
+func TestUnmarshalBinaryCorrupt(t *testing.T) {
+	var gs GroupSet
+	if err := gs.UnmarshalBinary(nil); err == nil {
+		t.Error("nil input must error")
+	}
+	good, _ := NewGroupSet(1, 2, 3).MarshalBinary()
+	if err := gs.UnmarshalBinary(good[:1]); err == nil {
+		t.Error("truncated input must error")
+	}
+}

@@ -1,0 +1,254 @@
+// Package types defines the process, group, and message identifiers shared
+// by every protocol in the repository, together with the static topology
+// (the paper's Π and Γ, §2.1).
+//
+// All protocols in this module are written against these types; they carry
+// no behaviour beyond identity, ordering, and topology lookups, so that the
+// simulated and the live TCP runtimes can share every protocol
+// implementation unchanged.
+package types
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ProcessID identifies a process in Π. IDs are dense, starting at 0, and
+// are assigned group by group (see NewTopology), so intra-group neighbours
+// have adjacent IDs.
+type ProcessID int
+
+// GroupID identifies a group in Γ. IDs are dense, starting at 0.
+type GroupID int
+
+// String implements fmt.Stringer.
+func (p ProcessID) String() string { return fmt.Sprintf("p%d", int(p)) }
+
+// String implements fmt.Stringer.
+func (g GroupID) String() string { return fmt.Sprintf("g%d", int(g)) }
+
+// NoProcess is the zero-less sentinel for "no process" (e.g. no leader yet).
+const NoProcess ProcessID = -1
+
+// MessageID uniquely identifies an application message across the system
+// and provides the total order used to break timestamp ties (Algorithm A1,
+// line 4: (m.ts, m.id) lexicographic comparison).
+type MessageID struct {
+	// Origin is the process that cast the message.
+	Origin ProcessID
+	// Seq is the per-origin cast sequence number, starting at 1.
+	Seq uint64
+}
+
+// String implements fmt.Stringer.
+func (id MessageID) String() string { return fmt.Sprintf("m(%d,%d)", id.Origin, id.Seq) }
+
+// Less returns whether id orders strictly before other in the global total
+// order on message identifiers. The order is lexicographic on (Origin, Seq);
+// any deterministic total order satisfies the paper's requirement.
+func (id MessageID) Less(other MessageID) bool {
+	if id.Origin != other.Origin {
+		return id.Origin < other.Origin
+	}
+	return id.Seq < other.Seq
+}
+
+// IsZero reports whether id is the zero MessageID (never assigned to a cast).
+func (id MessageID) IsZero() bool { return id.Origin == 0 && id.Seq == 0 }
+
+// GroupSet is an immutable set of destination groups (m.dest in the paper).
+// The zero value is the empty set. Construct with NewGroupSet.
+type GroupSet struct {
+	groups []GroupID // sorted, deduplicated
+}
+
+// NewGroupSet builds a set from the given groups, deduplicating and sorting.
+func NewGroupSet(groups ...GroupID) GroupSet {
+	gs := make([]GroupID, 0, len(groups))
+	seen := make(map[GroupID]bool, len(groups))
+	for _, g := range groups {
+		if !seen[g] {
+			seen[g] = true
+			gs = append(gs, g)
+		}
+	}
+	sort.Slice(gs, func(i, j int) bool { return gs[i] < gs[j] })
+	return GroupSet{groups: gs}
+}
+
+// Contains reports whether g is in the set.
+func (s GroupSet) Contains(g GroupID) bool {
+	for _, x := range s.groups {
+		if x == g {
+			return true
+		}
+		if x > g {
+			return false
+		}
+	}
+	return false
+}
+
+// Size returns the number of groups in the set.
+func (s GroupSet) Size() int { return len(s.groups) }
+
+// Groups returns the member groups in ascending order. The caller must not
+// modify the returned slice.
+func (s GroupSet) Groups() []GroupID { return s.groups }
+
+// Equal reports whether both sets contain exactly the same groups.
+func (s GroupSet) Equal(other GroupSet) bool {
+	if len(s.groups) != len(other.groups) {
+		return false
+	}
+	for i, g := range s.groups {
+		if other.groups[i] != g {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements fmt.Stringer.
+func (s GroupSet) String() string {
+	parts := make([]string, len(s.groups))
+	for i, g := range s.groups {
+		parts[i] = g.String()
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler so GroupSets survive
+// gob encoding on the live TCP transport despite the unexported field.
+func (s GroupSet) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 2+4*len(s.groups))
+	buf = binary.AppendUvarint(buf, uint64(len(s.groups)))
+	for _, g := range s.groups {
+		buf = binary.AppendVarint(buf, int64(g))
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (s *GroupSet) UnmarshalBinary(data []byte) error {
+	n, read := binary.Uvarint(data)
+	if read <= 0 {
+		return fmt.Errorf("types: corrupt GroupSet header")
+	}
+	data = data[read:]
+	groups := make([]GroupID, 0, n)
+	for i := uint64(0); i < n; i++ {
+		v, read := binary.Varint(data)
+		if read <= 0 {
+			return fmt.Errorf("types: corrupt GroupSet element %d", i)
+		}
+		data = data[read:]
+		groups = append(groups, GroupID(v))
+	}
+	*s = NewGroupSet(groups...)
+	return nil
+}
+
+// Topology is the static process/group layout (Π and Γ, §2.1). Groups are
+// disjoint, non-empty, and cover Π. Topologies are immutable after creation.
+type Topology struct {
+	groupOf  []GroupID     // indexed by ProcessID
+	members  [][]ProcessID // indexed by GroupID, ascending
+	n        int
+	numGroup int
+}
+
+// NewTopology builds a topology of numGroups groups with perGroup processes
+// each. Process IDs are assigned contiguously: group g owns processes
+// [g*perGroup, (g+1)*perGroup). It panics if either argument is < 1; the
+// paper requires non-empty groups, and a system with no groups is
+// meaningless.
+func NewTopology(numGroups, perGroup int) *Topology {
+	if numGroups < 1 || perGroup < 1 {
+		panic(fmt.Sprintf("types: invalid topology %d groups x %d processes", numGroups, perGroup))
+	}
+	sizes := make([]int, numGroups)
+	for i := range sizes {
+		sizes[i] = perGroup
+	}
+	return NewIrregularTopology(sizes)
+}
+
+// NewIrregularTopology builds a topology whose i-th group has sizes[i]
+// processes. It panics if sizes is empty or contains a non-positive size.
+func NewIrregularTopology(sizes []int) *Topology {
+	if len(sizes) == 0 {
+		panic("types: topology needs at least one group")
+	}
+	t := &Topology{numGroup: len(sizes)}
+	for g, size := range sizes {
+		if size < 1 {
+			panic(fmt.Sprintf("types: group %d has invalid size %d", g, size))
+		}
+		group := make([]ProcessID, 0, size)
+		for i := 0; i < size; i++ {
+			p := ProcessID(t.n)
+			t.groupOf = append(t.groupOf, GroupID(g))
+			group = append(group, p)
+			t.n++
+		}
+		t.members = append(t.members, group)
+	}
+	return t
+}
+
+// N returns |Π|, the total number of processes.
+func (t *Topology) N() int { return t.n }
+
+// NumGroups returns |Γ|.
+func (t *Topology) NumGroups() int { return t.numGroup }
+
+// GroupOf returns group(p). It panics on an unknown process.
+func (t *Topology) GroupOf(p ProcessID) GroupID {
+	if p < 0 || int(p) >= t.n {
+		panic(fmt.Sprintf("types: unknown process %v", p))
+	}
+	return t.groupOf[p]
+}
+
+// Members returns the processes of group g in ascending order. The caller
+// must not modify the returned slice.
+func (t *Topology) Members(g GroupID) []ProcessID {
+	if g < 0 || int(g) >= t.numGroup {
+		panic(fmt.Sprintf("types: unknown group %v", g))
+	}
+	return t.members[g]
+}
+
+// AllGroups returns every group ID in ascending order.
+func (t *Topology) AllGroups() GroupSet {
+	gs := make([]GroupID, t.numGroup)
+	for i := range gs {
+		gs[i] = GroupID(i)
+	}
+	return GroupSet{groups: gs}
+}
+
+// AllProcesses returns every process ID in ascending order.
+func (t *Topology) AllProcesses() []ProcessID {
+	ps := make([]ProcessID, t.n)
+	for i := range ps {
+		ps[i] = ProcessID(i)
+	}
+	return ps
+}
+
+// ProcessesIn returns, in ascending order, the processes belonging to any
+// group in dest (the p ∈ m.dest abuse of notation from §2.2).
+func (t *Topology) ProcessesIn(dest GroupSet) []ProcessID {
+	var ps []ProcessID
+	for _, g := range dest.Groups() {
+		ps = append(ps, t.members[g]...)
+	}
+	return ps
+}
+
+// SameGroup reports whether p and q belong to the same group.
+func (t *Topology) SameGroup(p, q ProcessID) bool { return t.GroupOf(p) == t.GroupOf(q) }

@@ -1,0 +1,243 @@
+package types
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMessageIDLessIsStrictTotalOrder(t *testing.T) {
+	// Irreflexive, asymmetric, transitive, total — checked by enumeration
+	// over a small grid.
+	var ids []MessageID
+	for o := 0; o < 4; o++ {
+		for s := uint64(0); s < 4; s++ {
+			ids = append(ids, MessageID{Origin: ProcessID(o), Seq: s})
+		}
+	}
+	for _, a := range ids {
+		if a.Less(a) {
+			t.Errorf("Less is not irreflexive at %v", a)
+		}
+		for _, b := range ids {
+			if a != b && a.Less(b) == b.Less(a) {
+				t.Errorf("Less is not asymmetric/total at %v,%v", a, b)
+			}
+			for _, c := range ids {
+				if a.Less(b) && b.Less(c) && !a.Less(c) {
+					t.Errorf("Less is not transitive at %v,%v,%v", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestMessageIDLessQuick(t *testing.T) {
+	f := func(o1, o2 int16, s1, s2 uint16) bool {
+		a := MessageID{Origin: ProcessID(o1), Seq: uint64(s1)}
+		b := MessageID{Origin: ProcessID(o2), Seq: uint64(s2)}
+		if a == b {
+			return !a.Less(b) && !b.Less(a)
+		}
+		return a.Less(b) != b.Less(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMessageIDString(t *testing.T) {
+	id := MessageID{Origin: 3, Seq: 7}
+	if got := id.String(); got != "m(3,7)" {
+		t.Errorf("String() = %q", got)
+	}
+	if !(MessageID{}).IsZero() {
+		t.Error("zero MessageID not IsZero")
+	}
+	if id.IsZero() {
+		t.Error("non-zero MessageID reported IsZero")
+	}
+}
+
+func TestNewGroupSetDeduplicatesAndSorts(t *testing.T) {
+	s := NewGroupSet(3, 1, 3, 0, 1)
+	got := s.Groups()
+	want := []GroupID{0, 1, 3}
+	if len(got) != len(want) {
+		t.Fatalf("Groups() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Groups() = %v, want %v", got, want)
+		}
+	}
+	if s.Size() != 3 {
+		t.Errorf("Size() = %d, want 3", s.Size())
+	}
+}
+
+func TestGroupSetContains(t *testing.T) {
+	s := NewGroupSet(0, 2, 5)
+	for _, tc := range []struct {
+		g    GroupID
+		want bool
+	}{{0, true}, {1, false}, {2, true}, {3, false}, {5, true}, {6, false}, {-1, false}} {
+		if got := s.Contains(tc.g); got != tc.want {
+			t.Errorf("Contains(%v) = %v, want %v", tc.g, got, tc.want)
+		}
+	}
+}
+
+func TestGroupSetEqual(t *testing.T) {
+	if !NewGroupSet(1, 2).Equal(NewGroupSet(2, 1)) {
+		t.Error("order must not matter")
+	}
+	if NewGroupSet(1).Equal(NewGroupSet(1, 2)) {
+		t.Error("different sizes reported equal")
+	}
+	if NewGroupSet(1, 3).Equal(NewGroupSet(1, 2)) {
+		t.Error("different members reported equal")
+	}
+	var zero GroupSet
+	if !zero.Equal(NewGroupSet()) {
+		t.Error("zero value must equal the empty set")
+	}
+}
+
+func TestGroupSetString(t *testing.T) {
+	if got := NewGroupSet(1, 0).String(); got != "{g0,g1}" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestGroupSetContainsQuick(t *testing.T) {
+	f := func(members []uint8, probe uint8) bool {
+		gs := make([]GroupID, len(members))
+		inSet := false
+		for i, m := range members {
+			gs[i] = GroupID(m)
+			if m == probe {
+				inSet = true
+			}
+		}
+		return NewGroupSet(gs...).Contains(GroupID(probe)) == inSet
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewTopologyLayout(t *testing.T) {
+	topo := NewTopology(3, 4)
+	if topo.N() != 12 || topo.NumGroups() != 3 {
+		t.Fatalf("N=%d groups=%d", topo.N(), topo.NumGroups())
+	}
+	for g := 0; g < 3; g++ {
+		members := topo.Members(GroupID(g))
+		if len(members) != 4 {
+			t.Fatalf("group %d has %d members", g, len(members))
+		}
+		for i, p := range members {
+			if int(p) != g*4+i {
+				t.Errorf("group %d member %d = %v, want p%d", g, i, p, g*4+i)
+			}
+			if topo.GroupOf(p) != GroupID(g) {
+				t.Errorf("GroupOf(%v) = %v, want g%d", p, topo.GroupOf(p), g)
+			}
+		}
+	}
+}
+
+func TestNewIrregularTopology(t *testing.T) {
+	topo := NewIrregularTopology([]int{1, 3, 2})
+	if topo.N() != 6 {
+		t.Fatalf("N = %d, want 6", topo.N())
+	}
+	if got := len(topo.Members(1)); got != 3 {
+		t.Errorf("group 1 size = %d, want 3", got)
+	}
+	if topo.GroupOf(0) != 0 || topo.GroupOf(3) != 1 || topo.GroupOf(5) != 2 {
+		t.Error("GroupOf misassigns irregular layout")
+	}
+}
+
+func TestTopologyPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero groups":     func() { NewTopology(0, 3) },
+		"zero per group":  func() { NewTopology(3, 0) },
+		"empty sizes":     func() { NewIrregularTopology(nil) },
+		"negative size":   func() { NewIrregularTopology([]int{2, -1}) },
+		"unknown process": func() { NewTopology(2, 2).GroupOf(99) },
+		"unknown group":   func() { NewTopology(2, 2).Members(9) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestProcessesIn(t *testing.T) {
+	topo := NewTopology(3, 2)
+	got := topo.ProcessesIn(NewGroupSet(0, 2))
+	want := []ProcessID{0, 1, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("ProcessesIn = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ProcessesIn = %v, want %v", got, want)
+		}
+	}
+	if len(topo.ProcessesIn(NewGroupSet())) != 0 {
+		t.Error("empty dest must yield no processes")
+	}
+}
+
+func TestAllGroupsAllProcesses(t *testing.T) {
+	topo := NewTopology(2, 2)
+	if topo.AllGroups().Size() != 2 {
+		t.Error("AllGroups size wrong")
+	}
+	if len(topo.AllProcesses()) != 4 {
+		t.Error("AllProcesses size wrong")
+	}
+	if !topo.SameGroup(0, 1) || topo.SameGroup(1, 2) {
+		t.Error("SameGroup wrong")
+	}
+}
+
+// TestGroupsPartitionQuick verifies the §2.1 group axioms on random
+// topologies: disjoint, non-empty, and covering Π.
+func TestGroupsPartitionQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		sizes := make([]int, 1+rng.Intn(6))
+		for i := range sizes {
+			sizes[i] = 1 + rng.Intn(5)
+		}
+		topo := NewIrregularTopology(sizes)
+		seen := make(map[ProcessID]int)
+		for g := 0; g < topo.NumGroups(); g++ {
+			members := topo.Members(GroupID(g))
+			if len(members) == 0 {
+				t.Fatal("empty group")
+			}
+			for _, p := range members {
+				seen[p]++
+			}
+		}
+		if len(seen) != topo.N() {
+			t.Fatalf("groups do not cover Π: %d of %d", len(seen), topo.N())
+		}
+		for p, n := range seen {
+			if n != 1 {
+				t.Fatalf("%v appears in %d groups", p, n)
+			}
+		}
+	}
+}

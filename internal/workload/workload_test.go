@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"wanamcast/internal/types"
+)
+
+func TestGenerateCountAndOrder(t *testing.T) {
+	topo := types.NewTopology(3, 3)
+	casts := Generate(topo, Spec{Casts: 50, MeanPeriod: 10 * time.Millisecond, Seed: 1})
+	if len(casts) != 50 {
+		t.Fatalf("generated %d casts", len(casts))
+	}
+	for i := 1; i < len(casts); i++ {
+		if casts[i].At < casts[i-1].At {
+			t.Fatal("cast times not monotone")
+		}
+	}
+}
+
+func TestGenerateDeterministicPerSeed(t *testing.T) {
+	topo := types.NewTopology(2, 2)
+	a := Generate(topo, Spec{Casts: 20, MeanPeriod: time.Millisecond, Poisson: true, Seed: 5})
+	b := Generate(topo, Spec{Casts: 20, MeanPeriod: time.Millisecond, Poisson: true, Seed: 5})
+	for i := range a {
+		if a[i].At != b[i].At || a[i].From != b[i].From || !a[i].Dest.Equal(b[i].Dest) {
+			t.Fatal("workload not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestDestIncludesCasterGroup(t *testing.T) {
+	topo := types.NewTopology(4, 2)
+	casts := Generate(topo, Spec{Casts: 200, MeanPeriod: time.Millisecond, Seed: 2})
+	for _, c := range casts {
+		if c.Dest.Size() < topo.NumGroups() && !c.Dest.Contains(topo.GroupOf(c.From)) {
+			t.Fatalf("partial dest %v excludes caster group %v", c.Dest, topo.GroupOf(c.From))
+		}
+	}
+}
+
+func TestMixRespected(t *testing.T) {
+	topo := types.NewTopology(3, 2)
+	casts := Generate(topo, Spec{
+		Casts: 300, MeanPeriod: time.Millisecond, Seed: 3,
+		Mix: []MixEntry{{Groups: 2, Weight: 1}},
+	})
+	for _, c := range casts {
+		if c.Dest.Size() != 2 {
+			t.Fatalf("dest size %d, want 2", c.Dest.Size())
+		}
+	}
+}
+
+func TestAllGroupsEntry(t *testing.T) {
+	topo := types.NewTopology(3, 2)
+	casts := Generate(topo, Spec{
+		Casts: 10, MeanPeriod: time.Millisecond, Seed: 4,
+		Mix: []MixEntry{{Groups: 0, Weight: 1}},
+	})
+	for _, c := range casts {
+		if c.Dest.Size() != 3 {
+			t.Fatal("Groups:0 must mean all groups")
+		}
+	}
+}
+
+func TestInvalidSpecPanics(t *testing.T) {
+	topo := types.NewTopology(2, 2)
+	for name, spec := range map[string]Spec{
+		"no casts":   {MeanPeriod: time.Millisecond},
+		"no period":  {Casts: 1},
+		"bad mix":    {Casts: 1, MeanPeriod: time.Millisecond, Mix: []MixEntry{{Groups: 9, Weight: 1}}},
+		"zero mix":   {Casts: 1, MeanPeriod: time.Millisecond, Mix: []MixEntry{{Groups: 1, Weight: 0}}},
+		"neg weight": {Casts: 1, MeanPeriod: time.Millisecond, Mix: []MixEntry{{Groups: 1, Weight: -1}}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			Generate(topo, spec)
+		}()
+	}
+}

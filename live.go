@@ -1,0 +1,188 @@
+package wanamcast
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"wanamcast/internal/abcast"
+	"wanamcast/internal/amcast"
+	"wanamcast/internal/node"
+	"wanamcast/internal/rmcast"
+	"wanamcast/internal/transport/tcp"
+	"wanamcast/internal/types"
+)
+
+// LiveConfig describes a cluster running over real TCP sockets on
+// localhost, with an injected one-way WAN delay between groups.
+type LiveConfig struct {
+	// Groups and PerGroup shape the topology (defaults 2 × 3).
+	Groups   int
+	PerGroup int
+	// BasePort: process p listens on BasePort+p (default 19000).
+	BasePort int
+	// WANDelay is the injected inter-group one-way delay (default 100 ms);
+	// LANDelay applies within groups (default 0: raw loopback).
+	WANDelay time.Duration
+	LANDelay time.Duration
+	// KeepAliveRounds tunes A2's quiescence predictor (default 1, the
+	// paper's Algorithm A2).
+	KeepAliveRounds int
+	// Pipeline sets A2's rounds-in-flight limit (default 1, the paper's
+	// sequential algorithm).
+	Pipeline int
+}
+
+// LiveCluster runs Algorithms A1 and A2 on every process over TCP.
+// Construct with NewLiveCluster, then Start; deliveries arrive on the
+// callback passed to OnDeliver (installed before Start). LiveCluster is
+// safe for concurrent use.
+type LiveCluster struct {
+	rt   *tcp.Runtime
+	topo *types.Topology
+	a1   []*amcast.Mcast
+	a2   []*abcast.Bcast
+
+	mu         sync.Mutex
+	onDeliver  func(p ProcessID, id MessageID, payload any)
+	deliveries []Delivery
+	started    bool
+	startTime  time.Time
+}
+
+// NewLiveCluster builds (but does not start) a live cluster. Protocol wire
+// types are registered with gob; register your own payload types before
+// casting non-basic values.
+func NewLiveCluster(cfg LiveConfig) *LiveCluster {
+	if cfg.Groups == 0 {
+		cfg.Groups = 2
+	}
+	if cfg.PerGroup == 0 {
+		cfg.PerGroup = 3
+	}
+	tcp.RegisterWireTypes()
+	topo := types.NewTopology(cfg.Groups, cfg.PerGroup)
+	rt := tcp.New(tcp.Config{
+		Topo:     topo,
+		BasePort: cfg.BasePort,
+		WANDelay: cfg.WANDelay,
+		LANDelay: cfg.LANDelay,
+		Recorder: node.NopRecorder{},
+	})
+	l := &LiveCluster{
+		rt:   rt,
+		topo: topo,
+		a1:   make([]*amcast.Mcast, topo.N()),
+		a2:   make([]*abcast.Bcast, topo.N()),
+	}
+	for _, id := range topo.AllProcesses() {
+		id := id
+		// One allocator per process: A1 and A2 IDs must not collide. The
+		// counter is only touched on the process's own event loop.
+		var castSeq uint64
+		nextID := func() MessageID {
+			castSeq++
+			return MessageID{Origin: id, Seq: castSeq}
+		}
+		l.a1[id] = amcast.New(amcast.Config{
+			Host:       rt.Proc(id),
+			Detector:   rt.Detector(id),
+			SkipStages: true,
+			NextID:     nextID,
+			OnDeliver:  func(m rmcast.Message) { l.recordDelivery(id, m.ID, m.Payload) },
+		})
+		l.a2[id] = abcast.New(abcast.Config{
+			Host:            rt.Proc(id),
+			Detector:        rt.Detector(id),
+			KeepAliveRounds: cfg.KeepAliveRounds,
+			Pipeline:        cfg.Pipeline,
+			NextID:          nextID,
+			OnDeliver:       func(mid MessageID, payload any) { l.recordDelivery(id, mid, payload) },
+		})
+	}
+	return l
+}
+
+func (l *LiveCluster) recordDelivery(p ProcessID, id MessageID, payload any) {
+	l.mu.Lock()
+	fn := l.onDeliver
+	l.deliveries = append(l.deliveries, Delivery{Process: p, ID: id, Payload: payload, At: time.Since(l.startTime)})
+	l.mu.Unlock()
+	if fn != nil {
+		fn(p, id, payload)
+	}
+}
+
+// OnDeliver installs the delivery callback. Install before Start.
+func (l *LiveCluster) OnDeliver(fn func(p ProcessID, id MessageID, payload any)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.onDeliver = fn
+}
+
+// Start opens sockets and launches every process.
+func (l *LiveCluster) Start() error {
+	l.mu.Lock()
+	if l.started {
+		l.mu.Unlock()
+		return fmt.Errorf("wanamcast: live cluster already started")
+	}
+	l.started = true
+	l.startTime = time.Now()
+	l.mu.Unlock()
+	return l.rt.Start()
+}
+
+// Stop shuts the cluster down.
+func (l *LiveCluster) Stop() { l.rt.Stop() }
+
+// Process returns the ProcessID of the i-th member of group g.
+func (l *LiveCluster) Process(g GroupID, i int) ProcessID { return l.topo.Members(g)[i] }
+
+// Broadcast atomically broadcasts payload from process from (Algorithm A2).
+func (l *LiveCluster) Broadcast(from ProcessID, payload any) MessageID {
+	var id MessageID
+	l.rt.Run(from, func() { id = l.a2[from].ABCast(payload) })
+	return id
+}
+
+// Multicast atomically multicasts payload from from to groups (Algorithm A1).
+func (l *LiveCluster) Multicast(from ProcessID, payload any, groups ...GroupID) MessageID {
+	if len(groups) == 0 {
+		panic("wanamcast: Multicast needs at least one destination group")
+	}
+	var id MessageID
+	l.rt.Run(from, func() { id = l.a1[from].AMCast(payload, types.NewGroupSet(groups...)) })
+	return id
+}
+
+// Crash crash-stops process p.
+func (l *LiveCluster) Crash(p ProcessID) { l.rt.Crash(p) }
+
+// Deliveries returns a snapshot of every delivery observed so far.
+func (l *LiveCluster) Deliveries() []Delivery {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Delivery(nil), l.deliveries...)
+}
+
+// WaitDelivered blocks until id has been delivered by n processes or the
+// timeout expires; it reports whether the count was reached.
+func (l *LiveCluster) WaitDelivered(id MessageID, n int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		count := 0
+		l.mu.Lock()
+		for _, d := range l.deliveries {
+			if d.ID == id {
+				count++
+			}
+		}
+		l.mu.Unlock()
+		if count >= n {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return false
+}

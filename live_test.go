@@ -1,0 +1,55 @@
+package wanamcast
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLiveClusterBroadcastAndMulticast(t *testing.T) {
+	l := NewLiveCluster(LiveConfig{Groups: 2, PerGroup: 2, BasePort: 24000, WANDelay: 15 * time.Millisecond})
+	if err := l.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer l.Stop()
+
+	bid := l.Broadcast(l.Process(0, 0), "hello-live")
+	if !l.WaitDelivered(bid, 4, 10*time.Second) {
+		t.Fatal("broadcast not delivered everywhere")
+	}
+	mid := l.Multicast(l.Process(0, 1), "only-g0", 0)
+	if !l.WaitDelivered(mid, 2, 10*time.Second) {
+		t.Fatal("multicast not delivered in its group")
+	}
+	// Give stray deliveries a moment, then check the multicast stayed in
+	// group 0.
+	time.Sleep(100 * time.Millisecond)
+	for _, d := range l.Deliveries() {
+		if d.ID == mid && d.Process >= 2 {
+			t.Fatalf("multicast delivered outside its group at %v", d.Process)
+		}
+	}
+}
+
+func TestLiveClusterDoubleStart(t *testing.T) {
+	l := NewLiveCluster(LiveConfig{Groups: 1, PerGroup: 1, BasePort: 24100})
+	if err := l.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer l.Stop()
+	if err := l.Start(); err == nil {
+		t.Fatal("second Start must fail")
+	}
+}
+
+func TestLiveClusterCrashSurvivors(t *testing.T) {
+	l := NewLiveCluster(LiveConfig{Groups: 2, PerGroup: 3, BasePort: 24200, WANDelay: 10 * time.Millisecond})
+	if err := l.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer l.Stop()
+	l.Crash(l.Process(0, 2))
+	id := l.Broadcast(l.Process(0, 0), "after-crash")
+	if !l.WaitDelivered(id, 5, 15*time.Second) {
+		t.Fatal("survivors did not deliver")
+	}
+}
