@@ -561,6 +561,38 @@ func BenchmarkExtensionPipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchedThroughput measures what the batched ordering engine
+// buys at saturating load: 64 concurrent A1 multicasts to two groups,
+// swept over MaxBatch. Reported per configuration:
+//
+//	ordered/learn — messages delivered per consensus learn (the
+//	                amortization; MaxBatch=64 must be ≥5× MaxBatch=1)
+//	vmsg/s        — delivered messages per second of virtual time
+//	mean_batch    — mean decided batch size
+//
+// The sequential seed engine corresponds to MaxBatch=1.
+func BenchmarkBatchedThroughput(b *testing.B) {
+	measure := func(b *testing.B, maxBatch, pipeline int) Stats {
+		var st Stats
+		for i := 0; i < b.N; i++ {
+			st = saturate(b, 64, maxBatch, pipeline)
+		}
+		b.ReportMetric(st.OrderedPerLearn, "ordered/learn")
+		b.ReportMetric(st.ThroughputPerSec, "vmsg/s")
+		b.ReportMetric(st.MeanBatchSize, "mean_batch")
+		return st
+	}
+	var strict, batched Stats
+	b.Run("maxbatch=1", func(b *testing.B) { strict = measure(b, 1, 1) })
+	b.Run("maxbatch=8", func(b *testing.B) { measure(b, 8, 1) })
+	b.Run("maxbatch=64", func(b *testing.B) { batched = measure(b, 64, 1) })
+	b.Run("maxbatch=64/pipeline=4", func(b *testing.B) { measure(b, 64, 4) })
+	if strict.OrderedPerLearn > 0 && batched.OrderedPerLearn < 5*strict.OrderedPerLearn {
+		b.Fatalf("ordered/learn: MaxBatch=64 %.4f vs MaxBatch=1 %.4f — below the 5x bound",
+			batched.OrderedPerLearn, strict.OrderedPerLearn)
+	}
+}
+
 // BenchmarkSimThroughput measures raw simulator speed: a sustained A2
 // stream, reporting virtual deliveries per wall second via ns/op.
 func BenchmarkSimThroughput(b *testing.B) {

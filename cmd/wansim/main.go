@@ -35,6 +35,8 @@ func main() {
 		spread   = flag.Int("spread", 2, "destination groups per multicast (ignored by broadcasts)")
 		crash    = flag.Int("crash", 0, "crash this many processes (one per group, minority) mid-run")
 		seed     = flag.Int64("seed", 1, "simulation seed")
+		maxBatch = flag.Int("maxbatch", 0, "max messages per consensus instance (0 = unbounded, the paper's rule)")
+		pipeline = flag.Int("pipeline", 1, "consensus instances/rounds in flight (1 = the paper's sequential engine)")
 		verbose  = flag.Bool("v", false, "print every delivery")
 	)
 	flag.Parse()
@@ -50,6 +52,7 @@ func main() {
 	s := harness.Build(algo, harness.Options{
 		Groups: *groups, PerGroup: *d,
 		Inter: *inter, Intra: *intra, Jitter: *jitter, Seed: *seed,
+		MaxBatch: *maxBatch, A1Pipeline: *pipeline, A2Pipeline: *pipeline,
 	})
 	rng := rand.New(rand.NewSource(*seed))
 	period := time.Duration(float64(time.Second) / *rate)

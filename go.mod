@@ -1,0 +1,3 @@
+module wanamcast
+
+go 1.24

@@ -16,6 +16,14 @@
 // group via line 11's first disjunct, the other groups via the bundle they
 // receive (line 10) — at the cost of latency degree two (Theorem 5.2),
 // which §3 proves unavoidable.
+//
+// Rounds run on the batched, pipelined ordering engine of
+// internal/consensus, shared with Algorithm A1: the engine owns the
+// propose window (Config.Pipeline rounds in flight beyond the current
+// delivery round), the per-round batch cap (Config.MaxBatch), in-flight
+// exclusion, and in-order consumption of out-of-order decisions. The
+// quiescence logic stays here, expressed as the engine's Gate: a round
+// past the Barrier with nothing to propose is not started.
 package abcast
 
 import (
@@ -35,6 +43,9 @@ type Record struct {
 	ID      types.MessageID
 	Payload any
 }
+
+// ItemID implements consensus.Item.
+func (r Record) ItemID() types.MessageID { return r.ID }
 
 // BundleMsg is the (K, msgSet) inter-group message of line 15.
 type BundleMsg struct {
@@ -81,6 +92,10 @@ type Config struct {
 	// for the next proposable round. Messages decided in an in-flight
 	// round are excluded from later proposals to avoid duplicate shipping.
 	Pipeline int
+	// MaxBatch caps how many records one round's bundle may carry. Zero
+	// means unbounded — the paper's rule (the bundle is everything
+	// R-Delivered but not yet A-Delivered).
+	MaxBatch int
 }
 
 // Bcast is the per-process Algorithm A2 endpoint.
@@ -91,19 +106,16 @@ type Bcast struct {
 	alwaysOn  bool
 	keepAlive uint64
 
-	rm   *rmcast.RMcast
-	cons *consensus.Consensus
+	rm     *rmcast.RMcast
+	engine *consensus.Batcher[Record]
 
 	k          uint64 // current delivery round (line 2's K)
-	proposeK   uint64 // next round to propose (== K when Pipeline is 1)
-	pipeline   uint64
 	rdelivered map[types.MessageID]Record
 	adelivered map[types.MessageID]bool
 	rdOrder    []types.MessageID // R-Delivery order, for deterministic proposals
 	barrier    uint64
 	bundles    map[uint64]map[types.GroupID][]Record // Msgs, keyed by round then sender group
 	decided    map[uint64][]Record                   // own group's decided bundle per round
-	inFlight   map[types.MessageID]uint64            // proposed, round not yet decided
 	inDecided  map[types.MessageID]bool              // decided into a bundle, not yet delivered
 	castSeq    uint64
 	nextID     func() types.MessageID
@@ -125,24 +137,17 @@ func New(cfg Config) *Bcast {
 	if keepAlive == 0 {
 		keepAlive = 1
 	}
-	pipeline := uint64(cfg.Pipeline)
-	if pipeline == 0 {
-		pipeline = 1
-	}
 	b := &Bcast{
 		api:        cfg.Host,
 		onDeliver:  cfg.OnDeliver,
 		label:      prefix,
 		alwaysOn:   cfg.AlwaysOn,
 		keepAlive:  keepAlive,
-		pipeline:   pipeline,
 		k:          1,
-		proposeK:   1,
 		rdelivered: make(map[types.MessageID]Record),
 		adelivered: make(map[types.MessageID]bool),
 		bundles:    make(map[uint64]map[types.GroupID][]Record),
 		decided:    make(map[uint64][]Record),
-		inFlight:   make(map[types.MessageID]uint64),
 		inDecided:  make(map[types.MessageID]bool),
 		nextID:     cfg.NextID,
 	}
@@ -158,15 +163,21 @@ func New(cfg Config) *Bcast {
 		OnDeliver:  b.onRDeliver,
 		ProtoLabel: prefix + ".rm",
 	})
-	b.cons = consensus.New(consensus.Config{
+	b.engine = consensus.NewBatcher(consensus.BatcherConfig[Record]{
 		API:           cfg.Host,
 		Detector:      cfg.Detector,
-		OnDecide:      b.onDecide,
 		RetryInterval: cfg.ConsensusRetry,
 		ProtoLabel:    prefix + ".cons",
+		MaxBatch:      cfg.MaxBatch,
+		Pipeline:      cfg.Pipeline,
+		Fill:          b.fillBundle,
+		Gate:          b.mayPropose,
+		Base:          func() uint64 { return b.k },
+		OnDecide:      b.shipBundle,
+		OnApply:       b.applyRound,
 	})
 	cfg.Host.Register(b.rm)
-	cfg.Host.Register(b.cons)
+	cfg.Host.Register(b.engine.Protocol())
 	cfg.Host.Register(b)
 	return b
 }
@@ -201,7 +212,7 @@ func (b *Bcast) onRDeliver(m rmcast.Message) {
 	}
 	b.rdelivered[m.ID] = Record{ID: m.ID, Payload: m.Payload}
 	b.rdOrder = append(b.rdOrder, m.ID)
-	b.tryPropose()
+	b.engine.Pump()
 }
 
 // Receive implements node.Protocol: it handles bundle messages from other
@@ -223,69 +234,43 @@ func (b *Bcast) Receive(from types.ProcessID, body any) {
 	if bm.Round > b.barrier {
 		b.barrier = bm.Round
 	}
-	b.tryPropose()
+	b.engine.Pump()
 	b.tryCompleteRound()
 }
 
-// tryPropose is Task 4, lines 11–13, generalized for pipelining: with the
-// paper's Pipeline of 1 exactly one round (the current K) may be proposed,
-// matching the propK guard; with a deeper pipeline, rounds up to
-// K+Pipeline−1 may be proposed before round K completes.
-func (b *Bcast) tryPropose() {
-	for b.proposeK < b.k+b.pipeline {
-		prop := b.proposable()
-		if !b.alwaysOn && b.proposeK > b.barrier && len(prop) == 0 {
-			return
-		}
-		for _, rec := range prop {
-			b.inFlight[rec.ID] = b.proposeK
-		}
-		b.cons.Propose(b.proposeK, prop)
-		b.proposeK++
-	}
-}
-
-// proposable returns RDELIVERED \ ADELIVERED, minus messages already
-// proposed to an undecided round or decided into an undelivered bundle
-// (relevant only when pipelining), in R-Delivery order.
-func (b *Bcast) proposable() []Record {
+// fillBundle is the engine's Fill hook (Task 4, line 12's msgSet):
+// RDELIVERED \ ADELIVERED, minus messages decided into an undelivered
+// bundle or in flight in an undecided round (relevant only when
+// pipelining), in R-Delivery order up to limit.
+func (b *Bcast) fillBundle(exclude func(types.MessageID) bool, limit int) []Record {
 	var out []Record
 	for _, id := range b.rdOrder {
-		if b.adelivered[id] || b.inDecided[id] {
-			continue
-		}
-		if _, pending := b.inFlight[id]; pending {
+		if b.adelivered[id] || b.inDecided[id] || exclude(id) {
 			continue
 		}
 		out = append(out, b.rdelivered[id])
+		if limit > 0 && len(out) == limit {
+			break
+		}
 	}
 	return out
 }
 
-// onDecide records a round's decided bundle and ships it (line 14's
-// "When Decided(K, msgSet')" and line 15). With pipelining, decisions for
-// rounds beyond the current delivery round ship immediately; A-Delivery
-// still happens strictly in round order in tryCompleteRound.
-func (b *Bcast) onDecide(inst uint64, v consensus.Value) {
-	set, ok := v.([]Record)
-	if !ok && v != nil {
-		panic(fmt.Sprintf("abcast: consensus decided unexpected value %T", v))
-	}
-	if _, already := b.decided[inst]; already {
-		return
-	}
-	b.decided[inst] = set
+// mayPropose is the engine's Gate (line 11's guard, generalized): a round
+// is started if it is within the Barrier (keepalive), there is something
+// to propose, or quiescence prediction is off.
+func (b *Bcast) mayPropose(inst uint64, batch []Record) bool {
+	return b.alwaysOn || inst <= b.barrier || len(batch) > 0
+}
+
+// shipBundle is the engine's OnDecide hook (line 14's "When Decided" and
+// line 15): the moment our group's round bundle is decided — possibly out
+// of round order when pipelining — ship it to every process outside the
+// group and fence its records against re-proposal.
+func (b *Bcast) shipBundle(inst uint64, set []Record) {
 	for _, rec := range set {
 		b.inDecided[rec.ID] = true
 	}
-	// Messages we proposed to this round are no longer in flight; any the
-	// decision dropped become proposable again.
-	for id, r := range b.inFlight {
-		if r == inst {
-			delete(b.inFlight, id)
-		}
-	}
-	// Line 15: ship our group's bundle to every process outside the group.
 	myGroup := b.api.Group()
 	topo := b.api.Topo()
 	var tos []types.ProcessID
@@ -295,8 +280,14 @@ func (b *Bcast) onDecide(inst uint64, v consensus.Value) {
 		}
 	}
 	b.api.Multicast(tos, b.label, BundleMsg{Round: inst, Set: set})
+}
+
+// applyRound is the engine's OnApply hook: decisions arrive here in dense
+// round order; completing the round additionally waits for the other
+// groups' bundles (the wait at line 16).
+func (b *Bcast) applyRound(inst uint64, set []Record) {
+	b.decided[inst] = set
 	b.tryCompleteRound()
-	b.tryPropose()
 }
 
 // tryCompleteRound is the event-driven form of the wait at line 16: once
@@ -351,6 +342,6 @@ func (b *Bcast) tryCompleteRound() {
 		b.barrier = b.k + b.keepAlive - 1
 	}
 	// An already-received decision or bundle may complete the next round.
-	b.tryPropose()
+	b.engine.Pump()
 	b.tryCompleteRound()
 }

@@ -16,10 +16,23 @@
 // addressed to a single group jump from s0 to s3, and a group whose
 // proposal equals the final timestamp skips s2. Both are controlled by
 // Config.SkipStages so the [5] baseline can reuse this engine verbatim.
+//
+// Ordering runs on the batched, pipelined engine of internal/consensus:
+// every instance carries a batch of pending s0/s2 descriptors (line 14's
+// "propose all of PENDING", optionally capped by Config.MaxBatch), and up
+// to Config.Pipeline instances may be in flight concurrently. Consensus
+// instances are numbered densely and decoupled from the group clock K:
+// decisions apply in instance order, s0 messages take their timestamp from
+// K at apply time, and K then advances past every timestamp fixed — so the
+// clock remains a deterministic function of the decision sequence and all
+// group members agree on it (Lemma A.1), at any batch size and pipeline
+// depth. With the default MaxBatch=0 (unbounded) and Pipeline=1 the engine
+// behaves exactly like the paper's sequential algorithm.
 package amcast
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"wanamcast/internal/consensus"
@@ -54,6 +67,9 @@ type Descriptor struct {
 	Stage   Stage
 }
 
+// ItemID implements consensus.Item.
+func (d Descriptor) ItemID() types.MessageID { return d.ID }
+
 // TSMsg is the (TS, m) inter-group message of line 24: it carries the
 // sender group's timestamp proposal and, per the paper's footnote 4, also
 // propagates m itself in case the caster crashed.
@@ -86,6 +102,15 @@ type Config struct {
 	// one allocator, or their message IDs collide. Nil uses a private
 	// per-endpoint counter.
 	NextID func() types.MessageID
+	// MaxBatch caps how many pending descriptors one consensus instance
+	// may order. Zero means unbounded — the paper's propose-everything
+	// rule; 1 degenerates to one message per instance.
+	MaxBatch int
+	// Pipeline is the number of consensus instances that may be in flight
+	// concurrently. Zero or 1 is the paper's sequential engine; deeper
+	// pipelines overlap agreement on fresh messages with the ordering of
+	// earlier ones.
+	Pipeline int
 }
 
 // pend is the local state of a message in PENDING.
@@ -95,6 +120,7 @@ type pend struct {
 	payload any
 	ts      uint64
 	stage   Stage
+	seq     uint64 // admission order, for FIFO-fair batch fills
 }
 
 // less is the (m.ts, m.id) order of line 4.
@@ -112,15 +138,14 @@ type Mcast struct {
 	skip      bool
 	label     string
 
-	rm   *rmcast.RMcast
-	cons *consensus.Consensus
+	rm     *rmcast.RMcast
+	engine *consensus.Batcher[Descriptor]
 
 	k          uint64 // the group clock copy K (line 2)
-	propK      uint64
 	pending    map[types.MessageID]*pend
 	adelivered map[types.MessageID]bool
-	decisions  map[uint64][]Descriptor                      // buffered consensus decisions
 	tsProps    map[types.MessageID]map[types.GroupID]uint64 // received (TS, m) proposals
+	admitSeq   uint64
 	castSeq    uint64
 	nextID     func() types.MessageID
 }
@@ -147,10 +172,8 @@ func New(cfg Config) *Mcast {
 		skip:       cfg.SkipStages,
 		label:      prefix,
 		k:          1,
-		propK:      1,
 		pending:    make(map[types.MessageID]*pend),
 		adelivered: make(map[types.MessageID]bool),
-		decisions:  make(map[uint64][]Descriptor),
 		tsProps:    make(map[types.MessageID]map[types.GroupID]uint64),
 		nextID:     cfg.NextID,
 	}
@@ -166,15 +189,18 @@ func New(cfg Config) *Mcast {
 		OnDeliver:  a.onRDeliver,
 		ProtoLabel: prefix + ".rm",
 	})
-	a.cons = consensus.New(consensus.Config{
+	a.engine = consensus.NewBatcher(consensus.BatcherConfig[Descriptor]{
 		API:           cfg.Host,
 		Detector:      cfg.Detector,
-		OnDecide:      a.onDecide,
 		RetryInterval: cfg.ConsensusRetry,
 		ProtoLabel:    prefix + ".cons",
+		MaxBatch:      cfg.MaxBatch,
+		Pipeline:      cfg.Pipeline,
+		Fill:          a.fillBatch,
+		OnApply:       a.processDecision,
 	})
 	cfg.Host.Register(a.rm)
-	cfg.Host.Register(a.cons)
+	cfg.Host.Register(a.engine.Protocol())
 	cfg.Host.Register(a)
 	return a
 }
@@ -243,50 +269,40 @@ func (a *Mcast) admit(id types.MessageID, dest types.GroupSet, payload any) {
 	if _, ok := a.pending[id]; ok {
 		return
 	}
-	a.pending[id] = &pend{id: id, dest: dest, payload: payload, ts: a.k, stage: Stage0}
-	a.tryPropose()
+	a.admitSeq++
+	a.pending[id] = &pend{id: id, dest: dest, payload: payload, ts: a.k, stage: Stage0, seq: a.admitSeq}
+	a.engine.Pump()
 }
 
-// tryPropose is Task at lines 14–17: propose every pending s0/s2 message to
-// the group's next consensus instance, at most once per instance.
-func (a *Mcast) tryPropose() {
-	if a.propK > a.k {
-		return
-	}
-	var set []Descriptor
+// fillBatch is the engine's Fill hook (Task at lines 14–17): the
+// proposable set is every pending s0/s2 message not already in flight, in
+// admission order up to limit, canonically sorted by message ID.
+func (a *Mcast) fillBatch(exclude func(types.MessageID) bool, limit int) []Descriptor {
+	var cand []*pend
 	for _, p := range a.pending {
-		if p.stage == Stage0 || p.stage == Stage2 {
-			set = append(set, Descriptor{ID: p.id, Dest: p.dest, Payload: p.payload, TS: p.ts, Stage: p.stage})
+		if (p.stage == Stage0 || p.stage == Stage2) && !exclude(p.id) {
+			cand = append(cand, p)
 		}
 	}
-	if len(set) == 0 {
-		return
+	sort.Slice(cand, func(i, j int) bool { return cand[i].seq < cand[j].seq })
+	if limit > 0 && len(cand) > limit {
+		cand = cand[:limit]
+	}
+	set := make([]Descriptor, 0, len(cand))
+	for _, p := range cand {
+		set = append(set, Descriptor{ID: p.id, Dest: p.dest, Payload: p.payload, TS: p.ts, Stage: p.stage})
 	}
 	sortDescriptors(set)
-	a.cons.Propose(a.k, set)
-	a.propK = a.k + 1
+	return set
 }
 
-// onDecide buffers consensus decisions and consumes them in K order
-// (line 18's "When Decided(K, msgSet')").
-func (a *Mcast) onDecide(inst uint64, v consensus.Value) {
-	set, ok := v.([]Descriptor)
-	if !ok {
-		panic(fmt.Sprintf("amcast: consensus decided unexpected value %T", v))
-	}
-	a.decisions[inst] = set
-	for {
-		cur, ok := a.decisions[a.k]
-		if !ok {
-			return
-		}
-		delete(a.decisions, a.k)
-		a.processDecision(a.k, cur)
-	}
-}
-
-// processDecision executes lines 19–32 for the decision of instance k.
-func (a *Mcast) processDecision(k uint64, set []Descriptor) {
+// processDecision is the engine's OnApply hook: it executes lines 19–32
+// for the decision of (dense) instance inst. Decisions apply in instance
+// order, so the timestamps fixed here — K for s0 messages, the carried TS
+// for s2 — and the clock advance of line 31 are identical at every group
+// member.
+func (a *Mcast) processDecision(inst uint64, set []Descriptor) {
+	fixTS := a.k // the timestamp this decision assigns to s0 messages
 	var (
 		maxTS    uint64
 		toStage1 []types.MessageID
@@ -294,20 +310,21 @@ func (a *Mcast) processDecision(k uint64, set []Descriptor) {
 	for _, d := range set {
 		if a.adelivered[d.ID] {
 			// Defensive: a delivered message cannot re-enter PENDING.
-			a.api.Tracef("a1: decision %d contains already-delivered %v", k, d.ID)
+			a.api.Tracef("a1: decision %d contains already-delivered %v", inst, d.ID)
 			continue
 		}
 		p := a.pending[d.ID]
 		if p == nil {
 			// Line 30: the decision introduces m to this process.
-			p = &pend{id: d.ID, dest: d.Dest, payload: d.Payload}
+			a.admitSeq++
+			p = &pend{id: d.ID, dest: d.Dest, payload: d.Payload, seq: a.admitSeq}
 			a.pending[d.ID] = p
 		}
 		multi := d.Dest.Size() > 1
 		switch {
 		case multi && d.Stage == Stage0:
 			// Lines 21–24: fix the group proposal and exchange it.
-			p.ts = k
+			p.ts = fixTS
 			p.stage = Stage1
 			a.sendTS(p)
 			toStage1 = append(toStage1, d.ID)
@@ -319,7 +336,7 @@ func (a *Mcast) processDecision(k uint64, set []Descriptor) {
 			// Fritzke [5] pipeline: single-group messages also take both
 			// consensus instances (s0→s1→s2→s3).
 			if d.Stage == Stage0 {
-				p.ts = k
+				p.ts = fixTS
 				p.stage = Stage1
 				toStage1 = append(toStage1, d.ID)
 			} else {
@@ -329,7 +346,7 @@ func (a *Mcast) processDecision(k uint64, set []Descriptor) {
 		default:
 			// Lines 28–29: single destination group, the proposal is
 			// final; skip straight to s3.
-			p.ts = k
+			p.ts = fixTS
 			p.stage = Stage3
 		}
 		if p.ts > maxTS {
@@ -347,7 +364,7 @@ func (a *Mcast) processDecision(k uint64, set []Descriptor) {
 	for _, id := range toStage1 {
 		a.checkStage1(id)
 	}
-	a.tryPropose()
+	// The engine pumps after every applied decision; nothing to do here.
 }
 
 // sendTS sends (TS, m) to every process of every other destination group
@@ -400,7 +417,7 @@ func (a *Mcast) checkStage1(id types.MessageID) {
 		p.ts = maxRecv
 	}
 	p.stage = Stage2
-	a.tryPropose()
+	a.engine.Pump()
 }
 
 // adeliveryTest is the ADeliveryTest procedure (lines 3–7): deliver, in

@@ -28,6 +28,8 @@ type rigOpts struct {
 	skip        bool
 	mode        rmcast.Mode
 	seed        int64
+	maxBatch    int
+	pipeline    int
 }
 
 func newRig(t *testing.T, o rigOpts) *rig {
@@ -53,6 +55,8 @@ func newRig(t *testing.T, o rigOpts) *rig {
 			Detector:   rt.Oracle(),
 			SkipStages: o.skip,
 			RMMode:     o.mode,
+			MaxBatch:   o.maxBatch,
+			Pipeline:   o.pipeline,
 			OnDeliver: func(m rmcast.Message) {
 				r.checker.RecordDeliver(id, m.ID)
 			},

@@ -1,0 +1,236 @@
+// Batched, pipelined ordering engine layered on the multi-instance
+// consensus of this package.
+//
+// Algorithms A1 and A2 both follow the same loop: accumulate orderable
+// items, agree on a batch of them per consensus instance, and consume
+// decisions in instance order. The seed implementations each hand-rolled
+// that loop with one instance in flight at a time, so a WAN round trip
+// gated every instance and throughput was bounded by one batch per
+// inter-group delay. Batcher factors the loop out and generalizes it along
+// the two axes production consensus layers use to amortize agreement cost:
+//
+//   - MaxBatch: how many items one instance may order (batching);
+//   - Pipeline: how many instances may be in flight concurrently
+//     (pipelining).
+//
+// Instances are numbered densely (1, 2, 3, …) per engine. Because
+// pipelined decisions can arrive out of instance order, the engine buffers
+// them and invokes OnApply strictly in instance order — the order every
+// group member observes, which is what keeps replicated state (group
+// clocks, delivery rounds) deterministic. OnDecide, by contrast, fires the
+// moment a decision is learned, possibly out of order, for work that is
+// safe to do early (A2 ships its bundle immediately). Items proposed to an
+// undecided instance are excluded from later proposals; an item dropped
+// from a decision (a rival proposal won the instance) becomes proposable
+// again as soon as that instance applies.
+//
+// Quiescence is preserved: the engine proposes nothing on its own. Pump
+// only proposes what Fill returns and what Gate admits, and the underlying
+// consensus arms its retry timer only while proposals are undecided.
+package consensus
+
+import (
+	"fmt"
+	"time"
+
+	"wanamcast/internal/fd"
+	"wanamcast/internal/node"
+	"wanamcast/internal/types"
+)
+
+// Item is one element of a batched proposal. Items travel inside consensus
+// values, so they must be self-contained; the identity is used to keep an
+// item out of later proposals while an earlier instance holding it is
+// still in flight.
+type Item interface {
+	ItemID() types.MessageID
+}
+
+// BatcherConfig configures a Batcher for one process.
+type BatcherConfig[T Item] struct {
+	// API and Detector wire the underlying consensus engine; both are
+	// required.
+	API      node.API
+	Detector fd.Detector
+	// RetryInterval and ProtoLabel are passed to the consensus engine.
+	RetryInterval time.Duration
+	ProtoLabel    string
+
+	// MaxBatch caps the number of items per proposal. Zero or negative
+	// means unbounded — the paper's propose-everything rule.
+	MaxBatch int
+	// Pipeline is the number of instances that may be open beyond the
+	// window base. Zero or negative means 1: the strictly sequential
+	// engine both seed algorithms used.
+	Pipeline int
+
+	// Fill returns the next batch of proposable items in a deterministic
+	// order, skipping items for which exclude returns true and returning
+	// at most limit items when limit > 0. Required.
+	Fill func(exclude func(types.MessageID) bool, limit int) []T
+	// Gate, when non-nil, decides whether instance inst may be proposed
+	// with the given batch; returning false stops the propose loop. A nil
+	// Gate admits only non-empty batches. A2 uses it to run empty
+	// keepalive rounds up to its Barrier.
+	Gate func(inst uint64, batch []T) bool
+	// Base, when non-nil, returns the propose window's base: instances up
+	// to Base()+Pipeline−1 may be open. A nil Base uses the number of
+	// applied instances, so Pipeline bounds decided-but-unapplied depth.
+	// A2 anchors the window to its delivery round instead, which also
+	// waits for remote bundles.
+	Base func() uint64
+	// OnDecide, when non-nil, fires as soon as an instance's decision is
+	// learned — possibly out of instance order.
+	OnDecide func(inst uint64, batch []T)
+	// OnApply fires exactly once per instance, in dense instance order.
+	// Required: it is where clients advance their replicated state.
+	OnApply func(inst uint64, batch []T)
+}
+
+// Batcher is the per-process batched, pipelined ordering engine. It owns a
+// Consensus instance; register Protocol() on the host process alongside
+// the client protocol.
+type Batcher[T Item] struct {
+	cons     *Consensus
+	api      node.API
+	maxBatch int
+	pipeline uint64
+
+	fill     func(exclude func(types.MessageID) bool, limit int) []T
+	gate     func(inst uint64, batch []T) bool
+	base     func() uint64
+	onDecide func(inst uint64, batch []T)
+	onApply  func(inst uint64, batch []T)
+
+	next      uint64                     // next instance to propose
+	applyNext uint64                     // next instance to apply, in dense order
+	buffered  map[uint64][]T             // decided but not yet applied (out-of-order)
+	inFlight  map[types.MessageID]uint64 // item → undecided/unapplied instance
+}
+
+// NewBatcher builds a batched ordering engine. It panics on missing API,
+// Detector, Fill, or OnApply: those are wiring bugs.
+func NewBatcher[T Item](cfg BatcherConfig[T]) *Batcher[T] {
+	if cfg.API == nil || cfg.Detector == nil {
+		panic("consensus: BatcherConfig.API and Detector are required")
+	}
+	if cfg.Fill == nil || cfg.OnApply == nil {
+		panic("consensus: BatcherConfig.Fill and OnApply are required")
+	}
+	pipeline := uint64(1)
+	if cfg.Pipeline > 1 {
+		pipeline = uint64(cfg.Pipeline)
+	}
+	maxBatch := cfg.MaxBatch
+	if maxBatch < 0 {
+		maxBatch = 0
+	}
+	b := &Batcher[T]{
+		api:       cfg.API,
+		maxBatch:  maxBatch,
+		pipeline:  pipeline,
+		fill:      cfg.Fill,
+		gate:      cfg.Gate,
+		base:      cfg.Base,
+		onDecide:  cfg.OnDecide,
+		onApply:   cfg.OnApply,
+		next:      1,
+		applyNext: 1,
+		buffered:  make(map[uint64][]T),
+		inFlight:  make(map[types.MessageID]uint64),
+	}
+	if b.base == nil {
+		b.base = func() uint64 { return b.applyNext }
+	}
+	b.cons = New(Config{
+		API:           cfg.API,
+		Detector:      cfg.Detector,
+		OnDecide:      b.decided,
+		RetryInterval: cfg.RetryInterval,
+		ProtoLabel:    cfg.ProtoLabel,
+	})
+	return b
+}
+
+// Protocol returns the engine's consensus protocol for registration on the
+// host process.
+func (b *Batcher[T]) Protocol() node.Protocol { return b.cons }
+
+// NextInstance returns the next instance number this process would propose
+// (for tests).
+func (b *Batcher[T]) NextInstance() uint64 { return b.next }
+
+// AppliedInstances returns how many instances have been applied (for
+// tests and window accounting).
+func (b *Batcher[T]) AppliedInstances() uint64 { return b.applyNext - 1 }
+
+// InFlight reports whether id is held by a proposed instance that has not
+// yet applied.
+func (b *Batcher[T]) InFlight(id types.MessageID) bool {
+	_, ok := b.inFlight[id]
+	return ok
+}
+
+// Pump proposes as many instances as the window, the gate, and the fill
+// allow. Clients call it whenever proposable state may have changed; it is
+// idempotent and safe to call reentrantly from OnApply/OnDecide.
+func (b *Batcher[T]) Pump() {
+	for b.next < b.base()+b.pipeline {
+		batch := b.fill(b.InFlight, b.maxBatch)
+		if b.maxBatch > 0 && len(batch) > b.maxBatch {
+			batch = batch[:b.maxBatch]
+		}
+		if b.gate != nil {
+			if !b.gate(b.next, batch) {
+				return
+			}
+		} else if len(batch) == 0 {
+			return
+		}
+		for _, it := range batch {
+			b.inFlight[it.ItemID()] = b.next
+		}
+		b.cons.Propose(b.next, batch)
+		b.next++
+	}
+}
+
+// decided is the consensus OnDecide hook: it records the batch, fires the
+// early hook, and drains the apply queue in dense instance order.
+func (b *Batcher[T]) decided(inst uint64, v Value) {
+	batch, ok := v.([]T)
+	if !ok && v != nil {
+		panic(fmt.Sprintf("consensus: batcher decided unexpected value %T", v))
+	}
+	b.api.RecordBatch(len(batch))
+	if b.onDecide != nil {
+		b.onDecide(inst, batch)
+	}
+	b.buffered[inst] = batch
+	for {
+		cur, ok := b.buffered[b.applyNext]
+		if !ok {
+			break
+		}
+		k := b.applyNext
+		delete(b.buffered, k)
+		b.applyNext++
+		// Never propose at or below an applied instance: a process whose
+		// fill stayed empty while rivals drove instances forward would
+		// otherwise propose an already-decided instance — a local no-op
+		// that would strand its items in flight forever.
+		if b.next <= k {
+			b.next = k + 1
+		}
+		// Items of this instance are no longer in flight. Items the
+		// decision dropped become proposable again; items it kept are the
+		// client's to track from OnApply onward.
+		for id, held := range b.inFlight {
+			if held == k {
+				delete(b.inFlight, id)
+			}
+		}
+		b.onApply(k, cur)
+	}
+	b.Pump()
+}

@@ -71,6 +71,12 @@ type Options struct {
 	// A2Pipeline sets A2's rounds-in-flight limit (0 means the paper's
 	// sequential 1).
 	A2Pipeline int
+	// A1Pipeline sets A1's consensus-instances-in-flight limit (0 means
+	// the paper's sequential 1).
+	A1Pipeline int
+	// MaxBatch caps how many messages one consensus instance may order in
+	// A1 and A2 (0 means unbounded, the paper's rule).
+	MaxBatch int
 	// Trace receives debug lines if non-nil.
 	Trace func(format string, args ...any)
 }
@@ -156,6 +162,7 @@ func Build(algo Algo, opts Options) *System {
 			a := amcast.New(amcast.Config{
 				Host: proc, Detector: rt.Oracle(), OnDeliver: onDeliver,
 				SkipStages: true, ConsensusRetry: opts.ConsensusRetry,
+				MaxBatch: opts.MaxBatch, Pipeline: opts.A1Pipeline,
 			})
 			s.casters[id] = castFunc(a.AMCast)
 		case AlgoFritzke:
@@ -166,6 +173,7 @@ func Build(algo Algo, opts Options) *System {
 				Host: proc, Detector: rt.Oracle(), OnDeliver: onDeliverKV,
 				ConsensusRetry: opts.ConsensusRetry, AlwaysOn: opts.A2AlwaysOn,
 				KeepAliveRounds: opts.A2KeepAlive, Pipeline: opts.A2Pipeline,
+				MaxBatch: opts.MaxBatch,
 			})
 			s.casters[id] = castFunc(func(payload any, dest types.GroupSet) types.MessageID {
 				return b.ABCast(payload)

@@ -39,6 +39,10 @@ type Collector struct {
 	lastSend   time.Duration
 	anySend    bool
 	consensusN uint64
+
+	batchesN    uint64
+	batchedMsgs uint64
+	maxBatch    int
 }
 
 // SendEvent is one logged point-to-point send.
@@ -124,6 +128,16 @@ func (c *Collector) OnDeliver(id types.MessageID, p types.ProcessID, lamportTS i
 // instance (used by the ablation benchmarks on stage skipping).
 func (c *Collector) OnConsensusInstance() { c.consensusN++ }
 
+// OnBatchDecided records the size of one decided ordering batch (how many
+// messages a consensus instance ordered at one process).
+func (c *Collector) OnBatchDecided(size int) {
+	c.batchesN++
+	c.batchedMsgs += uint64(size)
+	if size > c.maxBatch {
+		c.maxBatch = size
+	}
+}
+
 // LatencyDegree returns Δ(id) = max deliverer Lamport clock minus the
 // caster's clock at cast time, and whether id was cast and delivered at
 // least once.
@@ -191,6 +205,20 @@ type Stats struct {
 	MaxWallLatency  time.Duration
 	// Percentiles of the wall-latency distribution (nearest-rank).
 	P50Wall, P95Wall, P99Wall time.Duration
+
+	// Batching aggregates of the ordering engine: per-process decided
+	// batches and their sizes (empty keepalive rounds count as size 0).
+	BatchesDecided  uint64
+	BatchedMessages uint64
+	MeanBatchSize   float64
+	MaxBatchSize    int
+	// Throughput of the run in ordered messages per second of virtual
+	// time, measured from the first cast to the last delivery.
+	ThroughputPerSec float64
+	// OrderedPerLearn is messages delivered per consensus learn —
+	// the amortization the batched engine buys (ConsensusInstances counts
+	// per-process learns, so this is comparable across equal topologies).
+	OrderedPerLearn float64
 }
 
 // Snapshot computes aggregate statistics over everything recorded so far.
@@ -205,11 +233,19 @@ func (c *Collector) Snapshot() Stats {
 	for name, pc := range c.perProto {
 		st.PerProtocol[name] = *pc
 	}
+	st.BatchesDecided = c.batchesN
+	st.BatchedMessages = c.batchedMsgs
+	st.MaxBatchSize = c.maxBatch
+	if c.batchesN > 0 {
+		st.MeanBatchSize = float64(c.batchedMsgs) / float64(c.batchesN)
+	}
 	var (
-		sumDeg  int64
-		sumWall time.Duration
-		walls   []time.Duration
-		first   = true
+		sumDeg    int64
+		sumWall   time.Duration
+		walls     []time.Duration
+		first     = true
+		firstCast time.Duration
+		lastDel   time.Duration
 	)
 	for id := range c.casts {
 		deg, ok := c.LatencyDegree(id)
@@ -217,6 +253,13 @@ func (c *Collector) Snapshot() Stats {
 			continue
 		}
 		wall, _ := c.WallLatency(id)
+		rec := c.casts[id]
+		if first || rec.castAt < firstCast {
+			firstCast = rec.castAt
+		}
+		if end := rec.castAt + wall; end > lastDel {
+			lastDel = end
+		}
 		walls = append(walls, wall)
 		sumDeg += deg
 		sumWall += wall
@@ -243,6 +286,12 @@ func (c *Collector) Snapshot() Stats {
 		st.P50Wall = percentile(walls, 50)
 		st.P95Wall = percentile(walls, 95)
 		st.P99Wall = percentile(walls, 99)
+		if span := lastDel - firstCast; span > 0 {
+			st.ThroughputPerSec = float64(len(walls)) / span.Seconds()
+		}
+		if st.ConsensusInstances > 0 {
+			st.OrderedPerLearn = float64(len(walls)) / float64(st.ConsensusInstances)
+		}
 	}
 	return st
 }
@@ -274,6 +323,11 @@ func (st Stats) String() string {
 		st.MessagesCast, st.MessagesDelivered,
 		st.MinDegree, st.MaxDegree, st.MeanDegree,
 		st.MeanWallLatency, st.P50Wall, st.P95Wall, st.P99Wall, st.MaxWallLatency)
+	if st.BatchesDecided > 0 {
+		s += fmt.Sprintf("\n  batches=%d batched-msgs=%d mean-batch=%.2f max-batch=%d throughput=%.1f msg/s ordered/learn=%.3f",
+			st.BatchesDecided, st.BatchedMessages, st.MeanBatchSize, st.MaxBatchSize,
+			st.ThroughputPerSec, st.OrderedPerLearn)
+	}
 	for _, name := range protos {
 		pc := st.PerProtocol[name]
 		s += fmt.Sprintf("\n  %-14s total=%-6d inter-group=%d", name, pc.Total, pc.InterGroup)

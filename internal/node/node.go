@@ -66,6 +66,9 @@ type API interface {
 	RecordDeliver(id types.MessageID)
 	// RecordConsensus reports completion of a consensus instance.
 	RecordConsensus()
+	// RecordBatch reports the size of a decided ordering batch (the number
+	// of messages one consensus instance ordered).
+	RecordBatch(size int)
 	// Tracef emits a debug trace line when tracing is enabled.
 	Tracef(format string, args ...any)
 }
@@ -85,6 +88,7 @@ type Recorder interface {
 	OnCast(id types.MessageID, lamportTS int64, at time.Duration)
 	OnDeliver(id types.MessageID, p types.ProcessID, lamportTS int64, at time.Duration)
 	OnConsensusInstance()
+	OnBatchDecided(size int)
 }
 
 // NopRecorder is a Recorder that discards everything.
@@ -94,6 +98,7 @@ func (NopRecorder) OnSend(string, types.ProcessID, types.ProcessID, bool, time.D
 func (NopRecorder) OnCast(types.MessageID, int64, time.Duration)                         {}
 func (NopRecorder) OnDeliver(types.MessageID, types.ProcessID, int64, time.Duration)     {}
 func (NopRecorder) OnConsensusInstance()                                                 {}
+func (NopRecorder) OnBatchDecided(int)                                                   {}
 
 var _ Recorder = NopRecorder{}
 
@@ -232,6 +237,9 @@ func (p *Proc) RecordDeliver(id types.MessageID) {
 
 // RecordConsensus implements API.
 func (p *Proc) RecordConsensus() { p.env.Recorder().OnConsensusInstance() }
+
+// RecordBatch implements API.
+func (p *Proc) RecordBatch(size int) { p.env.Recorder().OnBatchDecided(size) }
 
 // Tracef implements API.
 func (p *Proc) Tracef(format string, args ...any) {

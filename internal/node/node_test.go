@@ -202,6 +202,22 @@ func TestCrashCancelsTimers(t *testing.T) {
 	}
 }
 
+// TestRuntimeLaterDropsCrashedOwnerTimers: the env itself must drop a
+// timer whose owning process crashed by fire time, even when the callback
+// was scheduled through Env.Later directly (bypassing Proc.After's own
+// re-check) — a dead node must not keep driving consensus rounds.
+func TestRuntimeLaterDropsCrashedOwnerTimers(t *testing.T) {
+	rt, _ := newTestRT(1, 1)
+	register(rt)
+	fired := false
+	rt.Later(rt.Proc(0), 10*time.Millisecond, func() { fired = true })
+	rt.CrashAt(0, 5*time.Millisecond)
+	rt.Run()
+	if fired {
+		t.Error("env-level timer fired for a crashed owner")
+	}
+}
+
 func TestCrashNotifiesOracleAfterSuspicionDelay(t *testing.T) {
 	rt, _ := newTestRT(1, 2)
 	register(rt)

@@ -117,9 +117,17 @@ func (rt *Runtime) Transmit(from, to types.ProcessID, proto string, body any, se
 	})
 }
 
-// Later implements Env.
+// Later implements Env. Timer callbacks whose owning process has crashed
+// by fire time are dropped: a dead node must not keep driving consensus
+// rounds. (Proc.After re-checks too; this keeps the guarantee even for
+// timers scheduled through the env directly.)
 func (rt *Runtime) Later(owner *Proc, d time.Duration, fn func()) {
-	rt.sched.After(d, fn)
+	rt.sched.After(d, func() {
+		if owner.Crashed() {
+			return
+		}
+		fn()
+	})
 }
 
 // Crash crashes process id now: it stops sending and receiving immediately,

@@ -424,3 +424,9 @@ func (l *lockedRecorder) OnConsensusInstance() {
 	defer l.mu.Unlock()
 	l.inner.OnConsensusInstance()
 }
+
+func (l *lockedRecorder) OnBatchDecided(size int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inner.OnBatchDecided(size)
+}

@@ -28,9 +28,12 @@ type LiveConfig struct {
 	// KeepAliveRounds tunes A2's quiescence predictor (default 1, the
 	// paper's Algorithm A2).
 	KeepAliveRounds int
-	// Pipeline sets A2's rounds-in-flight limit (default 1, the paper's
-	// sequential algorithm).
+	// Pipeline sets the consensus-instances-in-flight limit for both A1
+	// and A2 (default 1, the paper's sequential algorithms).
 	Pipeline int
+	// MaxBatch caps how many messages one consensus instance may order,
+	// for both A1 and A2 (default 0: unbounded, the paper's rule).
+	MaxBatch int
 }
 
 // LiveCluster runs Algorithms A1 and A2 on every process over TCP.
@@ -89,6 +92,8 @@ func NewLiveCluster(cfg LiveConfig) *LiveCluster {
 			Detector:   rt.Detector(id),
 			SkipStages: true,
 			NextID:     nextID,
+			MaxBatch:   cfg.MaxBatch,
+			Pipeline:   cfg.Pipeline,
 			OnDeliver:  func(m rmcast.Message) { l.recordDelivery(id, m.ID, m.Payload) },
 		})
 		l.a2[id] = abcast.New(abcast.Config{
@@ -96,6 +101,7 @@ func NewLiveCluster(cfg LiveConfig) *LiveCluster {
 			Detector:        rt.Detector(id),
 			KeepAliveRounds: cfg.KeepAliveRounds,
 			Pipeline:        cfg.Pipeline,
+			MaxBatch:        cfg.MaxBatch,
 			NextID:          nextID,
 			OnDeliver:       func(mid MessageID, payload any) { l.recordDelivery(id, mid, payload) },
 		})
