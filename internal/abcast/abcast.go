@@ -90,7 +90,11 @@ type Config struct {
 	// A-Delivery still happens strictly in round order, so every §2.2
 	// property is preserved, and a message never waits a full WAN delay
 	// for the next proposable round. Messages decided in an in-flight
-	// round are excluded from later proposals to avoid duplicate shipping.
+	// round are excluded from later proposals, but that exclusion is
+	// local to each proposer: with Pipeline >= 2 two members can decide
+	// the same record into two rounds' bundles, so bundle shipping is
+	// at-least-once. Delivery stays exactly-once — tryCompleteRound
+	// dedups via ADELIVERED identically at every process.
 	Pipeline int
 	// MaxBatch caps how many records one round's bundle may carry. Zero
 	// means unbounded — the paper's rule (the bundle is everything
@@ -207,6 +211,11 @@ func (b *Bcast) Barrier() uint64 { return b.barrier }
 
 // onRDeliver is Task 2, lines 6–7.
 func (b *Bcast) onRDeliver(m rmcast.Message) {
+	if b.adelivered[m.ID] {
+		// Already A-Delivered via a remote bundle (and pruned from the
+		// R-Delivered working set); re-admitting would re-propose it.
+		return
+	}
 	if _, ok := b.rdelivered[m.ID]; ok {
 		return
 	}
@@ -221,6 +230,15 @@ func (b *Bcast) Receive(from types.ProcessID, body any) {
 	bm, ok := body.(BundleMsg)
 	if !ok {
 		panic(fmt.Sprintf("abcast: unexpected message %T", body))
+	}
+	if bm.Round < b.k {
+		// The round already completed here: every member of the sender
+		// group ships its group's bundle, so late copies keep arriving
+		// after the first one completed the round. Storing them would
+		// re-create bundles[bm.Round] entries nothing ever reads or
+		// deletes again; and a completed round can no longer need the
+		// Barrier raised to it (future rounds are all > bm.Round).
+		return
 	}
 	g := b.api.Topo().GroupOf(from)
 	perGroup := b.bundles[bm.Round]
@@ -241,7 +259,10 @@ func (b *Bcast) Receive(from types.ProcessID, body any) {
 // fillBundle is the engine's Fill hook (Task 4, line 12's msgSet):
 // RDELIVERED \ ADELIVERED, minus messages decided into an undelivered
 // bundle or in flight in an undecided round (relevant only when
-// pipelining), in R-Delivery order up to limit.
+// pipelining), in R-Delivery order up to limit. Both fences are local to
+// this proposer — a record this process never proposed can still be
+// decided into two concurrent rounds by different members — so they bound
+// redundant shipping rather than prevent it (see Config.Pipeline).
 func (b *Bcast) fillBundle(exclude func(types.MessageID) bool, limit int) []Record {
 	var out []Record
 	for _, id := range b.rdOrder {
@@ -321,6 +342,7 @@ func (b *Bcast) tryCompleteRound() {
 	sort.Slice(union, func(i, j int) bool { return union[i].ID.Less(union[j].ID) })
 	for _, rec := range union {
 		delete(b.inDecided, rec.ID)
+		delete(b.rdelivered, rec.ID)
 		if b.adelivered[rec.ID] {
 			continue
 		}
@@ -330,6 +352,17 @@ func (b *Bcast) tryCompleteRound() {
 		if b.onDeliver != nil {
 			b.onDeliver(rec.ID, rec.Payload)
 		}
+	}
+	// Compact the R-Delivery working set: fillBundle walks rdOrder on
+	// every Pump, so delivered entries must not accumulate across rounds.
+	if len(union) > 0 {
+		kept := b.rdOrder[:0]
+		for _, id := range b.rdOrder {
+			if _, ok := b.rdelivered[id]; ok {
+				kept = append(kept, id)
+			}
+		}
+		b.rdOrder = kept
 	}
 	delete(b.bundles, b.k)
 	delete(b.decided, b.k)

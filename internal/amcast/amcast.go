@@ -319,6 +319,20 @@ func (a *Mcast) processDecision(inst uint64, set []Descriptor) {
 			a.admitSeq++
 			p = &pend{id: d.ID, dest: d.Dest, payload: d.Payload, seq: a.admitSeq}
 			a.pending[d.ID] = p
+		} else if (d.Stage == Stage0 && p.stage > Stage0) ||
+			(d.Stage == Stage2 && p.stage == Stage3) {
+			// With Pipeline >= 2 the engine's in-flight exclusion is
+			// proposer-local, so two group members may propose m to
+			// different concurrent instances and both decisions carry it.
+			// Only the first application is binding: re-applying would
+			// regress the stage, fix a second (different) timestamp, and
+			// re-send a divergent group proposal. The guard is
+			// deterministic across the group because stage transitions out
+			// of s0 happen only here, in instance order, and a pend reaches
+			// s3 with an s2 proposal in flight only via an earlier
+			// instance's s2 descriptor.
+			a.api.Tracef("a1: decision %d repeats %v at stale stage %v (now %v)", inst, d.ID, d.Stage, p.stage)
+			continue
 		}
 		multi := d.Dest.Size() > 1
 		switch {

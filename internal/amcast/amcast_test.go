@@ -30,6 +30,9 @@ type rigOpts struct {
 	seed        int64
 	maxBatch    int
 	pipeline    int
+	// pairDelay, if non-nil, overrides per-pair link delays (for tests
+	// that need a specific interleaving).
+	pairDelay func(from, to types.ProcessID) (time.Duration, bool)
 }
 
 func newRig(t *testing.T, o rigOpts) *rig {
@@ -39,7 +42,7 @@ func newRig(t *testing.T, o rigOpts) *rig {
 	}
 	topo := types.NewTopology(o.groups, o.per)
 	col := &metrics.Collector{LogSends: true}
-	rt := node.NewRuntime(topo, network.Model{IntraGroup: time.Millisecond, InterGroup: 100 * time.Millisecond}, o.seed, col)
+	rt := node.NewRuntime(topo, network.Model{IntraGroup: time.Millisecond, InterGroup: 100 * time.Millisecond, PairDelay: o.pairDelay}, o.seed, col)
 	r := &rig{
 		topo:    topo,
 		rt:      rt,

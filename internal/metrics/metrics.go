@@ -213,7 +213,10 @@ type Stats struct {
 	MeanBatchSize   float64
 	MaxBatchSize    int
 	// Throughput of the run in ordered messages per second of virtual
-	// time, measured from the first cast to the last delivery.
+	// time, measured over delivered messages only: from the earliest cast
+	// among messages that were delivered to the last delivery. Zero when
+	// that span is zero (e.g. a zero-latency network model where every
+	// delivery shares the cast instant — rates are meaningless there).
 	ThroughputPerSec float64
 	// OrderedPerLearn is messages delivered per consensus learn —
 	// the amortization the batched engine buys (ConsensusInstances counts
