@@ -40,6 +40,10 @@ func main() {
 		d        = flag.Int("d", 2, "processes per group")
 		basePort = flag.Int("port", 19000, "base port (process p listens on port+p)")
 		wan      = flag.Duration("wan", 100*time.Millisecond, "injected one-way inter-group delay")
+		sendq    = flag.Int("sendqueue", 0, "per-connection send queue depth (0 = default 4096)")
+		flush    = flag.Duration("flush", 0, "max frame-coalescing latency before a flush (0 = default 200µs)")
+		gobWire  = flag.Bool("gobwire", false, "use the legacy gob codec instead of the wire codec (all instances must agree)")
+		trace    = flag.Bool("trace", false, "print transport trace lines to stderr")
 	)
 	flag.Parse()
 
@@ -51,11 +55,25 @@ func main() {
 	self := types.ProcessID(*id)
 
 	tcp.RegisterWireTypes()
+	codec := tcp.CodecWire
+	if *gobWire {
+		codec = tcp.CodecGob
+	}
+	var tracer func(format string, args ...any)
+	if *trace {
+		tracer = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "TRACE "+format+"\n", args...)
+		}
+	}
 	rt := tcp.New(tcp.Config{
-		Topo:     topo,
-		Local:    []types.ProcessID{self},
-		BasePort: *basePort,
-		WANDelay: *wan,
+		Topo:       topo,
+		Local:      []types.ProcessID{self},
+		BasePort:   *basePort,
+		WANDelay:   *wan,
+		SendQueue:  *sendq,
+		FlushEvery: *flush,
+		Codec:      codec,
+		Trace:      tracer,
 	})
 
 	var seq uint64

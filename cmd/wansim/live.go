@@ -1,0 +1,110 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"wanamcast"
+	"wanamcast/internal/harness"
+	"wanamcast/internal/transport/tcp"
+	"wanamcast/internal/types"
+)
+
+// runLive drives the wansim workload over a real TCP cluster on localhost
+// (algorithms a1 and a2 only) instead of the simulator, and prints wall
+// throughput. The transport knobs ride in on harness.Options: SendQueue,
+// FlushEvery, and GobWire map straight onto the live transport's queue
+// depth, flush coalescing window, and codec.
+func runLive(algo harness.Algo, opts harness.Options, basePort, casts int, rate float64, spread int, seed int64, verbose bool) {
+	if algo != harness.AlgoA1 && algo != harness.AlgoA2 {
+		fmt.Fprintf(os.Stderr, "wansim: -live supports a1 and a2 only (got %s)\n", algo)
+		os.Exit(1)
+	}
+	cfg := wanamcast.LiveConfig{
+		Groups:     opts.Groups,
+		PerGroup:   opts.PerGroup,
+		BasePort:   basePort,
+		WANDelay:   opts.Inter,
+		LANDelay:   opts.Intra,
+		MaxBatch:   opts.MaxBatch,
+		Pipeline:   opts.A1Pipeline,
+		SendQueue:  opts.SendQueue,
+		FlushEvery: opts.FlushEvery,
+		GobCodec:   opts.GobWire,
+	}
+	if algo == harness.AlgoA2 {
+		cfg.Pipeline = opts.A2Pipeline
+	}
+	l := wanamcast.NewLiveCluster(cfg)
+	if err := l.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "wansim:", err)
+		os.Exit(1)
+	}
+	defer l.Stop()
+
+	codec := "wire"
+	if opts.GobWire {
+		codec = "gob"
+	}
+	sendq, flush := opts.SendQueue, opts.FlushEvery
+	if sendq <= 0 {
+		sendq = tcp.DefaultSendQueue
+	}
+	if flush <= 0 {
+		flush = tcp.DefaultFlushEvery
+	}
+	n := opts.Groups * opts.PerGroup
+	fmt.Printf("live %s: %d groups x %d processes over TCP, wan=%v lan=%v codec=%s sendqueue=%d flush=%v\n",
+		algo, opts.Groups, opts.PerGroup, opts.Inter, opts.Intra, codec, sendq, flush)
+
+	rng := rand.New(rand.NewSource(seed))
+	period := time.Duration(float64(time.Second) / rate)
+	begin := time.Now()
+	ids := make([]wanamcast.MessageID, 0, casts)
+	expected := 0
+	for i := 0; i < casts; i++ {
+		from := types.ProcessID(rng.Intn(n))
+		if algo == harness.AlgoA2 {
+			ids = append(ids, l.Broadcast(from, fmt.Sprintf("msg-%d", i)))
+			expected += n
+		} else {
+			dest := pickDest(rng, opts.Groups, spread)
+			ids = append(ids, l.Multicast(from, fmt.Sprintf("msg-%d", i), dest...))
+			expected += spread * opts.PerGroup
+		}
+		if period > 0 {
+			time.Sleep(period)
+		}
+	}
+	for _, id := range ids {
+		if !l.WaitDelivered(id, 1, 30*time.Second) {
+			fmt.Fprintf(os.Stderr, "wansim: %v not delivered within 30s\n", id)
+			os.Exit(1)
+		}
+	}
+	// Drain the fan-out: every cast must reach all of its destinations.
+	deadline := time.Now().Add(30 * time.Second)
+	delivered := 0
+	for time.Now().Before(deadline) {
+		delivered = 0
+		for _, id := range ids {
+			delivered += l.DeliveredCount(id)
+		}
+		if delivered >= expected {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	elapsed := time.Since(begin)
+	if verbose {
+		for _, d := range l.Deliveries() {
+			fmt.Printf("deliver %v at %v t=%v\n", d.ID, d.Process, d.At)
+		}
+	}
+	fmt.Printf("casts          %d (%d deliveries of %d expected)\n", casts, delivered, expected)
+	fmt.Printf("wall time      %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("ordered/sec    %.0f (deliveries/sec %.0f)\n",
+		float64(casts)/elapsed.Seconds(), float64(delivered)/elapsed.Seconds())
+}

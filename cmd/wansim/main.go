@@ -37,6 +37,11 @@ func main() {
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		maxBatch = flag.Int("maxbatch", 0, "max messages per consensus instance (0 = unbounded, the paper's rule)")
 		pipeline = flag.Int("pipeline", 1, "consensus instances/rounds in flight (1 = the paper's sequential engine)")
+		live     = flag.Bool("live", false, "run over real TCP sockets on localhost instead of the simulator (a1/a2 only)")
+		basePort = flag.Int("port", 22000, "base TCP port for -live (process p listens on port+p)")
+		sendq    = flag.Int("sendqueue", 0, "live transport: per-connection send queue depth (0 = default 4096)")
+		flush    = flag.Duration("flush", 0, "live transport: max frame-coalescing latency before a flush (0 = default 200µs)")
+		gobWire  = flag.Bool("gobwire", false, "live transport: use the legacy gob codec instead of the wire codec")
 		verbose  = flag.Bool("v", false, "print every delivery")
 	)
 	flag.Parse()
@@ -49,11 +54,17 @@ func main() {
 		return
 	}
 	algo := harness.Algo(*algoName)
-	s := harness.Build(algo, harness.Options{
+	opts := harness.Options{
 		Groups: *groups, PerGroup: *d,
 		Inter: *inter, Intra: *intra, Jitter: *jitter, Seed: *seed,
 		MaxBatch: *maxBatch, A1Pipeline: *pipeline, A2Pipeline: *pipeline,
-	})
+		SendQueue: *sendq, FlushEvery: *flush, GobWire: *gobWire,
+	}
+	if *live {
+		runLive(algo, opts, *basePort, *casts, *rate, *spread, *seed, *verbose)
+		return
+	}
+	s := harness.Build(algo, opts)
 	rng := rand.New(rand.NewSource(*seed))
 	period := time.Duration(float64(time.Second) / *rate)
 
@@ -84,19 +95,7 @@ func main() {
 	for i := 0; i < *casts; i++ {
 		i := i
 		from := types.ProcessID(rng.Intn(s.Topo.N()))
-		var dest []types.GroupID
-		for len(dest) < *spread {
-			g := types.GroupID(rng.Intn(*groups))
-			dup := false
-			for _, x := range dest {
-				if x == g {
-					dup = true
-				}
-			}
-			if !dup {
-				dest = append(dest, g)
-			}
-		}
+		dest := pickDest(rng, *groups, *spread)
 		at := time.Duration(i+1) * period
 		s.RT.Scheduler().At(at, func() {
 			if crashed[from] {
@@ -130,6 +129,23 @@ func main() {
 	fmt.Println("properties     uniform integrity, validity, uniform agreement, uniform prefix order: OK")
 }
 
+// pickDest samples spread distinct destination groups. It requires
+// spread <= groups (main clamps the flag) or it would never terminate.
+func pickDest(rng *rand.Rand, groups, spread int) []types.GroupID {
+	var dest []types.GroupID
+	for len(dest) < spread {
+		g := types.GroupID(rng.Intn(groups))
+		dup := false
+		for _, x := range dest {
+			dup = dup || x == g
+		}
+		if !dup {
+			dest = append(dest, g)
+		}
+	}
+	return dest
+}
+
 // compareAll runs the same workload through every algorithm and prints one
 // row per contender: mean latency degree, inter-group messages, and wall
 // latency percentiles.
@@ -158,17 +174,7 @@ func compareAll(groups, d int, inter, intra, jitter time.Duration, casts int, ra
 		for i := 0; i < casts; i++ {
 			i := i
 			from := types.ProcessID(rng.Intn(s.Topo.N()))
-			var dest []types.GroupID
-			for len(dest) < spread {
-				g := types.GroupID(rng.Intn(groups))
-				dup := false
-				for _, x := range dest {
-					dup = dup || x == g
-				}
-				if !dup {
-					dest = append(dest, g)
-				}
-			}
+			dest := pickDest(rng, groups, spread)
 			s.CastAt(time.Duration(i+1)*period, from, fmt.Sprintf("m%d", i), types.NewGroupSet(dest...))
 		}
 		s.Run()

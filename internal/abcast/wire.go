@@ -1,0 +1,74 @@
+// Wire codecs for Algorithm A2's messages (see internal/wire): the
+// (K, msgSet) bundle and the []Record batches that travel as consensus
+// values.
+package abcast
+
+import (
+	"wanamcast/internal/types"
+	"wanamcast/internal/wire"
+)
+
+func init() {
+	wire.Register(wire.KindABcastBundle,
+		func(buf []byte, m BundleMsg) []byte { return m.AppendTo(buf) },
+		func(data []byte) (m BundleMsg, rest []byte, err error) { rest, err = m.DecodeFrom(data); return })
+	wire.Register(wire.KindABcastRecords, AppendRecords, DecodeRecords)
+}
+
+// AppendTo appends r's wire encoding.
+func (r Record) AppendTo(buf []byte) []byte {
+	buf = r.ID.AppendTo(buf)
+	return wire.AppendValue(buf, r.Payload)
+}
+
+// DecodeFrom decodes r from data and returns the remainder.
+func (r *Record) DecodeFrom(data []byte) (rest []byte, err error) {
+	if r.ID, data, err = types.DecodeMessageID(data); err != nil {
+		return nil, err
+	}
+	r.Payload, data, err = wire.DecodeValue(data)
+	return data, err
+}
+
+// AppendTo appends m's wire encoding.
+func (m BundleMsg) AppendTo(buf []byte) []byte {
+	buf = wire.AppendUvarint(buf, m.Round)
+	return AppendRecords(buf, m.Set)
+}
+
+// DecodeFrom decodes m from data and returns the remainder.
+func (m *BundleMsg) DecodeFrom(data []byte) (rest []byte, err error) {
+	if m.Round, data, err = wire.Uvarint(data); err != nil {
+		return nil, err
+	}
+	m.Set, data, err = DecodeRecords(data)
+	return data, err
+}
+
+// AppendRecords appends a record batch (an A2 consensus value and the body
+// of every bundle).
+func AppendRecords(buf []byte, rs []Record) []byte {
+	buf = wire.AppendUvarint(buf, uint64(len(rs)))
+	for _, r := range rs {
+		buf = r.AppendTo(buf)
+	}
+	return buf
+}
+
+// DecodeRecords decodes a record batch and returns the remainder.
+func DecodeRecords(data []byte) ([]Record, []byte, error) {
+	n, data, err := wire.SliceLen(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n == 0 {
+		return nil, data, nil
+	}
+	rs := make([]Record, n)
+	for i := range rs {
+		if data, err = rs[i].DecodeFrom(data); err != nil {
+			return nil, nil, err
+		}
+	}
+	return rs, data, nil
+}

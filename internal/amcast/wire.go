@@ -1,0 +1,79 @@
+// Wire codecs for Algorithm A1's messages (see internal/wire): the (TS, m)
+// descriptor message and the []Descriptor batches that travel as consensus
+// values.
+package amcast
+
+import (
+	"fmt"
+
+	"wanamcast/internal/types"
+	"wanamcast/internal/wire"
+)
+
+func init() {
+	wire.Register(wire.KindAMcastTS,
+		func(buf []byte, m TSMsg) []byte { return m.AppendTo(buf) },
+		func(data []byte) (m TSMsg, rest []byte, err error) { rest, err = m.DecodeFrom(data); return })
+	wire.Register(wire.KindAMcastDescriptors, AppendDescriptors, DecodeDescriptors)
+}
+
+// AppendTo appends d's wire encoding.
+func (d Descriptor) AppendTo(buf []byte) []byte {
+	buf = d.ID.AppendTo(buf)
+	buf = d.Dest.AppendTo(buf)
+	buf = wire.AppendUvarint(buf, d.TS)
+	buf = append(buf, byte(d.Stage))
+	return wire.AppendValue(buf, d.Payload)
+}
+
+// DecodeFrom decodes d from data and returns the remainder.
+func (d *Descriptor) DecodeFrom(data []byte) (rest []byte, err error) {
+	if d.ID, data, err = types.DecodeMessageID(data); err != nil {
+		return nil, err
+	}
+	if d.Dest, data, err = types.DecodeGroupSet(data); err != nil {
+		return nil, err
+	}
+	if d.TS, data, err = wire.Uvarint(data); err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("%w: descriptor stage", wire.ErrCorrupt)
+	}
+	d.Stage, data = Stage(data[0]), data[1:]
+	d.Payload, data, err = wire.DecodeValue(data)
+	return data, err
+}
+
+// AppendTo appends m's wire encoding.
+func (m TSMsg) AppendTo(buf []byte) []byte { return m.Desc.AppendTo(buf) }
+
+// DecodeFrom decodes m from data and returns the remainder.
+func (m *TSMsg) DecodeFrom(data []byte) ([]byte, error) { return m.Desc.DecodeFrom(data) }
+
+// AppendDescriptors appends a descriptor batch (an A1 consensus value).
+func AppendDescriptors(buf []byte, ds []Descriptor) []byte {
+	buf = wire.AppendUvarint(buf, uint64(len(ds)))
+	for _, d := range ds {
+		buf = d.AppendTo(buf)
+	}
+	return buf
+}
+
+// DecodeDescriptors decodes a descriptor batch and returns the remainder.
+func DecodeDescriptors(data []byte) ([]Descriptor, []byte, error) {
+	n, data, err := wire.SliceLen(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n == 0 {
+		return nil, data, nil
+	}
+	ds := make([]Descriptor, n)
+	for i := range ds {
+		if data, err = ds[i].DecodeFrom(data); err != nil {
+			return nil, nil, err
+		}
+	}
+	return ds, data, nil
+}

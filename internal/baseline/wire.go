@@ -1,0 +1,38 @@
+// Wire codecs for the baseline wire types that the live transport
+// registers (Skeen's algorithm; see internal/wire).
+package baseline
+
+import (
+	"wanamcast/internal/types"
+	"wanamcast/internal/wire"
+)
+
+func init() {
+	wire.Register(wire.KindSkeenData,
+		func(buf []byte, m SkeenData) []byte { return m.AppendTo(buf) },
+		func(data []byte) (m SkeenData, rest []byte, err error) { rest, err = m.DecodeFrom(data); return })
+	wire.Register(wire.KindSkeenProp,
+		func(buf []byte, m SkeenProp) []byte { return m.AppendTo(buf) },
+		func(data []byte) (m SkeenProp, rest []byte, err error) { rest, err = m.DecodeFrom(data); return })
+}
+
+// AppendTo appends m's wire encoding.
+func (m SkeenData) AppendTo(buf []byte) []byte { return m.M.AppendTo(buf) }
+
+// DecodeFrom decodes m from data and returns the remainder.
+func (m *SkeenData) DecodeFrom(data []byte) ([]byte, error) { return m.M.DecodeFrom(data) }
+
+// AppendTo appends m's wire encoding.
+func (m SkeenProp) AppendTo(buf []byte) []byte {
+	buf = m.ID.AppendTo(buf)
+	return wire.AppendUvarint(buf, m.TS)
+}
+
+// DecodeFrom decodes m from data and returns the remainder.
+func (m *SkeenProp) DecodeFrom(data []byte) (rest []byte, err error) {
+	if m.ID, data, err = types.DecodeMessageID(data); err != nil {
+		return nil, err
+	}
+	m.TS, data, err = wire.Uvarint(data)
+	return data, err
+}

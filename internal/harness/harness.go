@@ -77,6 +77,16 @@ type Options struct {
 	// MaxBatch caps how many messages one consensus instance may order in
 	// A1 and A2 (0 means unbounded, the paper's rule).
 	MaxBatch int
+	// SendQueue and FlushEvery tune the live TCP transport when the same
+	// workload options drive a real cluster (cmd/wansim -live, cmd/wannode):
+	// SendQueue bounds each connection's outbound frame queue and
+	// FlushEvery caps write coalescing latency. The simulated runtime has
+	// no transport and ignores both.
+	SendQueue  int
+	FlushEvery time.Duration
+	// GobWire reverts the live transport to the legacy encoding/gob codec
+	// (benchmark baseline); ignored by the simulated runtime.
+	GobWire bool
 	// Trace receives debug lines if non-nil.
 	Trace func(format string, args ...any)
 }

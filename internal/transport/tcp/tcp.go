@@ -6,13 +6,31 @@
 // Every process is a goroutine-confined event loop: incoming frames,
 // timers, and local hand-offs are funneled through a per-process inbox, so
 // protocol code keeps the paper's "each line executes atomically"
-// semantics without internal locking. The wire format is gob; call
-// RegisterWireTypes (or register your payload types) before Start.
+// semantics without internal locking.
+//
+// The transport is asynchronous and buffered. Transmit runs on the
+// sender's process loop and does nothing but enqueue the frame onto a
+// bounded per-connection send queue; a dedicated writer goroutine per
+// (from, to) pair dials, encodes, and writes. The writer coalesces every
+// frame it can take within FlushEvery into one buffered write, so many
+// frames share a syscall, and it reuses one encode buffer, so the
+// steady-state encode path allocates nothing. A dead or wedged peer
+// therefore never stalls a process loop: dials happen off-loop with a
+// timeout, writes block only the writer goroutine, and when a queue fills
+// the frame is dropped — quasi-reliable links guarantee nothing to crashed
+// processes, and the protocols' retry timers recover any frame dropped
+// toward a live one.
+//
+// The default wire format is the zero-allocation internal/wire codec;
+// Config.Codec can revert to the legacy encoding/gob stream (the benchmark
+// baseline). Either way, call RegisterWireTypes (or gob-register your
+// payload types) before Start: non-basic application payloads always ride
+// the gob path.
 package tcp
 
 import (
+	"bufio"
 	"encoding/gob"
-	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -26,11 +44,13 @@ import (
 	"wanamcast/internal/node"
 	"wanamcast/internal/rmcast"
 	"wanamcast/internal/types"
+	"wanamcast/internal/wire"
 )
 
 // RegisterWireTypes registers every protocol message of this repository
-// with encoding/gob. Application payloads beyond the basic types must be
-// registered separately by the caller.
+// with encoding/gob (the legacy codec and the fallback payload path).
+// Application payloads beyond the basic types must be registered separately
+// by the caller.
 func RegisterWireTypes() {
 	gob.Register(types.MessageID{})
 	gob.Register(types.GroupSet{})
@@ -53,13 +73,50 @@ func RegisterWireTypes() {
 	gob.Register(heartbeatMsg{})
 }
 
-// frame is the wire envelope.
-type frame struct {
+func init() {
+	wire.Register(wire.KindHeartbeat,
+		func(buf []byte, _ heartbeatMsg) []byte { return buf },
+		func(data []byte) (heartbeatMsg, []byte, error) { return heartbeatMsg{}, data, nil })
+}
+
+// gobFrame is the legacy gob wire envelope (Config.Codec = CodecGob).
+type gobFrame struct {
 	From  types.ProcessID
 	Proto string
 	TS    int64
 	Body  any
 }
+
+// Codec selects the transport's wire format.
+type Codec int
+
+const (
+	// CodecWire is the zero-allocation length-prefixed binary codec
+	// (internal/wire). The default.
+	CodecWire Codec = iota
+	// CodecGob is the legacy encoding/gob stream, kept as the benchmark
+	// baseline and as an escape hatch for exotic payloads.
+	CodecGob
+)
+
+// String implements fmt.Stringer.
+func (c Codec) String() string {
+	switch c {
+	case CodecWire:
+		return "wire"
+	case CodecGob:
+		return "gob"
+	default:
+		return fmt.Sprintf("codec(%d)", int(c))
+	}
+}
+
+// Default values for the transport knobs (see Config).
+const (
+	DefaultSendQueue   = 4096
+	DefaultFlushEvery  = 200 * time.Microsecond
+	DefaultDialTimeout = time.Second
+)
 
 // Config configures a live runtime. By default it hosts every process of
 // topo in one OS process (each on its own localhost TCP port); set Local
@@ -80,9 +137,29 @@ type Config struct {
 	// (defaults 50 ms and 250 ms).
 	HeartbeatEvery time.Duration
 	SuspectAfter   time.Duration
+	// SendQueue bounds each connection's outbound frame queue (default
+	// 4096). A full queue drops the frame instead of blocking the sender's
+	// process loop; protocol retry timers recover drops toward live peers.
+	SendQueue int
+	// FlushEvery caps how long an encoded frame may sit in a connection's
+	// write buffer before it is flushed (default 200 µs). Within the
+	// window the writer coalesces every queued frame into one syscall.
+	FlushEvery time.Duration
+	// DialTimeout bounds each connect attempt (default 1 s). Dials run on
+	// writer goroutines, never on process loops; after a failed dial the
+	// connection backs off for DialTimeout before trying again, dropping
+	// frames meanwhile.
+	DialTimeout time.Duration
+	// Codec selects the wire format (default CodecWire). Both ends of a
+	// deployment must agree.
+	Codec Codec
 	// Recorder receives measurement events; it is locked internally.
 	// Nil discards.
 	Recorder node.Recorder
+	// Trace, when non-nil, receives debug trace lines (Tracef). It may be
+	// called from any runtime goroutine; the runtime serialises calls.
+	// When nil and WANAMCAST_TCP_DEBUG is set, traces go to stderr.
+	Trace func(format string, args ...any)
 }
 
 // Runtime is the live counterpart of node.Runtime.
@@ -99,8 +176,11 @@ type Runtime struct {
 
 	listeners []net.Listener
 	connMu    sync.Mutex
-	conns     map[connKey]*connection
-	accepted  []net.Conn
+	links     map[connKey]*link
+	open      []net.Conn // every live socket, inbound and outbound; closed by Stop
+
+	traceMu sync.Mutex
+	trace   func(format string, args ...any)
 
 	stopOnce sync.Once
 	done     chan struct{}
@@ -110,13 +190,6 @@ type Runtime struct {
 type connKey struct {
 	from, to types.ProcessID
 }
-
-type connection struct {
-	c   net.Conn
-	enc *gob.Encoder
-}
-
-var debugTCP = os.Getenv("WANAMCAST_TCP_DEBUG") != ""
 
 var _ node.Env = (*Runtime)(nil)
 
@@ -137,15 +210,31 @@ func New(cfg Config) *Runtime {
 	if cfg.SuspectAfter == 0 {
 		cfg.SuspectAfter = 250 * time.Millisecond
 	}
+	if cfg.SendQueue <= 0 {
+		cfg.SendQueue = DefaultSendQueue
+	}
+	if cfg.FlushEvery <= 0 {
+		cfg.FlushEvery = DefaultFlushEvery
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = DefaultDialTimeout
+	}
 	rec := cfg.Recorder
 	if rec == nil {
 		rec = node.NopRecorder{}
+	}
+	trace := cfg.Trace
+	if trace == nil && os.Getenv("WANAMCAST_TCP_DEBUG") != "" {
+		trace = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "DEBUG "+format+"\n", args...)
+		}
 	}
 	rt := &Runtime{
 		cfg:   cfg,
 		topo:  cfg.Topo,
 		rec:   &lockedRecorder{inner: rec},
-		conns: make(map[connKey]*connection),
+		links: make(map[connKey]*link),
+		trace: trace,
 		done:  make(chan struct{}),
 	}
 	n := cfg.Topo.N()
@@ -214,18 +303,19 @@ func (rt *Runtime) Start() error {
 // Stop terminates the runtime: loops stop, sockets close.
 func (rt *Runtime) Stop() {
 	rt.stopOnce.Do(func() {
-		close(rt.done)
-		for _, ln := range rt.listeners {
-			_ = ln.Close()
-		}
+		// done is closed under connMu so link() cannot wg.Add a new writer
+		// after the shutdown decision (its done-check holds the same lock),
+		// and every socket is closed so writer goroutines stuck in a write
+		// to a wedged peer unblock — wg.Wait() below cannot hang.
 		rt.connMu.Lock()
-		for _, c := range rt.conns {
-			_ = c.c.Close()
-		}
-		for _, c := range rt.accepted {
+		close(rt.done)
+		for _, c := range rt.open {
 			_ = c.Close()
 		}
 		rt.connMu.Unlock()
+		for _, ln := range rt.listeners {
+			_ = ln.Close()
+		}
 	})
 	rt.wg.Wait()
 }
@@ -270,6 +360,34 @@ func (rt *Runtime) procLoop(id types.ProcessID) {
 	}
 }
 
+// track registers a socket for closure by Stop; sockets opened after Stop
+// are closed immediately.
+func (rt *Runtime) track(c net.Conn) {
+	rt.connMu.Lock()
+	defer rt.connMu.Unlock()
+	select {
+	case <-rt.done:
+		_ = c.Close()
+	default:
+	}
+	rt.open = append(rt.open, c)
+}
+
+// untrack forgets a socket its owner has closed, so flapping peers do not
+// accumulate dead entries in rt.open across reconnects.
+func (rt *Runtime) untrack(c net.Conn) {
+	rt.connMu.Lock()
+	defer rt.connMu.Unlock()
+	for i, x := range rt.open {
+		if x == c {
+			rt.open[i] = rt.open[len(rt.open)-1]
+			rt.open[len(rt.open)-1] = nil
+			rt.open = rt.open[:len(rt.open)-1]
+			return
+		}
+	}
+}
+
 func (rt *Runtime) acceptLoop(id types.ProcessID, ln net.Listener) {
 	defer rt.wg.Done()
 	for {
@@ -277,9 +395,7 @@ func (rt *Runtime) acceptLoop(id types.ProcessID, ln net.Listener) {
 		if err != nil {
 			return // listener closed
 		}
-		rt.connMu.Lock()
-		rt.accepted = append(rt.accepted, conn)
-		rt.connMu.Unlock()
+		rt.track(conn)
 		rt.wg.Add(1)
 		go rt.readLoop(id, conn)
 	}
@@ -287,37 +403,73 @@ func (rt *Runtime) acceptLoop(id types.ProcessID, ln net.Listener) {
 
 func (rt *Runtime) readLoop(to types.ProcessID, conn net.Conn) {
 	defer rt.wg.Done()
-	defer conn.Close()
-	dec := gob.NewDecoder(conn)
-	for {
-		var f frame
-		if err := dec.Decode(&f); err != nil {
-			if debugTCP {
-				fmt.Printf("DEBUG decode error at p%d: %v\n", to, err)
+	defer func() {
+		_ = conn.Close()
+		rt.untrack(conn)
+	}()
+	if rt.cfg.Codec == CodecGob {
+		dec := gob.NewDecoder(bufio.NewReaderSize(conn, 64<<10))
+		for {
+			var f gobFrame
+			if err := dec.Decode(&f); err != nil {
+				rt.Tracef("decode error at %v: %v", to, err)
+				return // connection closed or corrupt; peers redial
 			}
+			if !rt.validFrom(f.From) {
+				rt.Tracef("drop frame at %v: sender %d outside topology", to, int(f.From))
+				return
+			}
+			rt.dispatch(to, wire.Frame{From: f.From, Proto: f.Proto, TS: f.TS, Body: f.Body})
+		}
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var scratch []byte
+	for {
+		f, err := wire.ReadFrame(br, &scratch)
+		if err != nil {
+			rt.Tracef("decode error at %v: %v", to, err)
 			return // connection closed or corrupt; peers redial
 		}
-		delay := rt.cfg.LANDelay
-		if !rt.topo.SameGroup(f.From, to) {
-			delay = rt.cfg.WANDelay
+		if !rt.validFrom(f.From) {
+			rt.Tracef("drop frame at %v: sender %d outside topology", to, int(f.From))
+			return
 		}
-		if debugTCP && f.Proto != "fd" {
-			fmt.Printf("DEBUG %v recv %v->%v %s %+v\n", time.Since(rt.start).Round(time.Millisecond), f.From, to, f.Proto, f.Body)
-		}
-		// f is declared inside the loop body, so each closure captures its
-		// own frame.
-		deliver := func() {
-			rt.enqueue(to, func() {
-				if rt.procs[to] != nil {
-					rt.procs[to].Deliver(f.From, f.Proto, f.Body, f.TS)
-				}
-			})
-		}
-		if delay > 0 {
-			time.AfterFunc(delay, deliver)
-		} else {
-			deliver()
-		}
+		rt.dispatch(to, f)
+	}
+}
+
+// validFrom guards the receive path against sender IDs outside this
+// runtime's topology (a corrupt varint or a peer configured with a
+// different Π): the topology lookups in dispatch panic on them, and a
+// malformed frame must cost a connection, never the process.
+func (rt *Runtime) validFrom(from types.ProcessID) bool {
+	return from >= 0 && int(from) < rt.topo.N()
+}
+
+// dispatch applies the injected link delay and hands the frame to the
+// receiver's event loop.
+func (rt *Runtime) dispatch(to types.ProcessID, f wire.Frame) {
+	delay := rt.cfg.LANDelay
+	if !rt.topo.SameGroup(f.From, to) {
+		delay = rt.cfg.WANDelay
+	}
+	// The nil check must come before the call: building the variadic args
+	// boxes every operand, which would put allocations back on the
+	// receive hot path whenever tracing is off (the default).
+	if rt.trace != nil && f.Proto != "fd" {
+		rt.Tracef("%v recv %v->%v %s %+v", time.Since(rt.start).Round(time.Millisecond), f.From, to, f.Proto, f.Body)
+	}
+	deliver := func() {
+		rt.enqueue(to, func() {
+			if rt.procs[to] != nil {
+				rt.procs[to].Deliver(f.From, f.Proto, f.Body, f.TS)
+			}
+		})
+	}
+	if delay > 0 {
+		time.AfterFunc(delay, deliver)
+	} else {
+		deliver()
 	}
 }
 
@@ -327,72 +479,198 @@ func (rt *Runtime) Now() time.Duration { return time.Since(rt.start) }
 // Recorder implements node.Env.
 func (rt *Runtime) Recorder() node.Recorder { return rt.rec }
 
-// Tracef implements node.Env.
-func (rt *Runtime) Tracef(string, ...any) {}
-
-// Later implements node.Env.
-func (rt *Runtime) Later(owner *node.Proc, d time.Duration, fn func()) {
-	id := owner.Self()
-	if d <= 0 {
-		rt.enqueue(id, fn)
+// Tracef implements node.Env: trace lines go to Config.Trace (or stderr
+// under WANAMCAST_TCP_DEBUG), serialised across the runtime's goroutines,
+// so live tracing composes with protocol Tracef calls exactly like the
+// simulator's.
+func (rt *Runtime) Tracef(format string, args ...any) {
+	if rt.trace == nil {
 		return
 	}
-	time.AfterFunc(d, func() { rt.enqueue(id, fn) })
+	rt.traceMu.Lock()
+	defer rt.traceMu.Unlock()
+	rt.trace(format, args...)
 }
 
-// Transmit implements node.Env. It runs on the sender's loop; self-sends
-// short-circuit through the inbox.
+// Later implements node.Env. Timer callbacks whose owning process has
+// crashed by fire time are dropped, matching node.Runtime.Later: a dead
+// node must not keep driving consensus rounds. The crash flag is
+// loop-confined state, so the check runs on the owner's loop.
+func (rt *Runtime) Later(owner *node.Proc, d time.Duration, fn func()) {
+	id := owner.Self()
+	run := func() {
+		if owner.Crashed() {
+			return
+		}
+		fn()
+	}
+	if d <= 0 {
+		rt.enqueue(id, run)
+		return
+	}
+	time.AfterFunc(d, func() { rt.enqueue(id, run) })
+}
+
+// Transmit implements node.Env. It runs on the sender's loop and never
+// blocks: self-sends short-circuit through the inbox and remote sends are
+// enqueued to the connection's writer goroutine (dropping if the bounded
+// queue is full).
 func (rt *Runtime) Transmit(from, to types.ProcessID, proto string, body any, sendTS int64) {
 	if from == to {
 		rt.enqueue(to, func() { rt.procs[to].Deliver(from, proto, body, sendTS) })
 		return
 	}
-	interGroup := !rt.topo.SameGroup(from, to)
-	rt.rec.OnSend(proto, from, to, interGroup, rt.Now())
-	conn, err := rt.conn(from, to)
-	if err != nil {
-		if debugTCP {
-			fmt.Printf("DEBUG dial error %v->%v: %v\n", from, to, err)
-		}
-		return // unreachable peer: quasi-reliable links lose nothing between correct processes; a dead peer does not matter
+	l := rt.link(from, to)
+	if l == nil {
+		return // runtime stopped
 	}
-	if err := conn.enc.Encode(frame{From: from, Proto: proto, TS: sendTS, Body: body}); err != nil {
-		if debugTCP {
-			fmt.Printf("DEBUG encode error %v->%v proto=%s: %v\n", from, to, proto, err)
-		}
-		rt.dropConn(from, to)
+	select {
+	case l.queue <- outFrame{proto: proto, ts: sendTS, body: body}:
+		// Record only frames actually handed to a writer: counting drops
+		// as sends would skew message statistics in exactly the overload
+		// regime the queue bound exists for.
+		rt.rec.OnSend(proto, from, to, !rt.topo.SameGroup(from, to), rt.Now())
+	default:
+		rt.Tracef("send queue full: drop %v->%v %s", from, to, proto)
 	}
 }
 
-func (rt *Runtime) conn(from, to types.ProcessID) (*connection, error) {
+// link returns (creating on first use) the outbound connection state for
+// the (from, to) pair, or nil if the runtime has stopped.
+func (rt *Runtime) link(from, to types.ProcessID) *link {
 	rt.connMu.Lock()
 	defer rt.connMu.Unlock()
 	key := connKey{from, to}
-	if c, ok := rt.conns[key]; ok {
-		return c, nil
+	if l, ok := rt.links[key]; ok {
+		return l
 	}
 	select {
 	case <-rt.done:
-		return nil, errors.New("tcp: runtime stopped")
+		return nil
 	default:
 	}
-	c, err := net.DialTimeout("tcp", rt.addr(to), time.Second)
-	if err != nil {
-		return nil, err
+	l := &link{
+		rt:    rt,
+		from:  from,
+		to:    to,
+		queue: make(chan outFrame, rt.cfg.SendQueue),
 	}
-	conn := &connection{c: c, enc: gob.NewEncoder(c)}
-	rt.conns[key] = conn
-	return conn, nil
+	rt.links[key] = l
+	rt.wg.Add(1)
+	go l.writeLoop()
+	return l
 }
 
-func (rt *Runtime) dropConn(from, to types.ProcessID) {
-	rt.connMu.Lock()
-	defer rt.connMu.Unlock()
-	key := connKey{from, to}
-	if c, ok := rt.conns[key]; ok {
-		_ = c.c.Close()
-		delete(rt.conns, key)
+// outFrame is one queued send; the sender's identity lives on the link.
+type outFrame struct {
+	proto string
+	ts    int64
+	body  any
+}
+
+// link owns one outbound TCP connection: a bounded frame queue drained by a
+// single writer goroutine that dials, encodes, and writes with coalesced
+// flushes.
+type link struct {
+	rt       *Runtime
+	from, to types.ProcessID
+	queue    chan outFrame
+}
+
+func (l *link) writeLoop() {
+	rt := l.rt
+	defer rt.wg.Done()
+	var (
+		conn     net.Conn
+		bw       *bufio.Writer
+		genc     *gob.Encoder
+		buf      []byte // reused wire-encode buffer; zero-alloc steady state
+		nextDial time.Time
+	)
+	// teardown closes the connection after a write error. It does NOT arm
+	// the dial backoff: a transient error on an established connection
+	// (peer restarted its listener, one RST) should redial immediately —
+	// blacking the link out for DialTimeout would drop heartbeats long
+	// enough to falsely suspect a live peer. Only failed dials back off.
+	teardown := func() {
+		if conn != nil {
+			_ = conn.Close()
+			rt.untrack(conn)
+		}
+		conn, bw, genc = nil, nil, nil
 	}
+	defer func() {
+		if conn != nil {
+			_ = conn.Close()
+			rt.untrack(conn)
+		}
+	}()
+	for {
+		var f outFrame
+		select {
+		case f = <-l.queue:
+		case <-rt.done:
+			return
+		}
+		if conn == nil {
+			if time.Now().Before(nextDial) {
+				continue // peer presumed dead: drop until the backoff expires
+			}
+			c, err := net.DialTimeout("tcp", rt.addr(l.to), rt.cfg.DialTimeout)
+			if err != nil {
+				rt.Tracef("dial error %v->%v: %v", l.from, l.to, err)
+				nextDial = time.Now().Add(rt.cfg.DialTimeout)
+				continue // unreachable peer: quasi-reliable links lose nothing between correct processes
+			}
+			conn = c
+			rt.track(conn)
+			bw = bufio.NewWriterSize(conn, 64<<10)
+			if rt.cfg.Codec == CodecGob {
+				genc = gob.NewEncoder(bw)
+			}
+		}
+		// Coalesce: keep encoding queued frames into the write buffer for
+		// at most FlushEvery, then flush them as one syscall (bufio flushes
+		// on its own if the batch outgrows the buffer).
+		deadline := time.Now().Add(rt.cfg.FlushEvery)
+		err := l.writeFrame(bw, genc, &buf, f)
+		for err == nil && time.Now().Before(deadline) {
+			var more bool
+			select {
+			case f = <-l.queue:
+				more = true
+			default:
+			}
+			if !more {
+				break
+			}
+			err = l.writeFrame(bw, genc, &buf, f)
+		}
+		if err == nil {
+			err = bw.Flush()
+		}
+		if err != nil {
+			rt.Tracef("write error %v->%v: %v", l.from, l.to, err)
+			teardown()
+		}
+	}
+}
+
+// writeFrame encodes one frame into the connection's write buffer.
+func (l *link) writeFrame(bw *bufio.Writer, genc *gob.Encoder, buf *[]byte, f outFrame) error {
+	if genc != nil {
+		return genc.Encode(gobFrame{From: l.from, Proto: f.proto, TS: f.ts, Body: f.body})
+	}
+	b, err := wire.AppendFrame((*buf)[:0], l.from, f.proto, f.ts, f.body)
+	if err != nil {
+		// The body itself is unencodable (e.g. an unregistered exotic
+		// payload): drop this frame, keep the connection.
+		l.rt.Tracef("encode error %v->%v %s: %v", l.from, l.to, f.proto, err)
+		return nil
+	}
+	*buf = b
+	_, err = bw.Write(b)
+	return err
 }
 
 // lockedRecorder makes any Recorder safe for the live runtime's loops.

@@ -58,6 +58,26 @@ func (id MessageID) Less(other MessageID) bool {
 // IsZero reports whether id is the zero MessageID (never assigned to a cast).
 func (id MessageID) IsZero() bool { return id.Origin == 0 && id.Seq == 0 }
 
+// AppendTo appends id's wire encoding (origin varint, seq uvarint).
+func (id MessageID) AppendTo(buf []byte) []byte {
+	buf = binary.AppendVarint(buf, int64(id.Origin))
+	return binary.AppendUvarint(buf, id.Seq)
+}
+
+// DecodeMessageID consumes one MessageID and returns the remainder.
+func DecodeMessageID(data []byte) (MessageID, []byte, error) {
+	origin, n := binary.Varint(data)
+	if n <= 0 {
+		return MessageID{}, nil, fmt.Errorf("types: corrupt MessageID origin")
+	}
+	data = data[n:]
+	seq, n := binary.Uvarint(data)
+	if n <= 0 {
+		return MessageID{}, nil, fmt.Errorf("types: corrupt MessageID seq")
+	}
+	return MessageID{Origin: ProcessID(origin), Seq: seq}, data[n:], nil
+}
+
 // GroupSet is an immutable set of destination groups (m.dest in the paper).
 // The zero value is the empty set. Construct with NewGroupSet.
 type GroupSet struct {
@@ -120,34 +140,64 @@ func (s GroupSet) String() string {
 	return "{" + strings.Join(parts, ",") + "}"
 }
 
-// MarshalBinary implements encoding.BinaryMarshaler so GroupSets survive
-// gob encoding on the live TCP transport despite the unexported field.
-func (s GroupSet) MarshalBinary() ([]byte, error) {
-	buf := make([]byte, 0, 2+4*len(s.groups))
+// AppendTo appends the set's wire encoding: a uvarint count followed by one
+// varint per group, in ascending order.
+func (s GroupSet) AppendTo(buf []byte) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(s.groups)))
 	for _, g := range s.groups {
 		buf = binary.AppendVarint(buf, int64(g))
 	}
-	return buf, nil
+	return buf
+}
+
+// DecodeGroupSet consumes one GroupSet and returns the remainder. Input that
+// is not sorted and deduplicated (which AppendTo never produces) is
+// re-canonicalised rather than rejected, so a decoded set always upholds the
+// GroupSet invariant even on hostile bytes.
+func DecodeGroupSet(data []byte) (GroupSet, []byte, error) {
+	n, read := binary.Uvarint(data)
+	if read <= 0 {
+		return GroupSet{}, nil, fmt.Errorf("types: corrupt GroupSet header")
+	}
+	data = data[read:]
+	if n > uint64(len(data)) { // each element takes at least one byte
+		return GroupSet{}, nil, fmt.Errorf("types: GroupSet length %d exceeds input", n)
+	}
+	if n == 0 {
+		return GroupSet{}, data, nil
+	}
+	groups := make([]GroupID, 0, n)
+	canonical := true
+	for i := uint64(0); i < n; i++ {
+		v, read := binary.Varint(data)
+		if read <= 0 {
+			return GroupSet{}, nil, fmt.Errorf("types: corrupt GroupSet element %d", i)
+		}
+		data = data[read:]
+		if len(groups) > 0 && groups[len(groups)-1] >= GroupID(v) {
+			canonical = false
+		}
+		groups = append(groups, GroupID(v))
+	}
+	if !canonical {
+		return NewGroupSet(groups...), data, nil
+	}
+	return GroupSet{groups: groups}, data, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler so GroupSets survive
+// gob encoding on the live TCP transport despite the unexported field.
+func (s GroupSet) MarshalBinary() ([]byte, error) {
+	return s.AppendTo(make([]byte, 0, 2+4*len(s.groups))), nil
 }
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler.
 func (s *GroupSet) UnmarshalBinary(data []byte) error {
-	n, read := binary.Uvarint(data)
-	if read <= 0 {
-		return fmt.Errorf("types: corrupt GroupSet header")
+	set, _, err := DecodeGroupSet(data)
+	if err != nil {
+		return err
 	}
-	data = data[read:]
-	groups := make([]GroupID, 0, n)
-	for i := uint64(0); i < n; i++ {
-		v, read := binary.Varint(data)
-		if read <= 0 {
-			return fmt.Errorf("types: corrupt GroupSet element %d", i)
-		}
-		data = data[read:]
-		groups = append(groups, GroupID(v))
-	}
-	*s = NewGroupSet(groups...)
+	*s = set
 	return nil
 }
 

@@ -1,0 +1,461 @@
+// Package wire is the zero-allocation binary codec of the live TCP
+// transport: a length-prefixed frame envelope plus a per-message-kind codec
+// registry.
+//
+// Every protocol message of this repository encodes itself with an
+// append-style AppendTo([]byte) []byte / DecodeFrom([]byte) pair (the
+// GroupSet.MarshalBinary pattern from internal/types, generalised), and
+// registers its codec here under a Kind byte from the catalog below. The
+// registry is what lets consensus values and application payloads stay
+// `any` end to end: AppendValue dispatches on the dynamic type — common
+// scalars inline, registered messages through their codec, and everything
+// else through a tagged encoding/gob blob (so arbitrary user payloads keep
+// working exactly as they did on the pure-gob transport, including the
+// gob.Register requirement for non-basic types).
+//
+// Wire layout of one frame:
+//
+//	[4-byte big-endian length][from varint][proto string][ts varint][value]
+//
+// where a value is one Kind byte followed by the kind-specific body, and a
+// string is a uvarint length followed by its bytes. Encoding appends into a
+// caller-owned buffer and decoding reads out of a caller-owned buffer, so
+// the steady-state hot path of the transport allocates nothing for the
+// envelope: the only allocations are the decoded message structures
+// themselves. Decoded byte slices alias the input buffer; decoders that
+// retain data (strings, payload copies) copy it out.
+//
+// The codec is explicitly not self-describing: both ends must run the same
+// catalog. Unknown kinds and truncated or oversized frames decode to
+// errors, never panics — the transport drops the connection and peers
+// redial, the same channel-level contract the gob stream had.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"reflect"
+	"sync"
+
+	"wanamcast/internal/types"
+)
+
+// Kind identifies a registered wire encoding. The catalog is assigned here,
+// centrally, so the kind space stays collision-free while each protocol
+// package owns its own codec implementations.
+type Kind byte
+
+const (
+	// KindInvalid is never written; a zero kind on the wire is corruption.
+	KindInvalid Kind = 0
+
+	// Scalar value kinds, encoded inline by AppendValue.
+	KindGob     Kind = 1 // uvarint length + encoding/gob blob of a wrapped any
+	KindNil     Kind = 2 // empty body: the nil interface
+	KindBool    Kind = 3 // one byte, 0 or 1
+	KindInt     Kind = 4 // varint, decodes as int
+	KindInt64   Kind = 5 // varint
+	KindUint64  Kind = 6 // uvarint
+	KindFloat64 Kind = 7 // 8-byte big-endian IEEE 754
+	KindString  Kind = 8 // uvarint length + bytes
+	KindBytes   Kind = 9 // uvarint length + bytes
+
+	// Protocol message kinds. The codecs live next to the message types and
+	// self-register in their package's init.
+	KindConsensusForward  Kind = 16 // consensus.ForwardMsg
+	KindConsensusPrepare  Kind = 17 // consensus.PrepareMsg
+	KindConsensusPromise  Kind = 18 // consensus.PromiseMsg
+	KindConsensusAccept   Kind = 19 // consensus.AcceptMsg
+	KindConsensusAccepted Kind = 20 // consensus.AcceptedMsg
+	KindConsensusDecide   Kind = 21 // consensus.DecideMsg
+	KindRMcastData        Kind = 24 // rmcast.DataMsg
+	KindRMcastMessage     Kind = 25 // rmcast.Message (as a payload value)
+	KindAMcastTS          Kind = 28 // amcast.TSMsg
+	KindAMcastDescriptors Kind = 29 // []amcast.Descriptor (consensus value)
+	KindABcastBundle      Kind = 32 // abcast.BundleMsg
+	KindABcastRecords     Kind = 33 // []abcast.Record (consensus value)
+	KindSkeenData         Kind = 36 // baseline.SkeenData
+	KindSkeenProp         Kind = 37 // baseline.SkeenProp
+	KindHeartbeat         Kind = 40 // tcp heartbeatMsg (empty body)
+)
+
+// MaxFrame bounds one frame on the wire. A larger length prefix is treated
+// as stream corruption: the reader drops the connection rather than
+// allocating attacker-controlled amounts of memory.
+const MaxFrame = 64 << 20
+
+// ErrCorrupt reports a malformed buffer. All decode errors wrap it.
+var ErrCorrupt = errors.New("wire: corrupt data")
+
+func corrupt(what string) error { return fmt.Errorf("%w: %s", ErrCorrupt, what) }
+
+type codec struct {
+	kind   Kind
+	append func(buf []byte, v any) []byte
+	decode func(data []byte) (any, []byte, error)
+}
+
+var (
+	regMu  sync.RWMutex
+	byType = make(map[reflect.Type]*codec)
+	byKind [256]*codec
+)
+
+// Register installs the codec for message type T under kind. It is meant to
+// be called from package init functions; registering a kind or a type twice
+// is a wiring bug and panics. enc appends T's body (without the kind byte);
+// dec decodes it and returns the unconsumed remainder.
+func Register[T any](kind Kind, enc func(buf []byte, v T) []byte, dec func(data []byte) (T, []byte, error)) {
+	rt := reflect.TypeOf((*T)(nil)).Elem()
+	c := &codec{
+		kind:   kind,
+		append: func(buf []byte, v any) []byte { return enc(buf, v.(T)) },
+		decode: func(data []byte) (any, []byte, error) { return dec(data) },
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if byKind[kind] != nil {
+		panic(fmt.Sprintf("wire: kind %d registered twice", kind))
+	}
+	if _, dup := byType[rt]; dup {
+		panic(fmt.Sprintf("wire: type %v registered twice", rt))
+	}
+	byKind[kind] = c
+	byType[rt] = c
+}
+
+func lookupType(rt reflect.Type) *codec {
+	regMu.RLock()
+	c := byType[rt]
+	regMu.RUnlock()
+	return c
+}
+
+func lookupKind(k Kind) *codec {
+	regMu.RLock()
+	c := byKind[k]
+	regMu.RUnlock()
+	return c
+}
+
+// --- primitives -----------------------------------------------------------
+
+// AppendUvarint appends x in unsigned varint encoding.
+func AppendUvarint(buf []byte, x uint64) []byte { return binary.AppendUvarint(buf, x) }
+
+// AppendVarint appends x in zig-zag varint encoding.
+func AppendVarint(buf []byte, x int64) []byte { return binary.AppendVarint(buf, x) }
+
+// AppendString appends a uvarint length followed by the string bytes.
+func AppendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// AppendBytes appends a uvarint length followed by b.
+func AppendBytes(buf []byte, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+// Uvarint consumes an unsigned varint and returns the remainder.
+func Uvarint(data []byte) (uint64, []byte, error) {
+	x, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, nil, corrupt("uvarint")
+	}
+	return x, data[n:], nil
+}
+
+// Varint consumes a zig-zag varint and returns the remainder.
+func Varint(data []byte) (int64, []byte, error) {
+	x, n := binary.Varint(data)
+	if n <= 0 {
+		return 0, nil, corrupt("varint")
+	}
+	return x, data[n:], nil
+}
+
+// Bytes consumes a length-prefixed byte slice. The returned slice ALIASES
+// data; callers that retain it must copy.
+func Bytes(data []byte) ([]byte, []byte, error) {
+	n, data, err := Uvarint(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(data)) {
+		return nil, nil, corrupt("byte-slice length exceeds input")
+	}
+	return data[:n], data[n:], nil
+}
+
+// String consumes a length-prefixed string (copying out of data).
+func String(data []byte) (string, []byte, error) {
+	b, rest, err := Bytes(data)
+	if err != nil {
+		return "", nil, err
+	}
+	return string(b), rest, nil
+}
+
+// SliceLen consumes a uvarint element count and validates it against the
+// remaining input: each element needs at least one byte, so a count beyond
+// len(rest) is corruption. Use it before make()ing a decoded slice so a
+// crafted length prefix cannot force a huge allocation.
+func SliceLen(data []byte) (int, []byte, error) {
+	n, rest, err := Uvarint(data)
+	if err != nil {
+		return 0, nil, err
+	}
+	if n > uint64(len(rest)) {
+		return 0, nil, corrupt("slice length exceeds input")
+	}
+	return int(n), rest, nil
+}
+
+// --- proto-label interning ------------------------------------------------
+
+var (
+	internMu sync.RWMutex
+	interned = make(map[string]string)
+)
+
+// internBounds cap the process-global intern cache: protocol labels are a
+// small static set of short strings per deployment, so anything past these
+// bounds is garbage from a misbehaving peer — it still decodes (as an
+// uncached copy) but must not grow memory forever.
+const (
+	maxInternLen     = 128
+	maxInternEntries = 4096
+)
+
+// Intern returns the canonical string for b, allocating only the first time
+// a label is seen. Protocol labels are a small static set per run, so the
+// read path is a lock + map hit with no conversion allocation.
+func Intern(b []byte) string {
+	internMu.RLock()
+	s, ok := interned[string(b)]
+	internMu.RUnlock()
+	if ok {
+		return s
+	}
+	if len(b) > maxInternLen {
+		return string(b)
+	}
+	internMu.Lock()
+	defer internMu.Unlock()
+	if s, ok := interned[string(b)]; ok {
+		return s
+	}
+	s = string(b)
+	if len(interned) < maxInternEntries {
+		interned[s] = s
+	}
+	return s
+}
+
+// --- values ---------------------------------------------------------------
+
+// gobValue wraps a payload for the gob fallback: gob round-trips interface
+// values only through a concrete wrapper, and the concrete payload type must
+// be gob.Register'ed by the caller (the same contract the all-gob transport
+// had).
+type gobValue struct{ V any }
+
+type encodeError struct{ err error }
+
+// AppendValue appends one tagged value: a Kind byte plus the kind-specific
+// body. Unregistered types fall back to a gob blob; a payload even gob
+// cannot encode (unregistered concrete type, channels, funcs) panics with
+// an error AppendFrame translates back into an error return.
+func AppendValue(buf []byte, v any) []byte {
+	switch x := v.(type) {
+	case nil:
+		return append(buf, byte(KindNil))
+	case bool:
+		b := byte(0)
+		if x {
+			b = 1
+		}
+		return append(buf, byte(KindBool), b)
+	case int:
+		buf = append(buf, byte(KindInt))
+		return binary.AppendVarint(buf, int64(x))
+	case int64:
+		buf = append(buf, byte(KindInt64))
+		return binary.AppendVarint(buf, x)
+	case uint64:
+		buf = append(buf, byte(KindUint64))
+		return binary.AppendUvarint(buf, x)
+	case float64:
+		buf = append(buf, byte(KindFloat64))
+		return binary.BigEndian.AppendUint64(buf, math.Float64bits(x))
+	case string:
+		buf = append(buf, byte(KindString))
+		return AppendString(buf, x)
+	case []byte:
+		buf = append(buf, byte(KindBytes))
+		return AppendBytes(buf, x)
+	}
+	if c := lookupType(reflect.TypeOf(v)); c != nil {
+		buf = append(buf, byte(c.kind))
+		return c.append(buf, v)
+	}
+	var bb bytes.Buffer
+	if err := gob.NewEncoder(&bb).Encode(&gobValue{V: v}); err != nil {
+		panic(encodeError{fmt.Errorf("wire: gob fallback for %T: %w", v, err)})
+	}
+	buf = append(buf, byte(KindGob))
+	return AppendBytes(buf, bb.Bytes())
+}
+
+// DecodeValue consumes one tagged value and returns the remainder.
+func DecodeValue(data []byte) (any, []byte, error) {
+	if len(data) == 0 {
+		return nil, nil, corrupt("missing value kind")
+	}
+	kind, data := Kind(data[0]), data[1:]
+	switch kind {
+	case KindNil:
+		return nil, data, nil
+	case KindBool:
+		if len(data) == 0 {
+			return nil, nil, corrupt("bool")
+		}
+		return data[0] != 0, data[1:], nil
+	case KindInt:
+		x, rest, err := Varint(data)
+		return int(x), rest, err
+	case KindInt64:
+		x, rest, err := Varint(data)
+		return x, rest, err
+	case KindUint64:
+		x, rest, err := Uvarint(data)
+		return x, rest, err
+	case KindFloat64:
+		if len(data) < 8 {
+			return nil, nil, corrupt("float64")
+		}
+		return math.Float64frombits(binary.BigEndian.Uint64(data)), data[8:], nil
+	case KindString:
+		s, rest, err := String(data)
+		return s, rest, err
+	case KindBytes:
+		b, rest, err := Bytes(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		return append([]byte(nil), b...), rest, nil
+	case KindGob:
+		blob, rest, err := Bytes(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		var gv gobValue
+		if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&gv); err != nil {
+			return nil, nil, fmt.Errorf("%w: gob blob: %v", ErrCorrupt, err)
+		}
+		return gv.V, rest, nil
+	}
+	if c := lookupKind(kind); c != nil {
+		return c.decode(data)
+	}
+	return nil, nil, corrupt(fmt.Sprintf("unknown kind %d", kind))
+}
+
+// --- frames ---------------------------------------------------------------
+
+// Frame is the decoded transport envelope.
+type Frame struct {
+	From  types.ProcessID
+	Proto string
+	TS    int64
+	Body  any
+}
+
+// AppendFrame appends one length-prefixed frame to buf. The returned error
+// is non-nil only when the body cannot be encoded at all (gob fallback
+// failure); the buffer is unchanged in that case.
+func AppendFrame(buf []byte, from types.ProcessID, proto string, ts int64, body any) (out []byte, err error) {
+	start := len(buf)
+	defer func() {
+		if r := recover(); r != nil {
+			ee, ok := r.(encodeError)
+			if !ok {
+				panic(r)
+			}
+			out, err = buf[:start], ee.err
+		}
+	}()
+	buf = append(buf, 0, 0, 0, 0)
+	buf = binary.AppendVarint(buf, int64(from))
+	buf = AppendString(buf, proto)
+	buf = binary.AppendVarint(buf, ts)
+	buf = AppendValue(buf, body)
+	n := len(buf) - start - 4
+	if n > MaxFrame {
+		// A frame no reader would accept (and, past 4 GiB, one whose
+		// length prefix would wrap and desynchronise the stream) must be
+		// rejected at the sender.
+		return buf[:start], fmt.Errorf("wire: frame body of %d bytes exceeds MaxFrame (%d)", n, MaxFrame)
+	}
+	binary.BigEndian.PutUint32(buf[start:], uint32(n))
+	return buf, nil
+}
+
+// DecodeFrame decodes one frame body (the bytes AFTER the length prefix).
+// It never panics on malformed input.
+func DecodeFrame(data []byte) (Frame, error) {
+	var f Frame
+	from, data, err := Varint(data)
+	if err != nil {
+		return f, err
+	}
+	proto, data, err := Bytes(data)
+	if err != nil {
+		return f, err
+	}
+	ts, data, err := Varint(data)
+	if err != nil {
+		return f, err
+	}
+	body, data, err := DecodeValue(data)
+	if err != nil {
+		return f, err
+	}
+	if len(data) != 0 {
+		return f, corrupt("trailing bytes after frame body")
+	}
+	f.From = types.ProcessID(from)
+	f.Proto = Intern(proto)
+	f.TS = ts
+	f.Body = body
+	return f, nil
+}
+
+// ReadFrame reads one length-prefixed frame from r, reusing *scratch as the
+// receive buffer (growing it as needed). On success the returned Frame's
+// Body owns its memory; *scratch may be reused for the next frame.
+func ReadFrame(r io.Reader, scratch *[]byte) (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return Frame{}, corrupt(fmt.Sprintf("frame length %d exceeds MaxFrame", n))
+	}
+	if uint32(cap(*scratch)) < n {
+		*scratch = make([]byte, n)
+	}
+	buf := (*scratch)[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Frame{}, err
+	}
+	return DecodeFrame(buf)
+}

@@ -34,6 +34,25 @@ type LiveConfig struct {
 	// MaxBatch caps how many messages one consensus instance may order,
 	// for both A1 and A2 (default 0: unbounded, the paper's rule).
 	MaxBatch int
+	// SendQueue bounds each TCP connection's outbound frame queue
+	// (default 4096); a full queue drops frames instead of blocking a
+	// process loop, and protocol retries recover the drops.
+	SendQueue int
+	// FlushEvery caps how long the TCP writer may coalesce frames before
+	// flushing them in one syscall (default 200 µs).
+	FlushEvery time.Duration
+	// GobCodec reverts the transport to the legacy encoding/gob stream
+	// (the benchmark baseline). The default is the zero-allocation
+	// internal/wire codec.
+	GobCodec bool
+	// RetainDeliveries bounds the cluster's delivery bookkeeping: only the
+	// most recent RetainDeliveries entries of the Deliveries() log are
+	// kept, and the per-message counts behind WaitDelivered and
+	// DeliveredCount are evicted for all but the most recent
+	// max(8×RetainDeliveries, 4096) messages — wait only on recent casts.
+	// 0 keeps everything forever (the historical behavior — beware that
+	// it grows without bound in long runs).
+	RetainDeliveries int
 }
 
 // LiveCluster runs Algorithms A1 and A2 on every process over TCP.
@@ -49,6 +68,9 @@ type LiveCluster struct {
 	mu         sync.Mutex
 	onDeliver  func(p ProcessID, id MessageID, payload any)
 	deliveries []Delivery
+	retain     int
+	counts     map[MessageID]int
+	countOrder []MessageID // first-delivery order, for bounded eviction
 	started    bool
 	startTime  time.Time
 }
@@ -65,18 +87,27 @@ func NewLiveCluster(cfg LiveConfig) *LiveCluster {
 	}
 	tcp.RegisterWireTypes()
 	topo := types.NewTopology(cfg.Groups, cfg.PerGroup)
+	codec := tcp.CodecWire
+	if cfg.GobCodec {
+		codec = tcp.CodecGob
+	}
 	rt := tcp.New(tcp.Config{
-		Topo:     topo,
-		BasePort: cfg.BasePort,
-		WANDelay: cfg.WANDelay,
-		LANDelay: cfg.LANDelay,
-		Recorder: node.NopRecorder{},
+		Topo:       topo,
+		BasePort:   cfg.BasePort,
+		WANDelay:   cfg.WANDelay,
+		LANDelay:   cfg.LANDelay,
+		SendQueue:  cfg.SendQueue,
+		FlushEvery: cfg.FlushEvery,
+		Codec:      codec,
+		Recorder:   node.NopRecorder{},
 	})
 	l := &LiveCluster{
-		rt:   rt,
-		topo: topo,
-		a1:   make([]*amcast.Mcast, topo.N()),
-		a2:   make([]*abcast.Bcast, topo.N()),
+		rt:     rt,
+		topo:   topo,
+		a1:     make([]*amcast.Mcast, topo.N()),
+		a2:     make([]*abcast.Bcast, topo.N()),
+		retain: cfg.RetainDeliveries,
+		counts: make(map[MessageID]int),
 	}
 	for _, id := range topo.AllProcesses() {
 		id := id
@@ -112,11 +143,48 @@ func NewLiveCluster(cfg LiveConfig) *LiveCluster {
 func (l *LiveCluster) recordDelivery(p ProcessID, id MessageID, payload any) {
 	l.mu.Lock()
 	fn := l.onDeliver
+	if _, seen := l.counts[id]; !seen {
+		l.countOrder = append(l.countOrder, id)
+	}
+	l.counts[id]++
 	l.deliveries = append(l.deliveries, Delivery{Process: p, ID: id, Payload: payload, At: time.Since(l.startTime)})
+	// With RetainDeliveries set, trim amortised: let the log grow to twice
+	// the bound, then copy the newest half down. The per-message count map
+	// is bounded too (its entries are small but would otherwise accumulate
+	// one per message forever): the oldest ids are evicted once it exceeds
+	// countBound(), so DeliveredCount stays exact for recent messages only.
+	if l.retain > 0 {
+		if len(l.deliveries) >= 2*l.retain {
+			n := copy(l.deliveries, l.deliveries[len(l.deliveries)-l.retain:])
+			for i := n; i < len(l.deliveries); i++ {
+				l.deliveries[i] = Delivery{} // release payload references
+			}
+			l.deliveries = l.deliveries[:n]
+		}
+		if bound := l.countBound(); len(l.countOrder) > 2*bound {
+			evict := l.countOrder[:len(l.countOrder)-bound]
+			for _, old := range evict {
+				delete(l.counts, old)
+			}
+			l.countOrder = append(l.countOrder[:0], l.countOrder[len(l.countOrder)-bound:]...)
+		}
+	}
 	l.mu.Unlock()
 	if fn != nil {
 		fn(p, id, payload)
 	}
+}
+
+// countBound is how many per-message delivery counts are retained when
+// RetainDeliveries bounds the cluster's memory: comfortably more than the
+// delivery log itself so WaitDelivered works for anything still visible in
+// Deliveries(), with a floor that keeps short test runs exact.
+func (l *LiveCluster) countBound() int {
+	const floor = 4096
+	if b := 8 * l.retain; b > floor {
+		return b
+	}
+	return floor
 }
 
 // OnDeliver installs the delivery callback. Install before Start.
@@ -165,11 +233,23 @@ func (l *LiveCluster) Multicast(from ProcessID, payload any, groups ...GroupID) 
 // Crash crash-stops process p.
 func (l *LiveCluster) Crash(p ProcessID) { l.rt.Crash(p) }
 
-// Deliveries returns a snapshot of every delivery observed so far.
+// Deliveries returns a snapshot of the delivery log: every delivery
+// observed so far, or only the most recent LiveConfig.RetainDeliveries of
+// them when that bound is set.
 func (l *LiveCluster) Deliveries() []Delivery {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return append([]Delivery(nil), l.deliveries...)
+}
+
+// DeliveredCount returns how many processes have delivered id so far. It
+// stays exact when RetainDeliveries has trimmed the delivery log, until id
+// itself ages out of the (much larger) count window — see
+// LiveConfig.RetainDeliveries.
+func (l *LiveCluster) DeliveredCount(id MessageID) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.counts[id]
 }
 
 // WaitDelivered blocks until id has been delivered by n processes or the
@@ -177,15 +257,7 @@ func (l *LiveCluster) Deliveries() []Delivery {
 func (l *LiveCluster) WaitDelivered(id MessageID, n int, timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
-		count := 0
-		l.mu.Lock()
-		for _, d := range l.deliveries {
-			if d.ID == id {
-				count++
-			}
-		}
-		l.mu.Unlock()
-		if count >= n {
+		if l.DeliveredCount(id) >= n {
 			return true
 		}
 		time.Sleep(5 * time.Millisecond)

@@ -41,6 +41,33 @@ func TestLiveClusterDoubleStart(t *testing.T) {
 	}
 }
 
+// TestLiveClusterRetainDeliveries: with RetainDeliveries set the delivery
+// log stays bounded while WaitDelivered's per-message counts stay exact.
+func TestLiveClusterRetainDeliveries(t *testing.T) {
+	const retain = 4
+	l := NewLiveCluster(LiveConfig{Groups: 1, PerGroup: 2, BasePort: 24300, RetainDeliveries: retain})
+	if err := l.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer l.Stop()
+
+	var ids []MessageID
+	for i := 0; i < 12; i++ {
+		ids = append(ids, l.Broadcast(l.Process(0, i%2), i))
+	}
+	for _, id := range ids {
+		if !l.WaitDelivered(id, 2, 10*time.Second) {
+			t.Fatalf("%v not delivered everywhere despite a trimmed log", id)
+		}
+	}
+	if got := len(l.Deliveries()); got >= 2*retain {
+		t.Fatalf("delivery log holds %d entries, want < %d", got, 2*retain)
+	}
+	if got := l.DeliveredCount(ids[0]); got != 2 {
+		t.Fatalf("DeliveredCount(first) = %d after trimming, want 2", got)
+	}
+}
+
 func TestLiveClusterCrashSurvivors(t *testing.T) {
 	l := NewLiveCluster(LiveConfig{Groups: 2, PerGroup: 3, BasePort: 24200, WANDelay: 10 * time.Millisecond})
 	if err := l.Start(); err != nil {
