@@ -1,0 +1,162 @@
+// Command wankv runs the client-facing replicated key-value service: a
+// live wide-area cluster (real TCP, injected WAN delay) whose every
+// replica also serves clients through the exactly-once session protocol of
+// internal/svc. Keys of the form "g<N>/..." live on shard N; a put
+// touching several shards is one cross-shard command, genuinely multicast
+// to exactly those shards (Algorithm A1).
+//
+// Serve mode (default) keeps the service up until interrupted:
+//
+//	wankv -groups 3 -d 3 -svcport 20000
+//
+// Load mode drives a closed-loop multi-client workload against the
+// service, prints the client-observed latency by shard fan-out, verifies
+// the §2.2 properties over the run, and exits non-zero on any violation
+// or failed operation:
+//
+//	wankv -groups 3 -d 3 -clients 100 -ops 5 -check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"wanamcast"
+	"wanamcast/internal/harness"
+	"wanamcast/internal/metrics"
+	"wanamcast/internal/svc"
+	"wanamcast/internal/types"
+	"wanamcast/internal/workload"
+)
+
+func main() { os.Exit(run()) }
+
+// run holds the real main so deferred shutdowns survive the explicit exit
+// code.
+func run() int {
+	var (
+		groups   = flag.Int("groups", 3, "number of shards (groups)")
+		d        = flag.Int("d", 3, "replicas per shard")
+		basePort = flag.Int("port", 19000, "cluster base port (process p listens on port+p)")
+		svcPort  = flag.Int("svcport", 20000, "client-facing base port (replica p serves on svcport+p)")
+		wan      = flag.Duration("wan", 100*time.Millisecond, "injected one-way inter-shard delay")
+		lan      = flag.Duration("lan", 0, "injected intra-shard delay (0 = raw loopback)")
+		maxBatch = flag.Int("maxbatch", 64, "max messages per consensus instance (0 = unbounded)")
+		pipeline = flag.Int("pipeline", 4, "consensus instances in flight")
+		clients  = flag.Int("clients", 0, "closed-loop client sessions; 0 = serve until interrupted")
+		ops      = flag.Int("ops", 5, "operations per client (load mode)")
+		timeout  = flag.Duration("timeout", time.Second, "client first-attempt reply timeout (doubles per retry)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		checkRun = flag.Bool("check", false, "verify the §2.2 properties over the run (unbounded memory)")
+	)
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		harness.Usagef("wankv", format, args...)
+	}
+	if *groups < 1 || *d < 1 {
+		fail("-groups and -d must be at least 1 (got %d x %d)", *groups, *d)
+	}
+	n := *groups * *d
+	if err := harness.ValidatePortRange(*basePort, n); err != nil {
+		fail("-port: %v", err)
+	}
+	if err := harness.ValidatePortRange(*svcPort, n); err != nil {
+		fail("-svcport: %v", err)
+	}
+	if *wan < 0 || *lan < 0 {
+		fail("-wan and -lan must be non-negative")
+	}
+	if *maxBatch < 0 || *pipeline < 1 {
+		fail("-maxbatch must be non-negative and -pipeline at least 1")
+	}
+	if *clients < 0 || (*clients > 0 && *ops < 1) {
+		fail("-clients must be non-negative and -ops at least 1 in load mode")
+	}
+	if *timeout <= 0 {
+		fail("-timeout must be positive")
+	}
+
+	cluster := wanamcast.NewLiveCluster(wanamcast.LiveConfig{
+		Groups:   *groups,
+		PerGroup: *d,
+		BasePort: *basePort,
+		WANDelay: *wan,
+		LANDelay: *lan,
+		MaxBatch: *maxBatch,
+		Pipeline: *pipeline,
+		Check:    *checkRun,
+	})
+	if err := cluster.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "wankv:", err)
+		return 1
+	}
+	defer cluster.Stop()
+
+	topo := cluster.Topology()
+	route := svc.PrefixRoute(*groups)
+	stats := &metrics.Service{}
+	service, err := svc.ServeCluster(cluster, topo, svc.ServiceConfig{
+		BasePort: *svcPort,
+		NewMachine: func(p types.ProcessID, g types.GroupID) svc.StateMachine {
+			return svc.NewKVMachine(g, route)
+		},
+		Stats: stats,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wankv:", err)
+		return 1
+	}
+	defer service.Stop()
+
+	fmt.Printf("wankv: %d shards x %d replicas, wan=%v lan=%v maxbatch=%d pipeline=%d\n",
+		*groups, *d, *wan, *lan, *maxBatch, *pipeline)
+	for g := 0; g < *groups; g++ {
+		fmt.Printf("  shard g%d: %v\n", g, service.Addrs()[types.GroupID(g)])
+	}
+
+	if *clients == 0 {
+		fmt.Println("serving; keys \"g<N>/...\" live on shard N; Ctrl-C to stop")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+		return 0
+	}
+
+	fmt.Printf("load: %d closed-loop clients x %d ops (seed %d, timeout %v)\n", *clients, *ops, *seed, *timeout)
+	res := svc.RunKVLoad(topo, service.Addrs(), svc.LoadSpec{
+		Clients: *clients,
+		Ops:     *ops,
+		Mix:     workload.DefaultMix(),
+		Timeout: *timeout,
+		Seed:    *seed,
+	}, stats)
+
+	fmt.Printf("\nops            %d ok, %d failed in %v (%.1f ops/s)\n",
+		res.Ops, res.Errors, res.Elapsed.Round(time.Millisecond),
+		float64(res.Ops)/res.Elapsed.Seconds())
+	fmt.Printf("service        %v\n", res.Stats)
+
+	exit := 0
+	if res.Errors > 0 {
+		exit = 1
+	}
+	if *checkRun {
+		// In-flight duplicates of retried commands may still be draining;
+		// wait until the §2.2 checker is clean or the grace period ends.
+		violations := cluster.WaitPropertiesClean(30 * time.Second)
+		if len(violations) > 0 {
+			fmt.Printf("\nPROPERTY VIOLATIONS (%d):\n", len(violations))
+			for _, v := range violations {
+				fmt.Println(" ", v)
+			}
+			exit = 1
+		} else {
+			fmt.Println("properties     uniform integrity, validity, uniform agreement, uniform prefix order: OK")
+		}
+	}
+	return exit
+}

@@ -28,6 +28,7 @@ import (
 
 	"wanamcast/internal/abcast"
 	"wanamcast/internal/amcast"
+	"wanamcast/internal/harness"
 	"wanamcast/internal/rmcast"
 	"wanamcast/internal/transport/tcp"
 	"wanamcast/internal/types"
@@ -47,10 +48,29 @@ func main() {
 	)
 	flag.Parse()
 
+	// Validate everything up front: a bad flag must die with a usage
+	// message here, not as a topology panic or socket error mid-run.
+	fail := func(format string, args ...any) {
+		harness.Usagef("wannode", format, args...)
+	}
+	if *groups < 1 || *d < 1 {
+		fail("-groups and -d must be at least 1 (got %d x %d)", *groups, *d)
+	}
+	if err := harness.ValidatePortRange(*basePort, *groups**d); err != nil {
+		fail("-port: %v", err)
+	}
+	if *wan < 0 {
+		fail("-wan must be non-negative (got %v)", *wan)
+	}
+	if *sendq < 0 {
+		fail("-sendqueue must be non-negative (got %d)", *sendq)
+	}
+	if *flush < 0 {
+		fail("-flush must be non-negative (got %v)", *flush)
+	}
 	topo := types.NewTopology(*groups, *d)
 	if *id < 0 || *id >= topo.N() {
-		fmt.Fprintf(os.Stderr, "wannode: -id must be in [0,%d)\n", topo.N())
-		os.Exit(1)
+		fail("-id must be in [0,%d) (got %d)", topo.N(), *id)
 	}
 	self := types.ProcessID(*id)
 

@@ -46,6 +46,34 @@ func main() {
 	)
 	flag.Parse()
 
+	// Validate all flags before building anything: exit 2 with a usage
+	// message instead of panicking mid-run on a bad topology or workload.
+	fail := func(format string, args ...any) {
+		harness.Usagef("wansim", format, args...)
+	}
+	if *groups < 1 || *d < 1 {
+		fail("-groups and -d must be at least 1 (got %d x %d)", *groups, *d)
+	}
+	if *casts < 0 {
+		fail("-casts must be non-negative (got %d)", *casts)
+	}
+	if *rate <= 0 {
+		fail("-rate must be positive (got %g)", *rate)
+	}
+	if *spread < 1 {
+		fail("-spread must be at least 1 (got %d)", *spread)
+	}
+	if *crash < 0 {
+		fail("-crash must be non-negative (got %d)", *crash)
+	}
+	if *pipeline < 1 {
+		fail("-pipeline must be at least 1 (got %d)", *pipeline)
+	}
+	if *live {
+		if err := harness.ValidatePortRange(*basePort, *groups**d); err != nil {
+			fail("-port: %v", err)
+		}
+	}
 	if *spread > *groups {
 		*spread = *groups
 	}
@@ -54,11 +82,17 @@ func main() {
 		return
 	}
 	algo := harness.Algo(*algoName)
+	if !algo.Known() {
+		fail("unknown -algo %q", *algoName)
+	}
 	opts := harness.Options{
 		Groups: *groups, PerGroup: *d,
 		Inter: *inter, Intra: *intra, Jitter: *jitter, Seed: *seed,
 		MaxBatch: *maxBatch, A1Pipeline: *pipeline, A2Pipeline: *pipeline,
 		SendQueue: *sendq, FlushEvery: *flush, GobWire: *gobWire,
+	}
+	if err := opts.Validate(); err != nil {
+		fail("%v", err)
 	}
 	if *live {
 		runLive(algo, opts, *basePort, *casts, *rate, *spread, *seed, *verbose)

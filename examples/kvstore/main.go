@@ -1,124 +1,121 @@
-// kvstore is the paper's §1 motivation made concrete: a partially
-// replicated key-value store spanning three sites. Each group owns a key
-// shard and fully replicates it among its members. Commands are ordered
-// with genuine atomic multicast (Algorithm A1):
+// kvstore is the paper's §1 motivation made concrete, now served to a real
+// client: a partially replicated key-value store spanning three sites over
+// live TCP, fronted by the exactly-once service layer (internal/svc). Each
+// group owns a key shard and fully replicates it among its members.
+// Commands are ordered with genuine atomic multicast (Algorithm A1):
 //
-//   - single-shard writes are multicast to one group (latency degree 0–1);
+//   - single-shard writes are multicast to one group;
 //   - cross-shard transactions are multicast to exactly the shards they
 //     touch (latency degree 2 — optimal, by Proposition 3.1);
 //   - uninvolved shards never see a message (genuineness), which is the
 //     whole point versus broadcast-everything.
 //
-// Every replica applies commands in A-Delivery order, so replicas of a
-// shard stay byte-identical, and cross-shard transactions are serialized
+// The client opens a session, numbers its commands, and retries under the
+// same sequence number; replicas dedup via the replicated session table,
+// so every command mutates each destination shard exactly once. Every
+// replica applies commands in A-Delivery order, so replicas of a shard
+// stay byte-identical and cross-shard transactions are serialized
 // consistently at every shard they touch (uniform prefix order).
 //
 //	go run ./examples/kvstore
 package main
 
 import (
+	"bytes"
 	"fmt"
-	"sort"
-	"strings"
 	"time"
 
 	"wanamcast"
+	"wanamcast/internal/metrics"
+	"wanamcast/internal/svc"
+	"wanamcast/internal/types"
 )
 
-// command is the replicated state machine's operation.
-type command struct {
-	// Sets maps key → value; a transaction may touch several shards.
-	Sets map[string]string
-}
-
-// shardOf routes keys to groups: the first byte decides.
-func shardOf(key string) wanamcast.GroupID {
-	return wanamcast.GroupID(int(key[0]) % 3)
-}
-
-// store is one replica's state: only the keys of its own shard.
-type store struct {
-	group   wanamcast.GroupID
-	data    map[string]string
-	applied []string
-}
-
-func (s *store) apply(id wanamcast.MessageID, cmd command) {
-	keys := make([]string, 0, len(cmd.Sets))
-	for k := range cmd.Sets {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	var touched []string
-	for _, k := range keys {
-		if shardOf(k) == s.group {
-			s.data[k] = cmd.Sets[k]
-			touched = append(touched, k+"="+cmd.Sets[k])
-		}
-	}
-	s.applied = append(s.applied, fmt.Sprintf("%v{%s}", id, strings.Join(touched, ",")))
+// shardOf routes keys to groups: the first byte decides ('c'art → g0,
+// 'a'cct → g1; group 2 owns neither key and must stay silent).
+func shardOf(key string) types.GroupID {
+	return types.GroupID(int(key[0]) % 3)
 }
 
 func main() {
-	c := wanamcast.NewCluster(wanamcast.Config{
-		Groups:          3,
-		PerGroup:        3,
-		InterGroupDelay: 100 * time.Millisecond,
-		LogSends:        true,
+	cluster := wanamcast.NewLiveCluster(wanamcast.LiveConfig{
+		Groups:   3,
+		PerGroup: 3,
+		BasePort: 23300,
+		WANDelay: 50 * time.Millisecond,
+		Check:    true,
 	})
-
-	stores := make(map[wanamcast.ProcessID]*store)
-	for g := 0; g < 3; g++ {
-		for i := 0; i < 3; i++ {
-			p := c.Process(wanamcast.GroupID(g), i)
-			stores[p] = &store{group: wanamcast.GroupID(g), data: make(map[string]string)}
-		}
+	if err := cluster.Start(); err != nil {
+		fmt.Println("start:", err)
+		return
 	}
-	c.OnDeliver(func(p wanamcast.ProcessID, id wanamcast.MessageID, payload any) {
-		stores[p].apply(id, payload.(command))
+	defer cluster.Stop()
+
+	stats := &metrics.Service{}
+	service, err := svc.ServeCluster(cluster, cluster.Topology(), svc.ServiceConfig{
+		NewMachine: func(p types.ProcessID, g types.GroupID) svc.StateMachine {
+			return svc.NewKVMachine(g, shardOf)
+		},
+		Stats: stats,
 	})
+	if err != nil {
+		fmt.Println("serve:", err)
+		return
+	}
+	defer service.Stop()
 
-	// groupsOf computes the exact destination set of a command — the
-	// genuineness contract: only touched shards participate.
-	groupsOf := func(cmd command) []wanamcast.GroupID {
-		seen := map[wanamcast.GroupID]bool{}
-		var gs []wanamcast.GroupID
-		for k := range cmd.Sets {
-			if g := shardOf(k); !seen[g] {
-				seen[g] = true
-				gs = append(gs, g)
-			}
+	client := svc.NewClient(svc.ClientConfig{
+		Session: 42,
+		Addrs:   service.Addrs(),
+		Timeout: 2 * time.Second,
+		Stats:   stats,
+	})
+	defer client.Close()
+	kv := &svc.KV{Client: client, Route: shardOf}
+
+	// Single-shard writes, then two cross-shard transactions from the same
+	// session — one command each, multicast to exactly the shards touched.
+	ops := []struct {
+		name string
+		sets map[string]string
+	}{
+		{"w1", map[string]string{"cart:alice": "book"}},
+		{"w2", map[string]string{"acct:alice": "premium"}},
+		{"tx1", map[string]string{"cart:alice": "book,lamp", "acct:alice": "gold"}},
+		{"tx2", map[string]string{"cart:alice": "empty", "acct:alice": "basic"}},
+	}
+	for _, op := range ops {
+		start := time.Now()
+		if _, err := kv.Put(op.sets); err != nil {
+			fmt.Printf("%s failed: %v\n", op.name, err)
+			return
 		}
-		return gs
-	}
-	put := func(from wanamcast.ProcessID, sets map[string]string) wanamcast.MessageID {
-		cmd := command{Sets: sets}
-		return c.Multicast(from, cmd, groupsOf(cmd)...)
+		dest := kv.DestOf(keysOf(op.sets)...)
+		fmt.Printf("  %-4s shards %v  committed in %v\n", op.name, dest, time.Since(start).Round(time.Millisecond))
 	}
 
-	// Single-shard writes from their local sites, plus two cross-shard
-	// transactions racing from different sites. Shards: 'c' → group 0,
-	// 'a' → group 1; group 2 owns neither key and must stay silent.
-	w1 := put(c.Process(0, 0), map[string]string{"cart:alice": "book"})
-	w2 := put(c.Process(1, 0), map[string]string{"acct:alice": "premium"})
-	tx1 := put(c.Process(0, 1), map[string]string{"cart:alice": "book,lamp", "acct:alice": "gold"})
-	tx2 := put(c.Process(1, 1), map[string]string{"cart:alice": "empty", "acct:alice": "basic"})
-	c.Run()
+	// Linearizable reads ride the same ordered path.
+	for _, key := range []string{"cart:alice", "acct:alice"} {
+		v, ok, err := kv.Get(key)
+		fmt.Printf("  get %-11s -> %q (found=%v, err=%v)\n", key, v, ok, err)
+	}
 
-	fmt.Println("== per-replica applied command logs ==")
+	// The client's reply proves only the coordinator delivered; give the
+	// remaining replicas a moment to drain before the uniform checks.
+	violations := cluster.WaitPropertiesClean(10 * time.Second)
+	if len(violations) != 0 {
+		fmt.Println("PROPERTY VIOLATIONS:", violations)
+		return
+	}
+
+	// Replicas of a shard must be byte-identical (safe to compare now:
+	// the §2.2 check passing means every addressee delivered everything).
+	topo := cluster.Topology()
 	for g := 0; g < 3; g++ {
-		for i := 0; i < 3; i++ {
-			p := c.Process(wanamcast.GroupID(g), i)
-			fmt.Printf("  g%d %v: %s\n", g, p, strings.Join(stores[p].applied, " -> "))
-		}
-	}
-
-	// Replicas of a shard must be identical.
-	for g := 0; g < 3; g++ {
-		ref := stores[c.Process(wanamcast.GroupID(g), 0)]
-		for i := 1; i < 3; i++ {
-			rep := stores[c.Process(wanamcast.GroupID(g), i)]
-			if fmt.Sprint(rep.data) != fmt.Sprint(ref.data) || fmt.Sprint(rep.applied) != fmt.Sprint(ref.applied) {
+		ref, _ := service.Machine(topo.Members(types.GroupID(g))[0]).Snapshot()
+		for _, p := range topo.Members(types.GroupID(g))[1:] {
+			snap, _ := service.Machine(p).Snapshot()
+			if !bytes.Equal(ref, snap) {
 				fmt.Printf("REPLICA DIVERGENCE in group %d!\n", g)
 				return
 			}
@@ -126,19 +123,23 @@ func main() {
 	}
 	fmt.Println("\nall shard replicas identical; cross-shard transactions serialized consistently")
 
-	for name, id := range map[string]wanamcast.MessageID{"w1": w1, "w2": w2, "tx1": tx1, "tx2": tx2} {
-		deg, _ := c.LatencyDegree(id)
-		wall, _ := c.WallLatency(id)
-		fmt.Printf("  %-4s latency degree %d, wall %v\n", name, deg, wall)
+	// Group 2 owns neither key: its replicas must have applied nothing.
+	for _, p := range topo.Members(2) {
+		if n := service.Machine(p).(*svc.KVMachine).Applied(); n != 0 {
+			fmt.Printf("genuineness broken: uninvolved replica %v applied %d commands\n", p, n)
+			return
+		}
 	}
+	fmt.Println("genuineness: shard 2's replicas applied nothing — uninvolved shards stay silent")
 
-	if v := c.CheckProperties(); len(v) != 0 {
-		fmt.Println("PROPERTY VIOLATIONS:", v)
-		return
+	fmt.Println("properties: uniform integrity, validity, uniform agreement, uniform prefix order: OK")
+	fmt.Printf("\nservice stats: %v\n", stats.Snapshot())
+}
+
+func keysOf(sets map[string]string) []string {
+	keys := make([]string, 0, len(sets))
+	for k := range sets {
+		keys = append(keys, k)
 	}
-	if v := c.CheckGenuineness(); len(v) != 0 {
-		fmt.Println("GENUINENESS VIOLATIONS:", v)
-		return
-	}
-	fmt.Println("\ngenuineness verified: shard 2's processes sent nothing for single/two-shard commands they don't own")
+	return keys
 }

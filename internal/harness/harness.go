@@ -6,7 +6,9 @@
 package harness
 
 import (
+	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"wanamcast/internal/abcast"
@@ -35,6 +37,42 @@ const (
 	AlgoSousa     Algo = "sousa"     // [12]: optimistic sequencer, Δ=2
 	AlgoVicente   Algo = "vicente"   // [13]: validated sequencer, Δ=2
 )
+
+// Algos lists every algorithm the harness can build — the single catalog
+// commands validate against.
+func Algos() []Algo {
+	return []Algo{AlgoA1, AlgoA2, AlgoSkeen, AlgoFritzke, AlgoDelporte,
+		AlgoRodrigues, AlgoDetMerge, AlgoSousa, AlgoVicente}
+}
+
+// Known reports whether the harness can build a.
+func (a Algo) Known() bool {
+	for _, k := range Algos() {
+		if a == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Usagef is the shared bad-flag exit of the commands: it prints the
+// error prefixed with the command name, then the flag usage, and exits 2.
+func Usagef(cmd, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, cmd+": "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// ValidatePortRange checks that n consecutive TCP ports starting at base
+// fit within 1..65535 — the live transport's process-p-listens-on-base+p
+// scheme, shared by every command that opens a live cluster.
+func ValidatePortRange(base, n int) error {
+	if base < 1 || base+n > 65536 {
+		return fmt.Errorf("base port %d leaves no room for %d processes (need ports %d..%d within 1..65535)",
+			base, n, base, base+n-1)
+	}
+	return nil
+}
 
 // MulticastAlgos lists the Figure 1(a) contenders in the paper's row order.
 func MulticastAlgos() []Algo {
@@ -89,6 +127,32 @@ type Options struct {
 	GobWire bool
 	// Trace receives debug lines if non-nil.
 	Trace func(format string, args ...any)
+}
+
+// Validate rejects option values that would panic deep inside a run —
+// non-positive topologies, negative delays or queue sizes. Commands
+// validate flags through it so a bad invocation dies with a usage message
+// instead of a mid-run panic. Zero values are fine (fill() defaults them).
+func (o Options) Validate() error {
+	switch {
+	case o.Groups < 0 || o.PerGroup < 0:
+		return fmt.Errorf("topology must be positive: %d groups x %d processes", o.Groups, o.PerGroup)
+	case o.Inter < 0 || o.Intra < 0 || o.Jitter < 0:
+		return fmt.Errorf("delays must be non-negative: inter=%v intra=%v jitter=%v", o.Inter, o.Intra, o.Jitter)
+	case o.MaxBatch < 0:
+		return fmt.Errorf("max batch must be non-negative: %d", o.MaxBatch)
+	case o.A1Pipeline < 0 || o.A2Pipeline < 0:
+		return fmt.Errorf("pipeline depth must be non-negative: a1=%d a2=%d", o.A1Pipeline, o.A2Pipeline)
+	case o.A2KeepAlive < 0:
+		return fmt.Errorf("keep-alive rounds must be non-negative: %d", o.A2KeepAlive)
+	case o.SendQueue < 0:
+		return fmt.Errorf("send queue depth must be non-negative: %d", o.SendQueue)
+	case o.FlushEvery < 0:
+		return fmt.Errorf("flush interval must be non-negative: %v", o.FlushEvery)
+	case o.ConsensusRetry < 0:
+		return fmt.Errorf("consensus retry must be non-negative: %v", o.ConsensusRetry)
+	}
+	return nil
 }
 
 func (o *Options) fill() {

@@ -1,0 +1,37 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// TestOptionsValidate: option values that would panic deep inside a run
+// are rejected up front, and defaultable zero values pass.
+func TestOptionsValidate(t *testing.T) {
+	good := []Options{
+		{},
+		{Groups: 3, PerGroup: 3, Inter: time.Second, MaxBatch: 64, A1Pipeline: 4},
+	}
+	for i, o := range good {
+		if err := o.Validate(); err != nil {
+			t.Errorf("good[%d]: unexpected error %v", i, err)
+		}
+	}
+	bad := map[string]Options{
+		"neg groups":    {Groups: -1},
+		"neg pergroup":  {PerGroup: -2},
+		"neg inter":     {Inter: -time.Second},
+		"neg jitter":    {Jitter: -1},
+		"neg maxbatch":  {MaxBatch: -1},
+		"neg pipeline":  {A1Pipeline: -1},
+		"neg keepalive": {A2KeepAlive: -1},
+		"neg sendqueue": {SendQueue: -1},
+		"neg flush":     {FlushEvery: -time.Millisecond},
+		"neg retry":     {ConsensusRetry: -1},
+	}
+	for name, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, o)
+		}
+	}
+}

@@ -10,11 +10,17 @@
 // where ts are the modified Lamport clocks that tick only on inter-group
 // sends. The network layer maintains the clocks; protocols report cast and
 // deliver events here.
+//
+// Service collects the client-facing counters of the replicated service
+// layer (internal/svc): requests, retries, suppressed duplicates, and
+// client-observed latency by shard fan-out.
 package metrics
 
 import (
 	"fmt"
 	"sort"
+	"strings"
+	"sync"
 	"time"
 
 	"wanamcast/internal/types"
@@ -297,6 +303,140 @@ func (c *Collector) Snapshot() Stats {
 		}
 	}
 	return st
+}
+
+// Service collects service-level (client-facing) counters and
+// client-observed latencies, bucketed by shard fan-out (how many groups a
+// command touched). Unlike Collector it is safe for concurrent use: load
+// generators and servers record from many goroutines. The zero value is
+// ready to use; share one instance between the servers and the clients of
+// a run to see both sides in a single snapshot.
+type Service struct {
+	mu         sync.Mutex
+	requests   uint64
+	replies    uint64
+	redirects  uint64
+	retries    uint64
+	duplicates uint64
+	failures   uint64
+	ops        uint64
+	lat        map[int][]time.Duration
+}
+
+// RecordRequest counts one request received by a server.
+func (s *Service) RecordRequest() { s.bump(&s.requests) }
+
+// RecordReply counts one successful reply sent by a server.
+func (s *Service) RecordReply() { s.bump(&s.replies) }
+
+// RecordRedirect counts one request answered with a redirect.
+func (s *Service) RecordRedirect() { s.bump(&s.redirects) }
+
+// RecordRetry counts one client resend under an existing sequence number.
+func (s *Service) RecordRetry() { s.bump(&s.retries) }
+
+// RecordDuplicate counts one duplicate command suppressed by the
+// replicated dedup table (the exactly-once signal: retries that reached
+// the ordering layer but mutated nothing).
+func (s *Service) RecordDuplicate() { s.bump(&s.duplicates) }
+
+func (s *Service) bump(field *uint64) {
+	s.mu.Lock()
+	*field++
+	s.mu.Unlock()
+}
+
+// RecordOutcome records one completed client operation: its shard fan-out,
+// end-to-end latency (first send to final reply, retries included), and
+// whether it succeeded.
+func (s *Service) RecordOutcome(fanout int, latency time.Duration, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ops++
+	if !ok {
+		s.failures++
+		return
+	}
+	if s.lat == nil {
+		s.lat = make(map[int][]time.Duration)
+	}
+	s.lat[fanout] = append(s.lat[fanout], latency)
+}
+
+// LatencySummary condenses one fan-out bucket's latency distribution.
+type LatencySummary struct {
+	Count int
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// ServiceStats is an immutable snapshot of a Service.
+type ServiceStats struct {
+	Requests   uint64
+	Replies    uint64
+	Redirects  uint64
+	Retries    uint64
+	Duplicates uint64
+	Failures   uint64
+	Ops        uint64
+	// ByFanout holds client-observed latency summaries keyed by how many
+	// shards the command touched.
+	ByFanout map[int]LatencySummary
+}
+
+// Snapshot computes a ServiceStats from everything recorded so far.
+func (s *Service) Snapshot() ServiceStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := ServiceStats{
+		Requests:   s.requests,
+		Replies:    s.replies,
+		Redirects:  s.redirects,
+		Retries:    s.retries,
+		Duplicates: s.duplicates,
+		Failures:   s.failures,
+		Ops:        s.ops,
+		ByFanout:   make(map[int]LatencySummary, len(s.lat)),
+	}
+	for fanout, samples := range s.lat {
+		sorted := append([]time.Duration(nil), samples...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		var sum time.Duration
+		for _, d := range sorted {
+			sum += d
+		}
+		st.ByFanout[fanout] = LatencySummary{
+			Count: len(sorted),
+			Mean:  sum / time.Duration(len(sorted)),
+			P50:   percentile(sorted, 50),
+			P95:   percentile(sorted, 95),
+			P99:   percentile(sorted, 99),
+			Max:   sorted[len(sorted)-1],
+		}
+	}
+	return st
+}
+
+// String renders the snapshot with one latency row per fan-out.
+func (st ServiceStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "requests=%d replies=%d redirects=%d retries=%d duplicates=%d failures=%d",
+		st.Requests, st.Replies, st.Redirects, st.Retries, st.Duplicates, st.Failures)
+	fanouts := make([]int, 0, len(st.ByFanout))
+	for f := range st.ByFanout {
+		fanouts = append(fanouts, f)
+	}
+	sort.Ints(fanouts)
+	for _, f := range fanouts {
+		ls := st.ByFanout[f]
+		fmt.Fprintf(&b, "\n  fan-out %d: n=%-5d mean=%-10v p50=%-10v p95=%-10v p99=%-10v max=%v",
+			f, ls.Count, ls.Mean.Round(time.Microsecond), ls.P50.Round(time.Microsecond),
+			ls.P95.Round(time.Microsecond), ls.P99.Round(time.Microsecond), ls.Max.Round(time.Microsecond))
+	}
+	return b.String()
 }
 
 // percentile returns the nearest-rank p-th percentile of sorted samples.

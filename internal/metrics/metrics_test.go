@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -187,5 +188,62 @@ func TestStatsString(t *testing.T) {
 		if !strings.Contains(s, frag) {
 			t.Errorf("Stats.String() missing %q in %q", frag, s)
 		}
+	}
+}
+
+func TestServiceStats(t *testing.T) {
+	var s Service
+	s.RecordRequest()
+	s.RecordRequest()
+	s.RecordReply()
+	s.RecordRedirect()
+	s.RecordRetry()
+	s.RecordDuplicate()
+	for i := 1; i <= 100; i++ {
+		s.RecordOutcome(1, time.Duration(i)*time.Millisecond, true)
+	}
+	s.RecordOutcome(2, 5*time.Millisecond, true)
+	s.RecordOutcome(3, 7*time.Millisecond, false)
+	st := s.Snapshot()
+	if st.Requests != 2 || st.Replies != 1 || st.Redirects != 1 || st.Retries != 1 || st.Duplicates != 1 {
+		t.Fatalf("counters wrong: %+v", st)
+	}
+	if st.Failures != 1 || st.Ops != 102 {
+		t.Fatalf("ops/failures wrong: %+v", st)
+	}
+	one := st.ByFanout[1]
+	if one.Count != 100 || one.P50 != 50*time.Millisecond || one.P99 != 99*time.Millisecond || one.Max != 100*time.Millisecond {
+		t.Fatalf("fan-out 1 summary wrong: %+v", one)
+	}
+	if st.ByFanout[2].Count != 1 {
+		t.Fatalf("fan-out 2 summary wrong: %+v", st.ByFanout[2])
+	}
+	if _, ok := st.ByFanout[3]; ok {
+		t.Fatal("failed ops must not contribute latency samples")
+	}
+	for _, frag := range []string{"requests=2", "fan-out 1", "fan-out 2", "duplicates=1"} {
+		if !strings.Contains(st.String(), frag) {
+			t.Errorf("ServiceStats.String() missing %q in %q", frag, st.String())
+		}
+	}
+}
+
+func TestServiceStatsConcurrent(t *testing.T) {
+	var s Service
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.RecordRequest()
+				s.RecordOutcome(1, time.Millisecond, true)
+			}
+		}()
+	}
+	wg.Wait()
+	st := s.Snapshot()
+	if st.Requests != 800 || st.ByFanout[1].Count != 800 {
+		t.Fatalf("concurrent recording lost events: %+v", st)
 	}
 }

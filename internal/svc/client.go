@@ -1,0 +1,217 @@
+package svc
+
+import (
+	"fmt"
+	"slices"
+	"time"
+
+	"wanamcast/internal/metrics"
+	"wanamcast/internal/transport/tcp"
+	"wanamcast/internal/types"
+)
+
+// ClientConfig configures one client session.
+type ClientConfig struct {
+	// Session is this client's unique session identifier (required,
+	// non-zero, unique across concurrently live clients — the exactly-once
+	// guarantee is per session).
+	Session uint64
+	// Addrs maps each group to the client-facing addresses of its servers.
+	// It may be partial: a server contacted off-shard answers with a
+	// Redirect carrying usable addresses.
+	Addrs map[types.GroupID][]string
+	// Timeout is the first attempt's reply deadline (default 250 ms); it
+	// doubles on every retry, capped at 16× — retries resend under the SAME
+	// sequence number, so a slow command is never executed twice.
+	Timeout time.Duration
+	// MaxAttempts bounds send attempts per command (default 8).
+	MaxAttempts int
+	// DialTimeout bounds each connect (default 1 s).
+	DialTimeout time.Duration
+	// Stats, when non-nil, receives client-observed latency and retry
+	// counters.
+	Stats *metrics.Service
+}
+
+// Client is a shard-aware service client: it routes each command to a
+// server of one of its destination shards, retries with the same sequence
+// number on timeout, and follows redirects. One Client is one session;
+// it is NOT safe for concurrent use (sessions are closed-loop by design —
+// run one goroutine per Client).
+type Client struct {
+	cfg        ClientConfig
+	seq        uint64
+	conn       *tcp.SvcConn
+	connAddr   string
+	candidates []string // current coordinator candidates, rotated on failure
+	next       int
+}
+
+// NewClient builds a client.
+func NewClient(cfg ClientConfig) *Client {
+	if cfg.Session == 0 {
+		panic("svc: ClientConfig.Session is required and must be non-zero")
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 250 * time.Millisecond
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 8
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = time.Second
+	}
+	return &Client{cfg: cfg}
+}
+
+// Session returns the session identifier.
+func (c *Client) Session() uint64 { return c.cfg.Session }
+
+// Close drops the connection. The session's dedup state lives on at the
+// servers, so a future client reusing the session id and a higher sequence
+// continues it.
+func (c *Client) Close() {
+	c.dropConn()
+}
+
+// Invoke executes op exactly once on the shards in dest and returns the
+// coordinator shard's result. It blocks until a reply or until every
+// attempt is exhausted; the returned error distinguishes application
+// errors (the command executed, the machine said no) from exhaustion (the
+// command may or may not have executed — a fresh Invoke with a new
+// operation is still safe, but the caller should treat the outcome as
+// unknown).
+func (c *Client) Invoke(dest types.GroupSet, op []byte) ([]byte, error) {
+	if dest.Size() == 0 {
+		return nil, fmt.Errorf("svc: empty destination set")
+	}
+	c.seq++
+	req := Request{Session: c.cfg.Session, Seq: c.seq, Dest: dest, Op: op}
+	c.candidates = c.routeCandidates(dest)
+	c.next = 0
+	// A connection kept from an earlier command may point at a server
+	// outside this command's shards; re-route up front instead of paying a
+	// redirect round trip.
+	if c.conn != nil && !slices.Contains(c.candidates, c.connAddr) {
+		c.dropConn()
+	}
+	start := time.Now()
+	timeout := c.cfg.Timeout
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if c.cfg.Stats != nil {
+				c.cfg.Stats.RecordRetry()
+			}
+			if timeout < 16*c.cfg.Timeout {
+				timeout *= 2
+			}
+		}
+		conn, err := c.ensureConn()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		// A write deadline keeps a wedged server (accepted, stopped
+		// reading, full TCP buffer) from blocking Invoke past the attempt
+		// budget — mirror of the server's ReplyTimeout.
+		_ = conn.SetWriteDeadline(time.Now().Add(timeout))
+		if err := conn.WriteMsg(types.NoProcess, req); err != nil {
+			lastErr = err
+			c.dropConn()
+			continue
+		}
+		res, retry, err := c.awaitReply(conn, req, time.Now().Add(timeout))
+		if retry {
+			lastErr = err
+			continue
+		}
+		if c.cfg.Stats != nil {
+			c.cfg.Stats.RecordOutcome(dest.Size(), time.Since(start), err == nil)
+		}
+		return res, err
+	}
+	if c.cfg.Stats != nil {
+		c.cfg.Stats.RecordOutcome(dest.Size(), time.Since(start), false)
+	}
+	return nil, fmt.Errorf("svc: no reply for (session %d, seq %d) after %d attempts: %w",
+		req.Session, req.Seq, c.cfg.MaxAttempts, lastErr)
+}
+
+// awaitReply reads until the matching reply, a redirect, or the deadline.
+// retry=true means resend the same request (possibly elsewhere).
+func (c *Client) awaitReply(conn *tcp.SvcConn, req Request, deadline time.Time) (res []byte, retry bool, err error) {
+	for {
+		_ = conn.SetReadDeadline(deadline)
+		v, rerr := conn.ReadMsg()
+		if rerr != nil {
+			// Timeout or broken connection: drop it so a late reply cannot
+			// leak into the next exchange, and retry under the same seq.
+			c.dropConn()
+			return nil, true, fmt.Errorf("svc: awaiting (session %d, seq %d): %w", req.Session, req.Seq, rerr)
+		}
+		switch m := v.(type) {
+		case Reply:
+			if m.Session != req.Session || m.Seq != req.Seq {
+				continue // stale reply from an earlier retry round
+			}
+			if !m.OK {
+				return nil, false, fmt.Errorf("svc: %s", m.Err)
+			}
+			return m.Result, false, nil
+		case Redirect:
+			if m.Session != req.Session || m.Seq != req.Seq {
+				continue
+			}
+			if len(m.Addrs) > 0 {
+				c.candidates, c.next = m.Addrs, 0
+			}
+			c.dropConn() // re-route to a redirected address
+			return nil, true, fmt.Errorf("svc: redirected to %v", m.Groups)
+		default:
+			continue // unknown frame; ignore
+		}
+	}
+}
+
+// routeCandidates orders coordinator addresses: servers of the destination
+// groups first (in GroupSet order), then — when the address map knows none
+// of them — every known server, trusting redirects to steer us.
+func (c *Client) routeCandidates(dest types.GroupSet) []string {
+	var out []string
+	for _, g := range dest.Groups() {
+		out = append(out, c.cfg.Addrs[g]...)
+	}
+	if len(out) == 0 {
+		for _, addrs := range c.cfg.Addrs {
+			out = append(out, addrs...)
+		}
+	}
+	return out
+}
+
+// ensureConn returns the live connection, dialing the next candidate if
+// needed.
+func (c *Client) ensureConn() (*tcp.SvcConn, error) {
+	if c.conn != nil {
+		return c.conn, nil
+	}
+	if len(c.candidates) == 0 {
+		return nil, fmt.Errorf("svc: no server addresses known")
+	}
+	addr := c.candidates[c.next%len(c.candidates)]
+	c.next++
+	conn, err := tcp.SvcDial(addr, c.cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("svc: dial %s: %w", addr, err)
+	}
+	c.conn, c.connAddr = conn, addr
+	return conn, nil
+}
+
+func (c *Client) dropConn() {
+	if c.conn != nil {
+		_ = c.conn.Close()
+		c.conn, c.connAddr = nil, ""
+	}
+}

@@ -1,0 +1,129 @@
+package svc
+
+import (
+	"fmt"
+	"time"
+
+	"wanamcast/internal/metrics"
+	"wanamcast/internal/types"
+)
+
+// Cluster is what the service layer needs from the ordering layer; the
+// root package's LiveCluster satisfies it.
+type Cluster interface {
+	// Multicast genuinely multicasts payload from process from to groups
+	// (Algorithm A1) and returns the message's ID.
+	Multicast(from types.ProcessID, payload any, groups ...types.GroupID) types.MessageID
+	// OnDeliverAt installs a per-process delivery hook, invoked in p's
+	// A-Delivery order.
+	OnDeliverAt(p types.ProcessID, fn func(id types.MessageID, payload any))
+}
+
+// ServiceConfig configures ServeCluster.
+type ServiceConfig struct {
+	// BasePort: process p's client-facing listener binds 127.0.0.1:BasePort+p.
+	// 0 binds ephemeral ports (tests); read them back with Addrs.
+	BasePort int
+	// NewMachine builds the state machine for replica p of group g
+	// (required).
+	NewMachine func(p types.ProcessID, g types.GroupID) StateMachine
+	// Stats, when non-nil, receives the servers' service-level counters.
+	Stats *metrics.Service
+	// ReplyTimeout bounds reply writes (see ServerConfig).
+	ReplyTimeout time.Duration
+	// MaxSessions bounds each replica's dedup table (see ServerConfig).
+	MaxSessions int
+}
+
+// Service is one Server per cluster process plus the address book that
+// clients and redirects use.
+type Service struct {
+	topo     *types.Topology
+	servers  []*Server
+	machines []StateMachine
+	addrs    map[types.GroupID][]string
+}
+
+// ServeCluster starts one client-facing Server per process of the cluster,
+// wired to the cluster's genuine multicast and delivery hooks. Call after
+// the cluster has started, and Stop the Service BEFORE stopping the
+// cluster: a request in flight submits through the cluster's event loops,
+// and tearing those down first would strand it.
+func ServeCluster(c Cluster, topo *types.Topology, cfg ServiceConfig) (*Service, error) {
+	if cfg.NewMachine == nil {
+		panic("svc: ServiceConfig.NewMachine is required")
+	}
+	svc := &Service{
+		topo:     topo,
+		servers:  make([]*Server, topo.N()),
+		machines: make([]StateMachine, topo.N()),
+		addrs:    make(map[types.GroupID][]string, topo.NumGroups()),
+	}
+	// Phase 1: bind every listener (learning ephemeral ports) and fill the
+	// address book — accepting no connections and registering no delivery
+	// hooks yet. A Listen failure therefore aborts with the cluster
+	// untouched (no orphaned servers wired into its delivery path), and
+	// the GroupAddrs closures can never read svc.addrs while it is still
+	// being built, even on predictable fixed ports.
+	for _, p := range topo.AllProcesses() {
+		p := p
+		g := topo.GroupOf(p)
+		addr := "127.0.0.1:0"
+		if cfg.BasePort != 0 {
+			addr = fmt.Sprintf("127.0.0.1:%d", cfg.BasePort+int(p))
+		}
+		machine := cfg.NewMachine(p, g)
+		srv := NewServer(ServerConfig{
+			Self:    p,
+			Group:   g,
+			Groups:  topo.NumGroups(),
+			Addr:    addr,
+			Machine: machine,
+			Submit: func(cmd Command, dest types.GroupSet) types.MessageID {
+				return c.Multicast(p, cmd, dest.Groups()...)
+			},
+			// Read-only by the time Serve (phase 2) admits any client.
+			GroupAddrs:   func(g types.GroupID) []string { return svc.addrs[g] },
+			Stats:        cfg.Stats,
+			ReplyTimeout: cfg.ReplyTimeout,
+			MaxSessions:  cfg.MaxSessions,
+		})
+		if err := srv.Listen(); err != nil {
+			svc.Stop()
+			return nil, err
+		}
+		svc.servers[p] = srv
+		svc.machines[p] = machine
+		svc.addrs[g] = append(svc.addrs[g], srv.Addr())
+	}
+	// Phase 2: every listener is bound and the address book is complete;
+	// wire the delivery hooks and start accepting. (A stopped server's
+	// Deliver is a no-op, so a Service that is later Stopped goes inert
+	// even though hooks cannot be unregistered.)
+	for _, p := range topo.AllProcesses() {
+		c.OnDeliverAt(p, svc.servers[p].Deliver)
+	}
+	for _, srv := range svc.servers {
+		srv.Serve()
+	}
+	return svc, nil
+}
+
+// Addrs returns the client-facing address book: group → its servers.
+// Callers must not modify it.
+func (s *Service) Addrs() map[types.GroupID][]string { return s.addrs }
+
+// Machine returns replica p's state machine (test/diagnostic access).
+func (s *Service) Machine(p types.ProcessID) StateMachine { return s.machines[p] }
+
+// Server returns replica p's server.
+func (s *Service) Server(p types.ProcessID) *Server { return s.servers[p] }
+
+// Stop stops every server. The underlying cluster keeps running.
+func (s *Service) Stop() {
+	for _, srv := range s.servers {
+		if srv != nil {
+			srv.Stop()
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package svc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"wanamcast/internal/types"
+	"wanamcast/internal/wire"
+)
+
+// The reference application of the service layer: a partially replicated
+// key-value store (the paper's §1 scenario). Keys are routed to shards by
+// a Route function; a put touching several shards is one cross-shard
+// command, genuinely multicast to exactly those shards.
+
+// KV op encoding: one op-code byte, then the op-specific body, all in
+// internal/wire primitives.
+const (
+	kvOpPut byte = 1 // uvarint n, then n × (string key, string value)
+	kvOpGet byte = 2 // string key
+)
+
+// EncodePut builds a put command. Keys are encoded in sorted order so the
+// command bytes — and therefore every replica's Apply — are deterministic.
+func EncodePut(sets map[string]string) []byte {
+	keys := make([]string, 0, len(sets))
+	for k := range sets {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	buf := []byte{kvOpPut}
+	buf = wire.AppendUvarint(buf, uint64(len(keys)))
+	for _, k := range keys {
+		buf = wire.AppendString(buf, k)
+		buf = wire.AppendString(buf, sets[k])
+	}
+	return buf
+}
+
+// EncodeGet builds a get command (a linearizable read: it rides the same
+// ordered path as writes).
+func EncodeGet(key string) []byte {
+	buf := []byte{kvOpGet}
+	return wire.AppendString(buf, key)
+}
+
+// DecodeGetResult unpacks a get's reply result.
+func DecodeGetResult(res []byte) (value string, found bool, err error) {
+	if len(res) == 0 {
+		return "", false, fmt.Errorf("svc: empty get result")
+	}
+	found, res = res[0] != 0, res[1:]
+	value, _, err = wire.String(res)
+	return value, found, err
+}
+
+// DecodePutResult unpacks a put's reply result: how many keys the
+// coordinator's shard wrote.
+func DecodePutResult(res []byte) (int, error) {
+	n, _, err := wire.Uvarint(res)
+	return int(n), err
+}
+
+// Route maps a key to the shard (group) owning it.
+type Route func(key string) types.GroupID
+
+// PrefixRoute routes keys of the form "g<N>/..." to group N (mod
+// numGroups); any other key hashes by its first byte. The load generator
+// and cmd/wankv use it so a key's shard is visible in the key itself.
+func PrefixRoute(numGroups int) Route {
+	return func(key string) types.GroupID {
+		if strings.HasPrefix(key, "g") {
+			if i := strings.IndexByte(key, '/'); i > 1 {
+				n := 0
+				ok := true
+				for _, ch := range key[1:i] {
+					if ch < '0' || ch > '9' {
+						ok = false
+						break
+					}
+					n = n*10 + int(ch-'0')
+				}
+				if ok {
+					return types.GroupID(n % numGroups)
+				}
+			}
+		}
+		if len(key) == 0 {
+			return 0
+		}
+		return types.GroupID(int(key[0]) % numGroups)
+	}
+}
+
+// KVMachine is one replica's shard of the key-value store. It implements
+// StateMachine: Apply runs in A-Delivery order (serialised by the Server);
+// the mutex only guards against concurrent readers (Snapshot, Get,
+// Applied).
+type KVMachine struct {
+	group types.GroupID
+	route Route
+
+	mu      sync.Mutex
+	data    map[string]string
+	applied uint64 // mutating commands applied (exactly-once accounting)
+}
+
+// NewKVMachine builds the machine for one replica of shard group.
+func NewKVMachine(group types.GroupID, route Route) *KVMachine {
+	return &KVMachine{group: group, route: route, data: make(map[string]string)}
+}
+
+// Apply implements StateMachine.
+func (m *KVMachine) Apply(op []byte) ([]byte, error) {
+	if len(op) == 0 {
+		return nil, fmt.Errorf("kv: empty op")
+	}
+	code, body := op[0], op[1:]
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch code {
+	case kvOpPut:
+		n, body, err := wire.SliceLen(body)
+		if err != nil {
+			return nil, fmt.Errorf("kv: corrupt put: %w", err)
+		}
+		wrote := 0
+		for i := 0; i < n; i++ {
+			var k, v string
+			if k, body, err = wire.String(body); err != nil {
+				return nil, fmt.Errorf("kv: corrupt put key: %w", err)
+			}
+			if v, body, err = wire.String(body); err != nil {
+				return nil, fmt.Errorf("kv: corrupt put value: %w", err)
+			}
+			if m.route(k) == m.group {
+				m.data[k] = v
+				wrote++
+			}
+		}
+		m.applied++
+		return wire.AppendUvarint(nil, uint64(wrote)), nil
+	case kvOpGet:
+		k, _, err := wire.String(body)
+		if err != nil {
+			return nil, fmt.Errorf("kv: corrupt get: %w", err)
+		}
+		v, found := m.data[k]
+		res := []byte{0}
+		if found {
+			res[0] = 1
+		}
+		return wire.AppendString(res, v), nil
+	default:
+		return nil, fmt.Errorf("kv: unknown op %d", code)
+	}
+}
+
+// Snapshot implements StateMachine: a deterministic encoding of the shard
+// state, byte-identical across in-sync replicas.
+func (m *KVMachine) Snapshot() ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keys := make([]string, 0, len(m.data))
+	for k := range m.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf []byte
+	buf = wire.AppendUvarint(buf, uint64(len(keys)))
+	for _, k := range keys {
+		buf = wire.AppendString(buf, k)
+		buf = wire.AppendString(buf, m.data[k])
+	}
+	return buf, nil
+}
+
+// Applied returns how many mutating commands this replica has executed —
+// the quantity the exactly-once tests pin.
+func (m *KVMachine) Applied() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.applied
+}
+
+// Get reads a key locally (test/diagnostic access, not linearizable).
+func (m *KVMachine) Get(key string) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok := m.data[key]
+	return v, ok
+}
+
+// Len returns the number of keys held locally.
+func (m *KVMachine) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.data)
+}
+
+// KV wraps a Client with key-based routing: the destination set of every
+// command is exactly the set of shards owning its keys.
+type KV struct {
+	Client *Client
+	Route  Route
+}
+
+// DestOf computes the exact destination shards of a key set — the
+// genuineness contract: only owners participate.
+func (kv *KV) DestOf(keys ...string) types.GroupSet {
+	gs := make([]types.GroupID, 0, len(keys))
+	for _, k := range keys {
+		gs = append(gs, kv.Route(k))
+	}
+	return types.NewGroupSet(gs...)
+}
+
+// Put writes all pairs as one exactly-once command, multicast to the
+// owning shards only. It returns how many keys the coordinator shard
+// wrote.
+func (kv *KV) Put(sets map[string]string) (int, error) {
+	keys := make([]string, 0, len(sets))
+	for k := range sets {
+		keys = append(keys, k)
+	}
+	res, err := kv.Client.Invoke(kv.DestOf(keys...), EncodePut(sets))
+	if err != nil {
+		return 0, err
+	}
+	return DecodePutResult(res)
+}
+
+// Get reads a key through the ordered path (linearizable).
+func (kv *KV) Get(key string) (string, bool, error) {
+	res, err := kv.Client.Invoke(kv.DestOf(key), EncodeGet(key))
+	if err != nil {
+		return "", false, err
+	}
+	return DecodeGetResult(res)
+}

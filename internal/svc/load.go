@@ -1,0 +1,106 @@
+package svc
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"wanamcast/internal/metrics"
+	"wanamcast/internal/types"
+	"wanamcast/internal/workload"
+)
+
+// LoadSpec describes a closed-loop multi-client KV workload: Clients
+// concurrent sessions, each issuing Ops puts back to back (the next op
+// starts when the previous reply lands), destination fan-out drawn from
+// Mix.
+type LoadSpec struct {
+	Clients int
+	Ops     int
+	// Mix is the destination-shard distribution (nil = the §1
+	// partial-replication default: 60% one shard, 30% two, 10% all).
+	Mix []workload.MixEntry
+	// Timeout is each client's first-attempt reply deadline (default 1s).
+	Timeout time.Duration
+	// KeysPerShard sizes each client's per-shard key space (default 16).
+	KeysPerShard int
+	Seed         int64
+}
+
+// LoadResult aggregates one load run.
+type LoadResult struct {
+	Ops     int // replies received (success)
+	Errors  int // ops that exhausted retries or failed
+	Elapsed time.Duration
+	Stats   metrics.ServiceStats
+}
+
+// RunKVLoad drives spec against the service at addrs and blocks until
+// every client finishes. Client i uses session i+1; sessions survive in
+// the replicas' dedup tables, so reusing a seed against a live cluster
+// requires fresh session numbers — RunKVLoad is meant for one run per
+// cluster. The returned stats fold together the client-observed latencies
+// and whatever server counters the caller wired into stats (pass the same
+// *metrics.Service to ServeCluster to see both sides in one snapshot).
+func RunKVLoad(topo *types.Topology, addrs map[types.GroupID][]string, spec LoadSpec, stats *metrics.Service) LoadResult {
+	if spec.Clients <= 0 || spec.Ops <= 0 {
+		panic(fmt.Sprintf("svc: invalid load spec %+v", spec))
+	}
+	if spec.Timeout <= 0 {
+		spec.Timeout = time.Second
+	}
+	if spec.KeysPerShard <= 0 {
+		spec.KeysPerShard = 16
+	}
+	if stats == nil {
+		stats = &metrics.Service{}
+	}
+	plans := workload.ClientPlans(topo, workload.ClientSpec{
+		Clients: spec.Clients, Ops: spec.Ops, Mix: spec.Mix, Seed: spec.Seed,
+	})
+	route := PrefixRoute(topo.NumGroups())
+
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		ok     int
+		failed int
+	)
+	begin := time.Now()
+	for i := 0; i < spec.Clients; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(spec.Seed + int64(i)*7919))
+			client := NewClient(ClientConfig{
+				Session: uint64(i + 1),
+				Addrs:   addrs,
+				Timeout: spec.Timeout,
+				Stats:   stats,
+			})
+			defer client.Close()
+			kv := &KV{Client: client, Route: route}
+			var good, bad int
+			for op, plan := range plans[i] {
+				sets := make(map[string]string, plan.Dest.Size())
+				for _, g := range plan.Dest.Groups() {
+					key := fmt.Sprintf("g%d/c%d-k%d", g, i, rng.Intn(spec.KeysPerShard))
+					sets[key] = fmt.Sprintf("c%d-op%d", i, op)
+				}
+				if _, err := kv.Put(sets); err != nil {
+					bad++
+					continue
+				}
+				good++
+			}
+			mu.Lock()
+			ok += good
+			failed += bad
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return LoadResult{Ops: ok, Errors: failed, Elapsed: time.Since(begin), Stats: stats.Snapshot()}
+}

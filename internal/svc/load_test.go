@@ -1,0 +1,67 @@
+package svc_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"wanamcast/internal/svc"
+	"wanamcast/internal/types"
+	"wanamcast/internal/workload"
+)
+
+// TestServiceLoadHundredClients is the acceptance workload: 100 concurrent
+// closed-loop client sessions against 3 shards, destination fan-out drawn
+// from the §1 partial-replication mix. Every operation must succeed, every
+// §2.2 property must hold over the live run, and replicas of each shard
+// must converge to identical state.
+func TestServiceLoadHundredClients(t *testing.T) {
+	f := newKVFixture(t, 3, 3, 25300, 5*time.Millisecond)
+
+	res := svc.RunKVLoad(f.topo, f.service.Addrs(), svc.LoadSpec{
+		Clients: 100,
+		Ops:     3,
+		Mix:     workload.DefaultMix(),
+		Timeout: 5 * time.Second,
+		Seed:    42,
+	}, f.stats)
+
+	if res.Errors != 0 {
+		t.Fatalf("%d of %d client operations failed", res.Errors, res.Errors+res.Ops)
+	}
+	if want := 100 * 3; res.Ops != want {
+		t.Fatalf("completed %d ops, want %d", res.Ops, want)
+	}
+	t.Logf("load: %d ops in %v (%.0f ops/s)\n%v",
+		res.Ops, res.Elapsed.Round(time.Millisecond),
+		float64(res.Ops)/res.Elapsed.Seconds(), res.Stats)
+
+	// Clients saw their coordinator's delivery; wait for the uniform
+	// fan-out (every addressee of every command) to drain, then demand a
+	// clean §2.2 verdict.
+	violations := f.cluster.WaitPropertiesClean(30 * time.Second)
+	if len(violations) > 0 {
+		t.Fatalf("§2.2 property violations over the live run (%d):\n%v", len(violations), violations)
+	}
+
+	// Replica convergence per shard: byte-identical snapshots.
+	for g := 0; g < f.topo.NumGroups(); g++ {
+		members := f.topo.Members(types.GroupID(g))
+		ref, err := f.machine(members[0]).Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range members[1:] {
+			snap, err := f.machine(p).Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(ref, snap) {
+				t.Fatalf("shard %d replicas diverged: %v vs %v", g, members[0], p)
+			}
+		}
+		if f.machine(members[0]).Len() == 0 {
+			t.Fatalf("shard %d holds no keys after 300 ops with a home-shard mix", g)
+		}
+	}
+}

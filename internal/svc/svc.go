@@ -1,0 +1,513 @@
+// Package svc is the client-facing replicated service layer: it turns the
+// live cluster's genuine atomic multicast (Algorithm A1) into an
+// exactly-once replicated state machine that real clients call over TCP.
+//
+// # Architecture
+//
+// Every replica process of the ordering cluster also runs a Server: a
+// client-facing listener speaking a request/reply protocol framed with
+// internal/wire (Kinds Request, Reply, Redirect). A client names the exact
+// set of shards its operation touches; the contacted server — which must
+// belong to one of them — wraps the operation in a Command tagged with the
+// client's (session, sequence) identity and genuinely multicasts it to
+// exactly those shards via A1. Uninvolved shards never see the command
+// (genuineness, the paper's §1 motivation). When the command A-Delivers
+// locally, the server applies it to its StateMachine and answers the
+// client; every other destination replica applies it in the same total
+// order, so replicas of a shard stay identical and cross-shard commands
+// serialize consistently everywhere.
+//
+// # Sessions and exactly-once execution
+//
+// Each client owns a session (a unique uint64) and numbers its commands
+// with a per-session sequence, one outstanding command at a time. A retry
+// after a timeout reuses the same sequence number. Every replica keeps a
+// dedup table per session: a sliding window of applied sequence numbers
+// with their cached results. The table needs no replication protocol of
+// its own — it is a deterministic function of the A-Delivery order, so all
+// replicas of a shard agree on it. A retried command therefore mutates the
+// state machine exactly once, no matter how many times the client resent
+// it or how many duplicate Commands reached the ordering layer; later
+// copies hit the table and are answered from the cached result.
+//
+// The table is a window rather than a high-water mark on purpose: two
+// commands of one session that touch different shard sets may be
+// delivered at a shard they share in the opposite of issue order (atomic
+// multicast fixes a pairwise-consistent total order, not real-time
+// order), and a mark-only table would mistake the earlier command for a
+// duplicate and drop its writes. Window entries older than sessionWindow
+// below the session's maximum are pruned; a request that far behind is
+// answered "expired" — a correct closed-loop client can never send one.
+//
+// Total dedup memory is bounded on both axes: at most sessionWindow
+// cached results per session, and at most ServerConfig.MaxSessions
+// sessions per replica, evicted least-recently-delivered-to first.
+// Eviction keys off the delivery order only, so replicas of a shard evict
+// in lockstep and their tables stay identical.
+//
+// # Redirects
+//
+// A server contacted with a destination set that excludes its own group
+// does not proxy: it answers Redirect carrying the addresses of servers
+// that can coordinate (members of the destination groups). The shard-aware
+// Client routes by key → group up front, so redirects only happen when its
+// address map is stale or incomplete; it follows the redirect and resends
+// under the same sequence number.
+//
+// Reply results are replica-local: for a cross-shard command the client
+// receives the coordinator shard's result (each shard applies only its
+// part of the operation).
+package svc
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"wanamcast/internal/metrics"
+	"wanamcast/internal/transport/tcp"
+	"wanamcast/internal/types"
+)
+
+// StateMachine is one replica's application state. Apply is invoked in
+// A-Delivery order, sequentially, for every command addressed to the
+// replica's shard; it returns the replica-local result. Snapshot
+// serialises the state deterministically (replica-equality checks,
+// future state transfer). Implementations need no internal locking for
+// Apply (the Server serialises calls) but Snapshot may race with Apply and
+// must synchronise if the machine is read concurrently.
+type StateMachine interface {
+	Apply(op []byte) ([]byte, error)
+	Snapshot() ([]byte, error)
+}
+
+// ServerConfig configures one replica's client-facing server.
+type ServerConfig struct {
+	// Self and Group identify the replica within the ordering cluster.
+	Self  types.ProcessID
+	Group types.GroupID
+	// Groups is |Γ|, the number of shards (required). Requests naming a
+	// destination group outside [0, Groups) are refused: the ordering
+	// layer's topology lookups panic on unknown groups, and a malformed
+	// client request must cost an error reply, never the replica.
+	Groups int
+	// Addr is the client-facing listen address (e.g. "127.0.0.1:0").
+	Addr string
+	// Machine is the replica's state machine (required).
+	Machine StateMachine
+	// Submit hands a command to the ordering layer: genuinely multicast it
+	// to dest and return its MessageID (required). It must be safe to call
+	// from connection goroutines and must not be called on the cluster's
+	// event loop (the Server never does).
+	Submit func(cmd Command, dest types.GroupSet) types.MessageID
+	// GroupAddrs resolves a group to its servers' client-facing addresses,
+	// for Redirect replies. Nil disables redirect address hints.
+	GroupAddrs func(g types.GroupID) []string
+	// Stats, when non-nil, receives service-level counters.
+	Stats *metrics.Service
+	// ReplyTimeout bounds each reply write (default 5s); a client too slow
+	// to take its reply loses the connection, not the command.
+	ReplyTimeout time.Duration
+	// MaxSessions bounds the replicated dedup table (default 65536
+	// sessions): beyond it the least-recently-delivered-to session is
+	// evicted. Eviction is driven purely by A-Delivery order, so replicas
+	// of a shard evict identically and their tables never diverge. A
+	// client idle long enough to be evicted loses exactly-once for its
+	// in-flight command and must open a fresh session.
+	MaxSessions int
+}
+
+// sessionWindow bounds the per-session dedup window: how many recent
+// (sequence → result) entries each replica retains. A closed-loop client
+// has at most two sequence numbers live at once (the outstanding command
+// and, under shard-order inversion, its predecessor), so 128 is deep
+// margin; anything older answers "expired" rather than re-executing.
+const sessionWindow = 128
+
+// appliedCmd is one executed command's cached outcome.
+type appliedCmd struct {
+	result []byte
+	err    string
+}
+
+// session is one client session's replicated dedup state. It is identical
+// on every replica of a shard because it advances only on A-Delivery.
+//
+// The table is a WINDOW of applied sequences, not just a high-water mark:
+// two commands of one session with different destination sets may be
+// delivered in opposite relative order at a shard they share (atomic
+// multicast guarantees pairwise-consistent order, not issue order), and a
+// mark-only table would misread the earlier command as a duplicate and
+// drop its writes. With the window, each sequence number executes exactly
+// once no matter how deliveries interleave.
+type session struct {
+	maxSeq  uint64
+	applied map[uint64]appliedCmd
+	// touched is the server's delivery tick of the session's most recent
+	// command — NEVER a request-path timestamp: eviction order must be a
+	// deterministic function of the A-Delivery sequence alone, or replicas
+	// of a shard would evict different sessions and their dedup tables
+	// (replicated state!) would diverge.
+	touched uint64
+}
+
+// pendingReq is a locally submitted command awaiting A-Delivery, so the
+// submitting server can answer its client.
+type pendingReq struct {
+	conn    *tcp.SvcConn
+	session uint64
+	seq     uint64
+}
+
+// Server serves one replica's clients. Create with NewServer, then Start.
+type Server struct {
+	cfg ServerConfig
+	ln  *tcp.SvcListener
+
+	mu       sync.Mutex
+	sessions map[uint64]*session
+	tick     uint64 // delivery counter driving deterministic session LRU
+	pending  map[types.MessageID]pendingReq
+	conns    map[*tcp.SvcConn]bool
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// NewServer builds (but does not start) a server.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.Machine == nil || cfg.Submit == nil {
+		panic("svc: ServerConfig.Machine and Submit are required")
+	}
+	if cfg.Groups < 1 {
+		panic("svc: ServerConfig.Groups is required")
+	}
+	if cfg.ReplyTimeout <= 0 {
+		cfg.ReplyTimeout = 5 * time.Second
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 65536
+	}
+	return &Server{
+		cfg:      cfg,
+		sessions: make(map[uint64]*session),
+		pending:  make(map[types.MessageID]pendingReq),
+		conns:    make(map[*tcp.SvcConn]bool),
+	}
+}
+
+// Start opens the client listener and begins accepting (Listen + Serve).
+// Wire the cluster's delivery hook to Deliver before Start so no delivery
+// is missed.
+func (s *Server) Start() error {
+	if err := s.Listen(); err != nil {
+		return err
+	}
+	s.Serve()
+	return nil
+}
+
+// Listen binds the client-facing listener without accepting yet; Addr is
+// valid afterwards. ServeCluster uses the split phases to finish the
+// redirect address book before any client can possibly connect.
+func (s *Server) Listen() error {
+	ln, err := tcp.SvcListen(s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("svc: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.ln = ln
+	return nil
+}
+
+// Serve starts accepting client connections. Call after Listen.
+func (s *Server) Serve() {
+	s.wg.Add(1)
+	go s.acceptLoop()
+}
+
+// Addr returns the bound client-facing address (valid after Start).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Stop closes the listener and every client connection and waits for the
+// connection goroutines to drain. Idempotent.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	conns := make([]*tcp.SvcConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if s.ln != nil {
+		_ = s.ln.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn *tcp.SvcConn) {
+	defer s.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		v, err := conn.ReadMsg()
+		if err != nil {
+			return // client hung up or sent garbage
+		}
+		req, ok := v.(Request)
+		if !ok {
+			return // protocol violation: cost the connection
+		}
+		s.handle(conn, req)
+	}
+}
+
+// handle processes one request on the connection's goroutine. It never
+// blocks on the ordering layer's event loops beyond the submit hand-off
+// and never holds s.mu across Submit (Deliver runs on the event loop and
+// takes s.mu — holding it across Submit would deadlock).
+func (s *Server) handle(conn *tcp.SvcConn, req Request) {
+	if s.cfg.Stats != nil {
+		s.cfg.Stats.RecordRequest()
+	}
+	if req.Dest.Size() == 0 {
+		s.reply(conn, Reply{Session: req.Session, Seq: req.Seq, Err: "empty destination set"})
+		return
+	}
+	for _, g := range req.Dest.Groups() {
+		if g < 0 || int(g) >= s.cfg.Groups {
+			s.reply(conn, Reply{Session: req.Session, Seq: req.Seq,
+				Err: fmt.Sprintf("destination group %v outside topology (%d shards)", g, s.cfg.Groups)})
+			return
+		}
+	}
+	if !req.Dest.Contains(s.cfg.Group) {
+		if s.cfg.Stats != nil {
+			s.cfg.Stats.RecordRedirect()
+		}
+		var addrs []string
+		if s.cfg.GroupAddrs != nil {
+			for _, g := range req.Dest.Groups() {
+				addrs = append(addrs, s.cfg.GroupAddrs(g)...)
+			}
+		}
+		_ = s.writeMsg(conn, Redirect{Session: req.Session, Seq: req.Seq, Groups: req.Dest, Addrs: addrs})
+		return
+	}
+
+	// Fast path: the command already committed (a retry arriving after the
+	// original's delivery). Answer from the replicated dedup table without
+	// re-submitting.
+	s.mu.Lock()
+	if r, done := s.cachedReply(req, true); done {
+		s.mu.Unlock()
+		s.reply(conn, r)
+		return
+	}
+	s.mu.Unlock()
+
+	id := s.cfg.Submit(Command{Session: req.Session, Seq: req.Seq, Op: req.Op}, req.Dest)
+
+	s.mu.Lock()
+	// The command may have been delivered between Submit returning and
+	// this re-lock; answer now if so, else park the reply on its
+	// MessageID. A hit here is (almost always) this very submission
+	// racing its own delivery, not a client retry, so it must not count
+	// toward the duplicates metric.
+	if r, done := s.cachedReply(req, false); done {
+		s.mu.Unlock()
+		s.reply(conn, r)
+		return
+	}
+	s.pending[id] = pendingReq{conn: conn, session: req.Session, seq: req.Seq}
+	s.mu.Unlock()
+}
+
+// cachedReply answers req from the session window if its sequence number
+// has already been applied (or has aged out of the window entirely).
+// recordDup controls whether a hit counts toward the duplicates metric —
+// true for genuine client resends, false for a submission racing its own
+// delivery. Callers hold s.mu.
+func (s *Server) cachedReply(req Request, recordDup bool) (Reply, bool) {
+	sess := s.sessions[req.Session]
+	if sess == nil {
+		return Reply{}, false
+	}
+	if ac, done := sess.applied[req.Seq]; done {
+		if recordDup && s.cfg.Stats != nil {
+			s.cfg.Stats.RecordDuplicate()
+		}
+		return appliedReply(req.Session, req.Seq, ac), true
+	}
+	if req.Seq+sessionWindow <= sess.maxSeq {
+		// Too old to still hold a result — and too old to be a live retry
+		// from a correct closed-loop client. Refuse rather than re-execute.
+		return Reply{Session: req.Session, Seq: req.Seq,
+			Err: fmt.Sprintf("sequence %d expired (session window past %d)", req.Seq, sess.maxSeq)}, true
+	}
+	return Reply{}, false
+}
+
+// appliedReply builds the reply for a cached command outcome.
+func appliedReply(sessionID, seq uint64, ac appliedCmd) Reply {
+	r := Reply{Session: sessionID, Seq: seq, OK: ac.err == "", Err: ac.err}
+	if r.OK {
+		r.Result = ac.result
+	}
+	return r
+}
+
+// Deliver feeds one local A-Delivery into the server. Wire it to the
+// cluster's per-process delivery hook; non-Command payloads are ignored so
+// the service coexists with other traffic on the same cluster. Deliver
+// runs on the replica's event loop: calls are sequential and in delivery
+// order, which is exactly the state machine's contract.
+func (s *Server) Deliver(id types.MessageID, payload any) {
+	cmd, ok := payload.(Command)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		// A stopped server must go fully inert: its delivery hook cannot
+		// be unregistered from the cluster, and a ghost apply would
+		// double-execute commands against a dead machine and skew the
+		// shared metrics.
+		s.mu.Unlock()
+		return
+	}
+	s.tick++
+	sess := s.sessions[cmd.Session]
+	if sess == nil {
+		// touched is set before the eviction sweep so the newcomer can
+		// never be its own victim.
+		sess = &session{applied: make(map[uint64]appliedCmd), touched: s.tick}
+		s.sessions[cmd.Session] = sess
+		if len(s.sessions) > s.cfg.MaxSessions {
+			s.evictOldestSession()
+		}
+	}
+	sess.touched = s.tick
+	if _, done := sess.applied[cmd.Seq]; !done && cmd.Seq+sessionWindow > sess.maxSeq {
+		// First delivery of this (session, seq): the one and only state
+		// mutation, identical at every replica of every destination shard.
+		res, err := s.cfg.Machine.Apply(cmd.Op)
+		ac := appliedCmd{result: res}
+		if err != nil {
+			ac.err = err.Error()
+		}
+		sess.applied[cmd.Seq] = ac
+		if cmd.Seq > sess.maxSeq {
+			sess.maxSeq = cmd.Seq
+		}
+		if len(sess.applied) > sessionWindow {
+			for q := range sess.applied {
+				if q+sessionWindow <= sess.maxSeq {
+					delete(sess.applied, q)
+				}
+			}
+		}
+	} else if s.cfg.Stats != nil {
+		// A duplicate Command ordered by a client retry (or one that fell
+		// out of the window): suppressed here, at every replica, by the
+		// replicated dedup table.
+		s.cfg.Stats.RecordDuplicate()
+	}
+	pr, waiting := s.pending[id]
+	var r Reply
+	if waiting {
+		delete(s.pending, id)
+		if ac, ok := sess.applied[pr.seq]; ok {
+			r = appliedReply(pr.session, pr.seq, ac)
+		} else {
+			r = Reply{Session: pr.session, Seq: pr.seq,
+				Err: fmt.Sprintf("sequence %d expired (session window past %d)", pr.seq, sess.maxSeq)}
+		}
+	}
+	s.mu.Unlock()
+	if waiting {
+		// Off-loop: a slow client must never stall the replica's
+		// deliveries. The goroutine is deliberately not wg-tracked — it
+		// only touches the connection (safe after Stop closed it), and
+		// Deliver can legitimately race Stop, where a wg.Add against the
+		// final wg.Wait would be misuse.
+		go s.reply(pr.conn, r)
+	}
+}
+
+// evictOldestSession drops the session with the oldest delivery tick.
+// Callers hold s.mu. Because ticks advance only on A-Delivery, every
+// replica of the shard evicts the same session at the same point in the
+// command sequence, keeping the replicated dedup tables identical.
+func (s *Server) evictOldestSession() {
+	var (
+		victim uint64
+		oldest uint64
+		found  bool
+	)
+	for id, sess := range s.sessions {
+		if !found || sess.touched < oldest {
+			victim, oldest, found = id, sess.touched, true
+		}
+	}
+	if found {
+		delete(s.sessions, victim)
+	}
+}
+
+// SessionCount returns how many sessions the dedup table currently holds
+// (diagnostics; bounded by ServerConfig.MaxSessions).
+func (s *Server) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// reply sends r on conn under the write deadline; errors cost the
+// connection (the client will retry elsewhere under the same sequence).
+func (s *Server) reply(conn *tcp.SvcConn, r Reply) {
+	if s.cfg.Stats != nil && r.OK {
+		s.cfg.Stats.RecordReply()
+	}
+	_ = s.writeMsg(conn, r)
+}
+
+func (s *Server) writeMsg(conn *tcp.SvcConn, v any) error {
+	_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.ReplyTimeout))
+	if err := conn.WriteMsg(s.cfg.Self, v); err != nil {
+		_ = conn.Close()
+		return err
+	}
+	return nil
+}

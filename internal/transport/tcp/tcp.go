@@ -268,7 +268,9 @@ func (rt *Runtime) Proc(id types.ProcessID) *node.Proc {
 func (rt *Runtime) Detector(id types.ProcessID) *heartbeatFD { return rt.fds[id] }
 
 // Start opens the listeners, launches the event loops, and runs every
-// protocol's Start on its own loop.
+// protocol's Start on its own loop. Starting a stopped runtime fails:
+// Stop is a one-way door (otherwise the startup barrier below would wait
+// forever on loops that exit immediately).
 func (rt *Runtime) Start() error {
 	rt.start = time.Now()
 	for _, id := range rt.local {
@@ -278,7 +280,9 @@ func (rt *Runtime) Start() error {
 			rt.Stop()
 			return fmt.Errorf("tcp: listen %s: %w", addr, err)
 		}
-		rt.listeners = append(rt.listeners, ln)
+		if !rt.trackListener(ln) {
+			return fmt.Errorf("tcp: runtime already stopped")
+		}
 		rt.wg.Add(1)
 		go rt.acceptLoop(id, ln)
 	}
@@ -300,7 +304,11 @@ func (rt *Runtime) Start() error {
 	return nil
 }
 
-// Stop terminates the runtime: loops stop, sockets close.
+// Stop terminates the runtime: loops stop, sockets close. Stop is
+// idempotent and safe to call concurrently (every caller blocks until
+// shutdown completes) or concurrently with Start — listeners are handed
+// over under connMu, so a racing Start either loses (its listener closes
+// immediately and Start errors) or finishes before the close sweep.
 func (rt *Runtime) Stop() {
 	rt.stopOnce.Do(func() {
 		// done is closed under connMu so link() cannot wg.Add a new writer
@@ -312,12 +320,30 @@ func (rt *Runtime) Stop() {
 		for _, c := range rt.open {
 			_ = c.Close()
 		}
+		lns := rt.listeners
+		rt.listeners = nil
 		rt.connMu.Unlock()
-		for _, ln := range rt.listeners {
+		for _, ln := range lns {
 			_ = ln.Close()
 		}
 	})
 	rt.wg.Wait()
+}
+
+// trackListener registers a listener for closure by Stop. It reports false
+// — closing the listener immediately — when the runtime has already
+// stopped, so a Start racing a Stop cannot leak a live socket.
+func (rt *Runtime) trackListener(ln net.Listener) bool {
+	rt.connMu.Lock()
+	defer rt.connMu.Unlock()
+	select {
+	case <-rt.done:
+		_ = ln.Close()
+		return false
+	default:
+	}
+	rt.listeners = append(rt.listeners, ln)
+	return true
 }
 
 // Run executes fn on process id's event loop and waits for it — the only

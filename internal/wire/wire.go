@@ -82,6 +82,10 @@ const (
 	KindSkeenData         Kind = 36 // baseline.SkeenData
 	KindSkeenProp         Kind = 37 // baseline.SkeenProp
 	KindHeartbeat         Kind = 40 // tcp heartbeatMsg (empty body)
+	KindSvcRequest        Kind = 44 // svc.Request (client → server)
+	KindSvcReply          Kind = 45 // svc.Reply (server → client)
+	KindSvcRedirect       Kind = 46 // svc.Redirect (server → client)
+	KindSvcCommand        Kind = 47 // svc.Command (the multicast payload)
 )
 
 // MaxFrame bounds one frame on the wire. A larger length prefix is treated

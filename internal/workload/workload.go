@@ -2,7 +2,9 @@
 // Poisson or periodic arrivals, configurable destination-set distributions
 // (single-group, pairwise, spanning, or mixed), and caster placement.
 // The §1 partial-replication scenario — most operations touch one or two
-// groups, a few touch everything — is the default mix.
+// groups, a few touch everything — is the default mix. ClientPlans
+// additionally generates closed-loop per-client op sequences for the
+// service layer's load generator (internal/svc).
 package workload
 
 import (
@@ -89,6 +91,59 @@ func Generate(topo *types.Topology, spec Spec) []Cast {
 		})
 	}
 	return casts
+}
+
+// ClientSpec describes a closed-loop client population for the service
+// layer: Clients sessions, each issuing Ops commands one at a time, with
+// destination fan-out drawn from Mix.
+type ClientSpec struct {
+	Clients int
+	Ops     int
+	// Mix is the destination-set distribution; nil means DefaultMix.
+	Mix  []MixEntry
+	Seed int64
+}
+
+// ClientOp is one closed-loop operation: the exact set of shards it
+// touches. The caller maps it onto application commands (e.g. one key per
+// destination shard).
+type ClientOp struct {
+	Dest types.GroupSet
+}
+
+// ClientPlans produces one op sequence per client. Client i is homed on
+// group i mod |Γ| and every op's destination set includes its home shard
+// (locality, as in the open-loop generator). It panics on an invalid spec.
+func ClientPlans(topo *types.Topology, spec ClientSpec) [][]ClientOp {
+	if spec.Clients <= 0 || spec.Ops <= 0 {
+		panic(fmt.Sprintf("workload: invalid client spec %+v", spec))
+	}
+	mix := spec.Mix
+	if mix == nil {
+		mix = DefaultMix()
+	}
+	var total float64
+	for _, e := range mix {
+		if e.Weight < 0 || e.Groups < 0 || e.Groups > topo.NumGroups() {
+			panic(fmt.Sprintf("workload: invalid mix entry %+v", e))
+		}
+		total += e.Weight
+	}
+	if total <= 0 {
+		panic("workload: mix has no weight")
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	plans := make([][]ClientOp, spec.Clients)
+	for i := range plans {
+		home := types.GroupID(i % topo.NumGroups())
+		from := topo.Members(home)[0]
+		ops := make([]ClientOp, spec.Ops)
+		for j := range ops {
+			ops[j] = ClientOp{Dest: pickDest(topo, rng, mix, total, from)}
+		}
+		plans[i] = ops
+	}
+	return plans
 }
 
 // pickDest draws a destination set from the mix. Sets of size ≥ 1 always

@@ -86,3 +86,66 @@ func TestInvalidSpecPanics(t *testing.T) {
 		}()
 	}
 }
+
+func TestClientPlans(t *testing.T) {
+	topo := types.NewTopology(3, 2)
+	spec := ClientSpec{Clients: 9, Ops: 20, Seed: 5}
+	plans := ClientPlans(topo, spec)
+	if len(plans) != 9 {
+		t.Fatalf("got %d plans, want 9", len(plans))
+	}
+	for i, ops := range plans {
+		if len(ops) != 20 {
+			t.Fatalf("client %d has %d ops, want 20", i, len(ops))
+		}
+		home := types.GroupID(i % 3)
+		for j, op := range ops {
+			if op.Dest.Size() == 0 {
+				t.Fatalf("client %d op %d has empty destination", i, j)
+			}
+			if !op.Dest.Contains(home) {
+				t.Fatalf("client %d op %d dest %v misses home shard %v", i, j, op.Dest, home)
+			}
+		}
+	}
+	// Determinism: same seed, same plans.
+	again := ClientPlans(topo, spec)
+	for i := range plans {
+		for j := range plans[i] {
+			if !plans[i][j].Dest.Equal(again[i][j].Dest) {
+				t.Fatal("ClientPlans is not deterministic for a fixed seed")
+			}
+		}
+	}
+	// The default mix reaches beyond single-shard ops.
+	multi := 0
+	for _, ops := range plans {
+		for _, op := range ops {
+			if op.Dest.Size() > 1 {
+				multi++
+			}
+		}
+	}
+	if multi == 0 {
+		t.Fatal("default mix produced no multi-shard ops in 180 draws")
+	}
+}
+
+func TestClientPlansInvalidSpecPanics(t *testing.T) {
+	topo := types.NewTopology(2, 2)
+	for name, spec := range map[string]ClientSpec{
+		"no clients": {Ops: 1},
+		"no ops":     {Clients: 1},
+		"bad mix":    {Clients: 1, Ops: 1, Mix: []MixEntry{{Groups: 9, Weight: 1}}},
+		"zero mix":   {Clients: 1, Ops: 1, Mix: []MixEntry{{Groups: 1, Weight: 0}}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			ClientPlans(topo, spec)
+		}()
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"wanamcast/internal/abcast"
 	"wanamcast/internal/amcast"
+	"wanamcast/internal/check"
 	"wanamcast/internal/node"
 	"wanamcast/internal/rmcast"
 	"wanamcast/internal/transport/tcp"
@@ -53,6 +54,12 @@ type LiveConfig struct {
 	// 0 keeps everything forever (the historical behavior — beware that
 	// it grows without bound in long runs).
 	RetainDeliveries int
+	// Check records every cast and delivery into a §2.2 property checker
+	// so CheckProperties can verify uniform integrity, validity, uniform
+	// agreement, and uniform prefix order over the live run. The checker
+	// retains the full run (unaffected by RetainDeliveries): leave it off
+	// for unbounded benchmarks.
+	Check bool
 }
 
 // LiveCluster runs Algorithms A1 and A2 on every process over TCP.
@@ -67,11 +74,15 @@ type LiveCluster struct {
 
 	mu         sync.Mutex
 	onDeliver  func(p ProcessID, id MessageID, payload any)
+	hooks      [][]func(id MessageID, payload any) // per-process delivery hooks
 	deliveries []Delivery
 	retain     int
 	counts     map[MessageID]int
 	countOrder []MessageID // first-delivery order, for bounded eviction
+	checker    *check.Checker
+	crashed    map[ProcessID]bool
 	started    bool
+	stopped    bool
 	startTime  time.Time
 }
 
@@ -102,12 +113,17 @@ func NewLiveCluster(cfg LiveConfig) *LiveCluster {
 		Recorder:   node.NopRecorder{},
 	})
 	l := &LiveCluster{
-		rt:     rt,
-		topo:   topo,
-		a1:     make([]*amcast.Mcast, topo.N()),
-		a2:     make([]*abcast.Bcast, topo.N()),
-		retain: cfg.RetainDeliveries,
-		counts: make(map[MessageID]int),
+		rt:      rt,
+		topo:    topo,
+		a1:      make([]*amcast.Mcast, topo.N()),
+		a2:      make([]*abcast.Bcast, topo.N()),
+		retain:  cfg.RetainDeliveries,
+		counts:  make(map[MessageID]int),
+		hooks:   make([][]func(id MessageID, payload any), topo.N()),
+		crashed: make(map[ProcessID]bool),
+	}
+	if cfg.Check {
+		l.checker = check.New(topo)
 	}
 	for _, id := range topo.AllProcesses() {
 		id := id
@@ -143,6 +159,10 @@ func NewLiveCluster(cfg LiveConfig) *LiveCluster {
 func (l *LiveCluster) recordDelivery(p ProcessID, id MessageID, payload any) {
 	l.mu.Lock()
 	fn := l.onDeliver
+	hooks := l.hooks[p]
+	if l.checker != nil {
+		l.checker.RecordDeliver(p, id)
+	}
 	if _, seen := l.counts[id]; !seen {
 		l.countOrder = append(l.countOrder, id)
 	}
@@ -173,6 +193,11 @@ func (l *LiveCluster) recordDelivery(p ProcessID, id MessageID, payload any) {
 	if fn != nil {
 		fn(p, id, payload)
 	}
+	// Hooks run on p's event loop (like fn), so each process's hooks see
+	// its deliveries sequentially, in A-Delivery order.
+	for _, h := range hooks {
+		h(id, payload)
+	}
 }
 
 // countBound is how many per-message delivery counts are retained when
@@ -194,12 +219,31 @@ func (l *LiveCluster) OnDeliver(fn func(p ProcessID, id MessageID, payload any))
 	l.onDeliver = fn
 }
 
-// Start opens sockets and launches every process.
+// OnDeliverAt installs an additional per-process delivery hook: fn runs on
+// p's event loop for each of p's A-Deliveries, in delivery order, after
+// the global OnDeliver callback. The service layer (internal/svc) hangs
+// its replica servers here. Install before the first cast.
+func (l *LiveCluster) OnDeliverAt(p ProcessID, fn func(id MessageID, payload any)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.hooks[p] = append(l.hooks[p], fn)
+}
+
+// Topology exposes the cluster's process/group layout.
+func (l *LiveCluster) Topology() *Topology { return l.topo }
+
+// Start opens sockets and launches every process. A cluster can be
+// started at most once; Start after Stop fails rather than resurrecting
+// closed sockets.
 func (l *LiveCluster) Start() error {
 	l.mu.Lock()
 	if l.started {
 		l.mu.Unlock()
 		return fmt.Errorf("wanamcast: live cluster already started")
+	}
+	if l.stopped {
+		l.mu.Unlock()
+		return fmt.Errorf("wanamcast: live cluster already stopped")
 	}
 	l.started = true
 	l.startTime = time.Now()
@@ -207,8 +251,15 @@ func (l *LiveCluster) Start() error {
 	return l.rt.Start()
 }
 
-// Stop shuts the cluster down.
-func (l *LiveCluster) Stop() { l.rt.Stop() }
+// Stop shuts the cluster down. It is idempotent and safe to call
+// concurrently (every call blocks until shutdown completes) and before
+// Start (the cluster then refuses to start).
+func (l *LiveCluster) Stop() {
+	l.mu.Lock()
+	l.stopped = true
+	l.mu.Unlock()
+	l.rt.Stop()
+}
 
 // Process returns the ProcessID of the i-th member of group g.
 func (l *LiveCluster) Process(g GroupID, i int) ProcessID { return l.topo.Members(g)[i] }
@@ -216,7 +267,24 @@ func (l *LiveCluster) Process(g GroupID, i int) ProcessID { return l.topo.Member
 // Broadcast atomically broadcasts payload from process from (Algorithm A2).
 func (l *LiveCluster) Broadcast(from ProcessID, payload any) MessageID {
 	var id MessageID
-	l.rt.Run(from, func() { id = l.a2[from].ABCast(payload) })
+	// With checking on, l.mu is held ACROSS the cast and its recording: a
+	// remote replica could otherwise order and deliver the message between
+	// ABCast handing frames to the async writers and the checker learning
+	// of the cast, and recordDelivery would file a permanent false
+	// integrity fault. Deadlock-free: ABCast only enqueues (never blocks
+	// on another loop), and no A-Delivery can happen synchronously inside
+	// it. l.checker is immutable after construction, so the checker-off
+	// hot path (all benchmarks) adds no cross-loop lock contention.
+	l.rt.Run(from, func() {
+		if l.checker == nil {
+			id = l.a2[from].ABCast(payload)
+			return
+		}
+		l.mu.Lock()
+		id = l.a2[from].ABCast(payload)
+		l.checker.RecordCast(id, l.topo.AllGroups())
+		l.mu.Unlock()
+	})
 	return id
 }
 
@@ -225,13 +293,63 @@ func (l *LiveCluster) Multicast(from ProcessID, payload any, groups ...GroupID) 
 	if len(groups) == 0 {
 		panic("wanamcast: Multicast needs at least one destination group")
 	}
+	dest := types.NewGroupSet(groups...)
 	var id MessageID
-	l.rt.Run(from, func() { id = l.a1[from].AMCast(payload, types.NewGroupSet(groups...)) })
+	// See Broadcast for why l.mu spans the cast and its recording when
+	// checking is on, and why it is skipped entirely when it is off.
+	l.rt.Run(from, func() {
+		if l.checker == nil {
+			id = l.a1[from].AMCast(payload, dest)
+			return
+		}
+		l.mu.Lock()
+		id = l.a1[from].AMCast(payload, dest)
+		l.checker.RecordCast(id, dest)
+		l.mu.Unlock()
+	})
 	return id
 }
 
+// WaitPropertiesClean polls CheckProperties until it reports no
+// violations or the timeout expires, returning the final verdict (empty
+// means the run satisfies §2.2). This is the idiomatic way to check a
+// live run: casts still draining report as transient agreement/validity
+// violations that disappear once every addressee has delivered.
+func (l *LiveCluster) WaitPropertiesClean(timeout time.Duration) []string {
+	deadline := time.Now().Add(timeout)
+	for {
+		v := l.CheckProperties()
+		if len(v) == 0 || time.Now().After(deadline) {
+			return v
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
 // Crash crash-stops process p.
-func (l *LiveCluster) Crash(p ProcessID) { l.rt.Crash(p) }
+func (l *LiveCluster) Crash(p ProcessID) {
+	l.mu.Lock()
+	l.crashed[p] = true
+	l.mu.Unlock()
+	l.rt.Crash(p)
+}
+
+// CheckProperties verifies the §2.2 properties — uniform integrity,
+// validity, uniform agreement, uniform prefix order — over every cast and
+// delivery recorded so far, and returns the violations. It requires
+// LiveConfig.Check. Note that a live run has no quiescence signal: casts
+// still in flight report as transient agreement/validity violations, so
+// call it (or poll it) after the workload has drained.
+func (l *LiveCluster) CheckProperties() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.checker == nil {
+		panic("wanamcast: CheckProperties requires LiveConfig.Check")
+	}
+	correct := func(p ProcessID) bool { return !l.crashed[p] }
+	correctCaster := func(id MessageID) bool { return !l.crashed[id.Origin] }
+	return l.checker.Check(correct, correctCaster)
+}
 
 // Deliveries returns a snapshot of the delivery log: every delivery
 // observed so far, or only the most recent LiveConfig.RetainDeliveries of

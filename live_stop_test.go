@@ -1,0 +1,69 @@
+package wanamcast
+
+// Regression tests for LiveCluster.Stop: repeated, concurrent, and
+// out-of-order Stop/Start must neither panic nor hang nor double-close
+// sockets.
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLiveClusterStopIdempotent: Stop many times, concurrently, after a
+// run with traffic; every call returns, and a Start afterwards fails
+// cleanly instead of resurrecting closed sockets.
+func TestLiveClusterStopIdempotent(t *testing.T) {
+	l := NewLiveCluster(LiveConfig{Groups: 2, PerGroup: 2, BasePort: 24500, WANDelay: 5 * time.Millisecond})
+	if err := l.Start(); err != nil {
+		t.Fatal(err)
+	}
+	id := l.Broadcast(l.Process(0, 0), "traffic")
+	if !l.WaitDelivered(id, 4, 10*time.Second) {
+		t.Fatal("broadcast not delivered")
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				l.Stop()
+			}()
+		}
+		wg.Wait()
+		l.Stop() // and once more, sequentially
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("concurrent Stops did not all return")
+	}
+	if err := l.Start(); err == nil {
+		t.Fatal("Start after Stop must fail")
+	}
+}
+
+// TestLiveClusterStopBeforeStart: stopping a never-started cluster is a
+// no-op (twice), and a later Start refuses rather than hanging on dead
+// event loops.
+func TestLiveClusterStopBeforeStart(t *testing.T) {
+	l := NewLiveCluster(LiveConfig{Groups: 1, PerGroup: 2, BasePort: 24600})
+	finished := make(chan error, 1)
+	go func() {
+		l.Stop()
+		l.Stop()
+		finished <- l.Start()
+	}()
+	select {
+	case err := <-finished:
+		if err == nil {
+			t.Fatal("Start after Stop-before-Start must fail")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Stop/Start on a never-started cluster hung")
+	}
+}

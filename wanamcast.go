@@ -58,6 +58,8 @@ type (
 	MessageID = types.MessageID
 	// GroupSet is a set of destination groups.
 	GroupSet = types.GroupSet
+	// Topology is the static process/group layout (Π and Γ).
+	Topology = types.Topology
 	// Stats is the aggregate measurement snapshot of a run.
 	Stats = metrics.Stats
 )
