@@ -26,9 +26,14 @@ func main() {
 	d := flag.Int("d", 3, "processes per group")
 	inter := flag.Duration("inter", 100*time.Millisecond, "inter-group one-way delay")
 	flag.Parse()
+	// A bad flag must die with a usage message (exit 2), not as a
+	// topology panic or a mid-run fatal.
 	if *d < 1 {
-		fmt.Fprintln(os.Stderr, "figures: -d must be at least 1")
-		os.Exit(1)
+		harness.Usagef("figures", "-d must be at least 1 (got %d)", *d)
+	}
+	opts := harness.Options{PerGroup: *d, Inter: *inter}
+	if err := opts.Validate(); err != nil {
+		harness.Usagef("figures", "%v", err)
 	}
 
 	figure1a(*d, *inter)

@@ -27,6 +27,16 @@ func main() {
 	inter := flag.Duration("inter", 100*time.Millisecond, "inter-group one-way delay")
 	flag.Parse()
 
+	// A bad flag must die with a usage message here, not as a topology
+	// panic mid-run.
+	if *groups < 1 || *d < 1 {
+		harness.Usagef("quiesce", "-groups and -d must be at least 1 (got %d x %d)", *groups, *d)
+	}
+	opts := harness.Options{Groups: *groups, PerGroup: *d, Inter: *inter}
+	if err := opts.Validate(); err != nil {
+		harness.Usagef("quiesce", "%v", err)
+	}
+
 	burst(*groups, *d, *inter)
 	fmt.Println()
 	sweep(*groups, *d, *inter)

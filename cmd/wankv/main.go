@@ -51,6 +51,9 @@ func run() int {
 		timeout  = flag.Duration("timeout", time.Second, "client first-attempt reply timeout (doubles per retry)")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		checkRun = flag.Bool("check", false, "verify the §2.2 properties over the run (unbounded memory)")
+		dataDir  = flag.String("datadir", "", "persist each replica's WAL+snapshots under this directory (empty = volatile)")
+		noFsync  = flag.Bool("nofsync", false, "with -datadir: write WALs without fsync barriers (benchmark knob)")
+		snapEvry = flag.Int("snapevery", 0, "with -datadir: snapshot every N deliveries per replica (0 = default 512)")
 	)
 	flag.Parse()
 
@@ -79,16 +82,22 @@ func run() int {
 	if *timeout <= 0 {
 		fail("-timeout must be positive")
 	}
+	if (*noFsync || *snapEvry != 0) && *dataDir == "" {
+		fail("-nofsync and -snapevery need -datadir")
+	}
 
 	cluster := wanamcast.NewLiveCluster(wanamcast.LiveConfig{
-		Groups:   *groups,
-		PerGroup: *d,
-		BasePort: *basePort,
-		WANDelay: *wan,
-		LANDelay: *lan,
-		MaxBatch: *maxBatch,
-		Pipeline: *pipeline,
-		Check:    *checkRun,
+		Groups:        *groups,
+		PerGroup:      *d,
+		BasePort:      *basePort,
+		WANDelay:      *wan,
+		LANDelay:      *lan,
+		MaxBatch:      *maxBatch,
+		Pipeline:      *pipeline,
+		Check:         *checkRun,
+		DataDir:       *dataDir,
+		NoFsync:       *noFsync,
+		SnapshotEvery: *snapEvry,
 	})
 	if err := cluster.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "wankv:", err)
@@ -114,6 +123,13 @@ func run() int {
 
 	fmt.Printf("wankv: %d shards x %d replicas, wan=%v lan=%v maxbatch=%d pipeline=%d\n",
 		*groups, *d, *wan, *lan, *maxBatch, *pipeline)
+	if *dataDir != "" {
+		mode := "fsync per batch"
+		if *noFsync {
+			mode = "fsync OFF"
+		}
+		fmt.Printf("  durability: %s (%s)\n", *dataDir, mode)
+	}
 	for g := 0; g < *groups; g++ {
 		fmt.Printf("  shard g%d: %v\n", g, service.Addrs()[types.GroupID(g)])
 	}

@@ -19,6 +19,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"os"
@@ -28,11 +29,21 @@ import (
 
 	"wanamcast/internal/abcast"
 	"wanamcast/internal/amcast"
+	"wanamcast/internal/durable"
 	"wanamcast/internal/harness"
 	"wanamcast/internal/rmcast"
+	"wanamcast/internal/storage"
 	"wanamcast/internal/transport/tcp"
 	"wanamcast/internal/types"
 )
+
+// snapshotNode persists one snapshot, reporting failure without dying:
+// a failed snapshot costs replay time, not correctness.
+func snapshotNode(n *durable.Node) {
+	if err := n.Snapshot(); err != nil {
+		fmt.Fprintln(os.Stderr, "wannode: snapshot:", err)
+	}
+}
 
 func main() {
 	var (
@@ -45,6 +56,9 @@ func main() {
 		flush    = flag.Duration("flush", 0, "max frame-coalescing latency before a flush (0 = default 200µs)")
 		gobWire  = flag.Bool("gobwire", false, "use the legacy gob codec instead of the wire codec (all instances must agree)")
 		trace    = flag.Bool("trace", false, "print transport trace lines to stderr")
+		dataDir  = flag.String("datadir", "", "persist WAL+snapshots under this directory and recover from it at startup (empty = volatile)")
+		noFsync  = flag.Bool("nofsync", false, "with -datadir: write the WAL without fsync barriers (benchmark knob; OS-process crashes may lose the tail)")
+		snapEvry = flag.Int("snapevery", 0, "with -datadir: snapshot every N deliveries (0 = default 512)")
 	)
 	flag.Parse()
 
@@ -67,6 +81,9 @@ func main() {
 	}
 	if *flush < 0 {
 		fail("-flush must be non-negative (got %v)", *flush)
+	}
+	if (*noFsync || *snapEvry != 0) && *dataDir == "" {
+		fail("-nofsync and -snapevery need -datadir")
 	}
 	topo := types.NewTopology(*groups, *d)
 	if *id < 0 || *id >= topo.N() {
@@ -96,34 +113,116 @@ func main() {
 		Trace:      tracer,
 	})
 
+	var store storage.Store
+	if *dataDir != "" {
+		d, err := storage.OpenDisk(*dataDir, storage.DiskOptions{NoFsync: *noFsync})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wannode:", err)
+			os.Exit(1)
+		}
+		store = d
+		defer store.Close()
+	}
+	log := storage.NewLog(store)
+	snapEvery := *snapEvry
+	if snapEvery == 0 {
+		snapEvery = 512
+	}
+
 	var seq uint64
 	nextID := func() types.MessageID {
 		seq++
 		return types.MessageID{Origin: self, Seq: seq}
 	}
+	var dnode *durable.Node
+	var sinceSnap int
 	deliver := func(kind string) func(mid types.MessageID, payload any) {
 		return func(mid types.MessageID, payload any) {
-			fmt.Printf("[%v] A-Deliver %s %v: %v\n", self, kind, mid, payload)
+			if !rt.Proc(self).Recovering() {
+				fmt.Printf("[%v] A-Deliver %s %v: %v\n", self, kind, mid, payload)
+			}
+			if store != nil && snapEvery > 0 {
+				sinceSnap++
+				if sinceSnap >= snapEvery {
+					sinceSnap = 0
+					rt.Async(self, func() { snapshotNode(dnode) })
+				}
+			}
 		}
+	}
+	var onSynced func()
+	if store != nil {
+		onSynced = func() { rt.Async(self, func() { snapshotNode(dnode) }) }
 	}
 	a1 := amcast.New(amcast.Config{
 		Host:       rt.Proc(self),
 		Detector:   rt.Detector(self),
 		SkipStages: true,
 		NextID:     nextID,
+		Log:        log,
+		OnSynced:   onSynced,
 		OnDeliver:  func(m rmcast.Message) { deliver("mcast")(m.ID, m.Payload) },
 	})
 	a2 := abcast.New(abcast.Config{
 		Host:      rt.Proc(self),
 		Detector:  rt.Detector(self),
 		NextID:    nextID,
+		Log:       log,
+		OnSynced:  onSynced,
 		OnDeliver: deliver("bcast"),
 	})
+	dnode = &durable.Node{Store: store, A1: a1, A2: a2, Extra: []durable.Section{{
+		Name: "wannode",
+		Save: func() ([]byte, error) { return binary.AppendUvarint(nil, seq), nil },
+		Restore: func(data []byte) error {
+			s, n := binary.Uvarint(data)
+			if n <= 0 {
+				// A silent seq=0 here could re-issue MessageIDs the old
+				// incarnation already used: fail the recovery instead.
+				return fmt.Errorf("corrupt wannode section")
+			}
+			seq = s
+			return nil
+		},
+	}}}
+
+	// Recover durable state before the transport starts: the acceptor must
+	// never answer a Prepare or Accept with amnesia. Runs with sends and
+	// prints suppressed; the loops are not running yet, so this is safe on
+	// the main goroutine.
+	recovered := false
+	if store != nil {
+		proc := rt.Proc(self)
+		proc.SetRecovering(true)
+		if err := dnode.Recover(); err != nil {
+			fmt.Fprintln(os.Stderr, "wannode: recovery:", err)
+			os.Exit(1)
+		}
+		proc.SetRecovering(false)
+		recovered = a1.Delivered() > 0 || a2.Round() > 1 || seq > 0
+		if recovered {
+			// A fresh incarnation must never reuse a MessageID: casts
+			// since the last snapshot are not individually logged.
+			seq += 1 << 20
+		}
+	}
+
 	if err := rt.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "wannode:", err)
 		os.Exit(1)
 	}
 	defer rt.Stop()
+	if recovered {
+		// Catch up whatever the group ordered while this instance was
+		// down. A cold-started cluster skips this: there is nothing to
+		// have missed, and peers that are themselves syncing do not serve.
+		rt.Run(self, func() {
+			a1.StartSync()
+			a2.StartSync()
+		})
+		fmt.Printf("[%v] recovered from %s (a1 deliveries=%d, a2 round=%d); syncing with group peers\n",
+			self, *dataDir, a1.Delivered(), a2.Round())
+	}
 	fmt.Printf("[%v] up: group %v, listening on %d, peers on %d..%d\n",
 		self, topo.GroupOf(self), *basePort+*id, *basePort, *basePort+topo.N()-1)
 
@@ -133,6 +232,11 @@ func main() {
 		switch {
 		case line == "":
 		case line == "quit":
+			if store != nil {
+				// Parting snapshot: the next incarnation recovers from it
+				// instead of replaying the whole WAL tail.
+				rt.Run(self, func() { snapshotNode(dnode) })
+			}
 			return
 		case strings.HasPrefix(line, "bcast "):
 			text := strings.TrimPrefix(line, "bcast ")

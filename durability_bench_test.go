@@ -1,0 +1,88 @@
+package wanamcast
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"wanamcast/internal/metrics"
+	"wanamcast/internal/svc"
+	"wanamcast/internal/types"
+	"wanamcast/internal/workload"
+)
+
+// BenchmarkDurableKVLoad measures the price of durability on the client
+// path: the same closed-loop KV load (50 sessions, MaxBatch=64,
+// Pipeline=4, wan=1ms) against a volatile cluster, a WAL without fsync
+// barriers, and the full fsync-per-batch configuration. The numbers feed
+// the EXPERIMENTS.md durability table.
+func BenchmarkDurableKVLoad(b *testing.B) {
+	for _, mode := range []string{"mem", "wal-nofsync", "wal-fsync"} {
+		b.Run(mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opsPerSec, mean1, mean2 := runDurableLoad(b, mode, 23300+100*i)
+				b.ReportMetric(opsPerSec, "ops/s")
+				b.ReportMetric(float64(mean1.Microseconds()), "µs/op-1shard")
+				b.ReportMetric(float64(mean2.Microseconds()), "µs/op-2shard")
+			}
+		})
+	}
+}
+
+func runDurableLoad(tb testing.TB, mode string, basePort int) (opsPerSec float64, mean1, mean2 time.Duration) {
+	tb.Helper()
+	cfg := LiveConfig{
+		Groups: 2, PerGroup: 3, BasePort: basePort, WANDelay: time.Millisecond,
+		MaxBatch: 64, Pipeline: 4,
+	}
+	switch mode {
+	case "wal-nofsync":
+		cfg.DataDir = tb.TempDir()
+		cfg.NoFsync = true
+	case "wal-fsync":
+		cfg.DataDir = tb.TempDir()
+	}
+	cl := NewLiveCluster(cfg)
+	if err := cl.Start(); err != nil {
+		tb.Fatal(err)
+	}
+	defer cl.Stop()
+	topo := cl.Topology()
+	route := svc.PrefixRoute(topo.NumGroups())
+	stats := &metrics.Service{}
+	service, err := svc.ServeCluster(cl, topo, svc.ServiceConfig{
+		NewMachine: func(p types.ProcessID, g types.GroupID) svc.StateMachine {
+			return svc.NewKVMachine(g, route)
+		},
+		Stats: stats,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer service.Stop()
+	res := svc.RunKVLoad(topo, service.Addrs(), svc.LoadSpec{
+		Clients: 50, Ops: 40, Mix: workload.DefaultMix(), Timeout: 2 * time.Second, Seed: 3,
+	}, stats)
+	if res.Errors > 0 {
+		tb.Fatalf("%s: %d load errors", mode, res.Errors)
+	}
+	st := res.Stats
+	return float64(res.Ops) / res.Elapsed.Seconds(), st.ByFanout[1].Mean, st.ByFanout[2].Mean
+}
+
+// TestDurableLoadModesAgree sanity-checks that all three durability modes
+// complete the same load correctly (the benchmark above only runs under
+// -bench).
+func TestDurableLoadModesAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cluster live test")
+	}
+	for i, mode := range []string{"mem", "wal-nofsync", "wal-fsync"} {
+		opsPerSec, _, _ := runDurableLoad(t, mode, 23600+100*i)
+		if opsPerSec <= 0 {
+			t.Fatalf("%s: no throughput", mode)
+		}
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt for future table printing

@@ -35,6 +35,7 @@ import (
 	"wanamcast/internal/fd"
 	"wanamcast/internal/node"
 	"wanamcast/internal/rmcast"
+	"wanamcast/internal/storage"
 	"wanamcast/internal/types"
 )
 
@@ -100,6 +101,18 @@ type Config struct {
 	// means unbounded — the paper's rule (the bundle is everything
 	// R-Delivered but not yet A-Delivered).
 	MaxBatch int
+	// Log, when non-nil, makes the endpoint durable: the consensus
+	// acceptor persists promises and votes, round decisions and received
+	// remote bundles are appended for replay, and state transfer
+	// (StartSync) records the rounds it adopts from peers.
+	Log *storage.Log
+	// SyncArchive bounds how many recent completed rounds (with their
+	// delivered unions) are retained to serve restarted group peers'
+	// state transfer. Default 4096.
+	SyncArchive int
+	// OnSynced, when non-nil, fires once a StartSync state transfer has
+	// caught this endpoint up with its group.
+	OnSynced func()
 }
 
 // Bcast is the per-process Algorithm A2 endpoint.
@@ -123,6 +136,29 @@ type Bcast struct {
 	inDecided  map[types.MessageID]bool              // decided into a bundle, not yet delivered
 	castSeq    uint64
 	nextID     func() types.MessageID
+
+	// Durability & recovery state (see Config.Log).
+	log        *storage.Log
+	archive    []roundUnion // completed rounds [archBase, k)
+	archBase   uint64       // first archived round (rounds start at 1)
+	archCap    int
+	syncing    bool // state transfer in progress: round completion gated
+	syncFailed bool // transfer abandoned (peers' archives rotated past us)
+	syncHeard  map[types.ProcessID]syncPeerInfo
+	onSynced   func()
+}
+
+// syncPeerInfo is the latest sync answer seen from one group peer.
+type syncPeerInfo struct {
+	next uint64
+	busy bool
+}
+
+// roundUnion is one completed round's delivered union, archived for
+// restarted peers.
+type roundUnion struct {
+	round uint64
+	set   []Record
 }
 
 var _ node.Protocol = (*Bcast)(nil)
@@ -141,6 +177,10 @@ func New(cfg Config) *Bcast {
 	if keepAlive == 0 {
 		keepAlive = 1
 	}
+	archCap := cfg.SyncArchive
+	if archCap <= 0 {
+		archCap = 4096
+	}
 	b := &Bcast{
 		api:        cfg.Host,
 		onDeliver:  cfg.OnDeliver,
@@ -154,6 +194,10 @@ func New(cfg Config) *Bcast {
 		decided:    make(map[uint64][]Record),
 		inDecided:  make(map[types.MessageID]bool),
 		nextID:     cfg.NextID,
+		log:        cfg.Log,
+		archBase:   1,
+		archCap:    archCap,
+		onSynced:   cfg.OnSynced,
 	}
 	if b.nextID == nil {
 		b.nextID = func() types.MessageID {
@@ -174,6 +218,7 @@ func New(cfg Config) *Bcast {
 		ProtoLabel:    prefix + ".cons",
 		MaxBatch:      cfg.MaxBatch,
 		Pipeline:      cfg.Pipeline,
+		Log:           cfg.Log,
 		Fill:          b.fillBundle,
 		Gate:          b.mayPropose,
 		Base:          func() uint64 { return b.k },
@@ -225,32 +270,48 @@ func (b *Bcast) onRDeliver(m rmcast.Message) {
 }
 
 // Receive implements node.Protocol: it handles bundle messages from other
-// groups (Task 3, lines 8–10).
+// groups (Task 3, lines 8–10) and the restart state-transfer exchange.
 func (b *Bcast) Receive(from types.ProcessID, body any) {
-	bm, ok := body.(BundleMsg)
-	if !ok {
+	switch m := body.(type) {
+	case BundleMsg:
+		b.handleBundle(b.api.Topo().GroupOf(from), m.Round, m.Set, false)
+	case SyncReq:
+		b.onSyncReq(from, m)
+	case SyncResp:
+		b.onSyncResp(from, m)
+	default:
 		panic(fmt.Sprintf("abcast: unexpected message %T", body))
 	}
-	if bm.Round < b.k {
+}
+
+// handleBundle records one remote group's round bundle. replay marks WAL
+// replay: state advances identically but nothing is re-logged.
+func (b *Bcast) handleBundle(g types.GroupID, round uint64, set []Record, replay bool) {
+	if round < b.k {
 		// The round already completed here: every member of the sender
 		// group ships its group's bundle, so late copies keep arriving
 		// after the first one completed the round. Storing them would
-		// re-create bundles[bm.Round] entries nothing ever reads or
+		// re-create bundles[round] entries nothing ever reads or
 		// deletes again; and a completed round can no longer need the
-		// Barrier raised to it (future rounds are all > bm.Round).
+		// Barrier raised to it (future rounds are all > round).
 		return
 	}
-	g := b.api.Topo().GroupOf(from)
-	perGroup := b.bundles[bm.Round]
+	perGroup := b.bundles[round]
 	if perGroup == nil {
 		perGroup = make(map[types.GroupID][]Record)
-		b.bundles[bm.Round] = perGroup
+		b.bundles[round] = perGroup
 	}
 	if _, seen := perGroup[g]; !seen {
-		perGroup[g] = bm.Set
+		perGroup[g] = set
+		if !replay {
+			// Unsynced: a lost tail bundle is re-fetched from peers by the
+			// next restart's state transfer.
+			b.log.Append(storage.Record{Kind: storage.KindBundle, Proto: b.label,
+				Inst: round, Aux: uint64(g), Value: set})
+		}
 	}
-	if bm.Round > b.barrier {
-		b.barrier = bm.Round
+	if round > b.barrier {
+		b.barrier = round
 	}
 	b.engine.Pump()
 	b.tryCompleteRound()
@@ -315,6 +376,11 @@ func (b *Bcast) applyRound(inst uint64, set []Record) {
 // our own round-K bundle is decided and a bundle from every other group has
 // arrived, execute lines 17–23.
 func (b *Bcast) tryCompleteRound() {
+	if b.syncing {
+		// State transfer in progress: rounds this process missed must be
+		// adopted (in order) before any new round may deliver.
+		return
+	}
 	own, ok := b.decided[b.k]
 	if !ok {
 		return
@@ -366,6 +432,7 @@ func (b *Bcast) tryCompleteRound() {
 	}
 	delete(b.bundles, b.k)
 	delete(b.decided, b.k)
+	b.archiveRound(b.k, union)
 	// Line 21.
 	b.k++
 	// Lines 22–23: keep rounds running only if this one was useful. The

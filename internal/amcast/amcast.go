@@ -39,6 +39,7 @@ import (
 	"wanamcast/internal/fd"
 	"wanamcast/internal/node"
 	"wanamcast/internal/rmcast"
+	"wanamcast/internal/storage"
 	"wanamcast/internal/types"
 )
 
@@ -111,6 +112,22 @@ type Config struct {
 	// pipelines overlap agreement on fresh messages with the ordering of
 	// earlier ones.
 	Pipeline int
+	// Log, when non-nil, makes the endpoint durable: the consensus
+	// acceptor persists its promises and votes, decisions and received
+	// (TS, m) proposals are appended for replay, and state transfer
+	// (StartSync) records the deliveries it adopts — so a restarted
+	// process reconstructs the exact pre-crash ordering state from disk
+	// plus a bounded catch-up from live peers.
+	Log *storage.Log
+	// SyncArchive bounds how many recent deliveries this endpoint retains
+	// (with payloads) to serve restarted group peers' state transfer.
+	// Default 4096; a peer further behind than this cannot catch up by
+	// log transfer and reports "too far behind". Ignored without Log.
+	SyncArchive int
+	// OnSynced, when non-nil, fires once a StartSync state transfer has
+	// caught this endpoint up with its group (the natural moment for the
+	// host to take a fresh snapshot).
+	OnSynced func()
 }
 
 // pend is the local state of a message in PENDING.
@@ -148,6 +165,23 @@ type Mcast struct {
 	admitSeq   uint64
 	castSeq    uint64
 	nextID     func() types.MessageID
+
+	// Durability & recovery state (see Config.Log).
+	log        *storage.Log
+	delivered  uint64       // total A-Deliveries at this process
+	archive    []DeliverRec // recent deliveries [archiveBase, delivered)
+	archBase   uint64
+	archCap    int
+	syncing    bool // state transfer in progress: organic delivery gated
+	syncFailed bool // transfer abandoned (peers' archives rotated past us)
+	syncHeard  map[types.ProcessID]syncPeerInfo
+	onSynced   func()
+}
+
+// syncPeerInfo is the latest sync answer seen from one group peer.
+type syncPeerInfo struct {
+	next uint64
+	busy bool
 }
 
 var _ node.Protocol = (*Mcast)(nil)
@@ -166,6 +200,10 @@ func New(cfg Config) *Mcast {
 	if mode == 0 {
 		mode = rmcast.ModeDirect
 	}
+	archCap := cfg.SyncArchive
+	if archCap <= 0 {
+		archCap = 4096
+	}
 	a := &Mcast{
 		api:        cfg.Host,
 		onDeliver:  cfg.OnDeliver,
@@ -176,6 +214,9 @@ func New(cfg Config) *Mcast {
 		adelivered: make(map[types.MessageID]bool),
 		tsProps:    make(map[types.MessageID]map[types.GroupID]uint64),
 		nextID:     cfg.NextID,
+		log:        cfg.Log,
+		archCap:    archCap,
+		onSynced:   cfg.OnSynced,
 	}
 	if a.nextID == nil {
 		a.nextID = func() types.MessageID {
@@ -196,6 +237,7 @@ func New(cfg Config) *Mcast {
 		ProtoLabel:    prefix + ".cons",
 		MaxBatch:      cfg.MaxBatch,
 		Pipeline:      cfg.Pipeline,
+		Log:           cfg.Log,
 		Fill:          a.fillBatch,
 		OnApply:       a.processDecision,
 	})
@@ -230,20 +272,30 @@ func (a *Mcast) K() uint64 { return a.k }
 // PendingCount returns |PENDING| (for tests).
 func (a *Mcast) PendingCount() int { return len(a.pending) }
 
-// Receive implements node.Protocol: it handles (TS, m) messages.
+// Receive implements node.Protocol: it handles (TS, m) messages and the
+// restart state-transfer exchange.
 func (a *Mcast) Receive(from types.ProcessID, body any) {
-	tm, ok := body.(TSMsg)
-	if !ok {
+	switch m := body.(type) {
+	case TSMsg:
+		a.handleTS(a.api.Topo().GroupOf(from), m.Desc, false)
+	case SyncReq:
+		a.onSyncReq(from, m)
+	case SyncResp:
+		a.onSyncResp(from, m)
+	default:
 		panic(fmt.Sprintf("amcast: unexpected message %T", body))
 	}
-	d := tm.Desc
+}
+
+// handleTS processes one (TS, m) proposal from group g. replay marks WAL
+// replay: state advances identically but nothing is re-logged.
+func (a *Mcast) handleTS(g types.GroupID, d Descriptor, replay bool) {
 	if a.adelivered[d.ID] {
 		return // late proposal for a delivered message
 	}
 	// Line 10: a TS message also introduces m if unseen.
 	a.admit(d.ID, d.Dest, d.Payload)
 	// Record the sender group's proposal for line 33.
-	g := a.api.Topo().GroupOf(from)
 	props := a.tsProps[d.ID]
 	if props == nil {
 		props = make(map[types.GroupID]uint64)
@@ -251,6 +303,13 @@ func (a *Mcast) Receive(from types.ProcessID, body any) {
 	}
 	if _, seen := props[g]; !seen {
 		props[g] = d.TS
+		if !replay {
+			// Unsynced: a lost tail proposal is re-fetched from peers by
+			// the next restart's state transfer, exactly like a proposal
+			// that never arrived.
+			a.log.Append(storage.Record{Kind: storage.KindTSProp, Proto: a.label,
+				Aux: uint64(g), Value: TSMsg{Desc: d}})
+		}
 	}
 	a.checkStage1(d.ID)
 }
@@ -436,7 +495,13 @@ func (a *Mcast) checkStage1(id types.MessageID) {
 
 // adeliveryTest is the ADeliveryTest procedure (lines 3–7): deliver, in
 // order, every s3 message whose (ts, id) is minimal among all of PENDING.
+// While a state transfer is in progress the test is gated: deliveries this
+// process missed must land first (in the group's order), or the local
+// sequence would diverge from the group's.
 func (a *Mcast) adeliveryTest() {
+	if a.syncing {
+		return
+	}
 	for {
 		var min *pend
 		for _, p := range a.pending {
@@ -451,11 +516,23 @@ func (a *Mcast) adeliveryTest() {
 		a.adelivered[min.id] = true
 		delete(a.pending, min.id)
 		delete(a.tsProps, min.id)
+		a.recordDelivered(DeliverRec{ID: min.id, Dest: min.dest, TS: min.ts, Payload: min.payload})
 		a.api.Tracef("a1: A-Deliver %v ts=%d", min.id, min.ts)
 		if a.onDeliver != nil {
 			a.onDeliver(rmcast.Message{ID: min.id, Dest: min.dest, Payload: min.payload})
 		}
 	}
+}
+
+// recordDelivered advances the delivery counter and the bounded archive
+// that serves restarted peers' state transfers.
+func (a *Mcast) recordDelivered(dr DeliverRec) {
+	a.delivered++
+	if a.archCap <= 0 {
+		return
+	}
+	a.archive, _ = storage.TrimTail(append(a.archive, dr), a.archCap)
+	a.archBase = a.delivered - uint64(len(a.archive))
 }
 
 // sortDescriptors orders a proposal deterministically by message ID.

@@ -35,6 +35,7 @@ import (
 
 	"wanamcast/internal/fd"
 	"wanamcast/internal/node"
+	"wanamcast/internal/storage"
 	"wanamcast/internal/types"
 )
 
@@ -52,9 +53,11 @@ type BatcherConfig[T Item] struct {
 	// required.
 	API      node.API
 	Detector fd.Detector
-	// RetryInterval and ProtoLabel are passed to the consensus engine.
+	// RetryInterval, ProtoLabel, and Log are passed to the consensus
+	// engine (Log makes the acceptor durable; see consensus.Config.Log).
 	RetryInterval time.Duration
 	ProtoLabel    string
+	Log           *storage.Log
 
 	// MaxBatch caps the number of items per proposal. Zero or negative
 	// means unbounded — the paper's propose-everything rule.
@@ -106,6 +109,9 @@ type Batcher[T Item] struct {
 	applyNext uint64                     // next instance to apply, in dense order
 	buffered  map[uint64][]T             // decided but not yet applied (out-of-order)
 	inFlight  map[types.MessageID]uint64 // item → undecided/unapplied instance
+
+	healEvery time.Duration // gap-healing re-check period
+	healing   bool          // gap-healing timer armed
 }
 
 // NewBatcher builds a batched ordering engine. It panics on missing API,
@@ -125,6 +131,10 @@ func NewBatcher[T Item](cfg BatcherConfig[T]) *Batcher[T] {
 	if maxBatch < 0 {
 		maxBatch = 0
 	}
+	healEvery := cfg.RetryInterval
+	if healEvery <= 0 {
+		healEvery = 40 * time.Millisecond
+	}
 	b := &Batcher[T]{
 		api:       cfg.API,
 		maxBatch:  maxBatch,
@@ -138,6 +148,7 @@ func NewBatcher[T Item](cfg BatcherConfig[T]) *Batcher[T] {
 		applyNext: 1,
 		buffered:  make(map[uint64][]T),
 		inFlight:  make(map[types.MessageID]uint64),
+		healEvery: healEvery,
 	}
 	if b.base == nil {
 		b.base = func() uint64 { return b.applyNext }
@@ -148,6 +159,7 @@ func NewBatcher[T Item](cfg BatcherConfig[T]) *Batcher[T] {
 		OnDecide:      b.decided,
 		RetryInterval: cfg.RetryInterval,
 		ProtoLabel:    cfg.ProtoLabel,
+		Log:           cfg.Log,
 	})
 	return b
 }
@@ -212,25 +224,30 @@ func (b *Batcher[T]) decided(inst uint64, v Value) {
 		if !ok {
 			break
 		}
-		k := b.applyNext
-		delete(b.buffered, k)
-		b.applyNext++
-		// Never propose at or below an applied instance: a process whose
-		// fill stayed empty while rivals drove instances forward would
-		// otherwise propose an already-decided instance — a local no-op
-		// that would strand its items in flight forever.
-		if b.next <= k {
-			b.next = k + 1
-		}
-		// Items of this instance are no longer in flight. Items the
-		// decision dropped become proposable again; items it kept are the
-		// client's to track from OnApply onward.
-		for id, held := range b.inFlight {
-			if held == k {
-				delete(b.inFlight, id)
-			}
-		}
-		b.onApply(k, cur)
+		b.applyOne(b.applyNext, cur)
 	}
 	b.Pump()
+	b.checkGap()
+}
+
+// applyOne consumes the decision of the apply horizon's instance.
+func (b *Batcher[T]) applyOne(k uint64, cur []T) {
+	delete(b.buffered, k)
+	b.applyNext++
+	// Never propose at or below an applied instance: a process whose
+	// fill stayed empty while rivals drove instances forward would
+	// otherwise propose an already-decided instance — a local no-op
+	// that would strand its items in flight forever.
+	if b.next <= k {
+		b.next = k + 1
+	}
+	// Items of this instance are no longer in flight. Items the
+	// decision dropped become proposable again; items it kept are the
+	// client's to track from OnApply onward.
+	for id, held := range b.inFlight {
+		if held == k {
+			delete(b.inFlight, id)
+		}
+	}
+	b.onApply(k, cur)
 }

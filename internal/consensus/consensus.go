@@ -24,6 +24,7 @@ import (
 
 	"wanamcast/internal/fd"
 	"wanamcast/internal/node"
+	"wanamcast/internal/storage"
 	"wanamcast/internal/types"
 )
 
@@ -67,6 +68,13 @@ type (
 		Instance uint64
 		Value    Value
 	}
+	// LearnMsg asks a peer for an instance's decision: the peer replies
+	// with DecideMsg if it knows one and stays silent otherwise. Restarted
+	// or gap-stalled learners use it to recover decisions whose original
+	// announcement they missed.
+	LearnMsg struct {
+		Instance uint64
+	}
 )
 
 // instance is the per-instance acceptor+leader state.
@@ -108,6 +116,14 @@ type Config struct {
 	// ProtoLabel overrides the wire label (default "consensus"); distinct
 	// labels let two consensus engines coexist on one process.
 	ProtoLabel string
+	// Log, when non-nil, makes the acceptor durable: promised and accepted
+	// ballots are persisted (and synced) BEFORE the Promise/Accepted reply
+	// leaves the process, so a restarted acceptor can never break a
+	// promise; decisions are appended (unsynced — they are group-durable
+	// and recoverable from peers) so local replay reconstructs the applied
+	// sequence. Because a consensus value is a whole ordering batch, the
+	// steady-state cost is one fsync per batch, not one per message.
+	Log *storage.Log
 }
 
 // Consensus is the per-process consensus engine. Register it on the
@@ -126,6 +142,9 @@ type Consensus struct {
 	insts   map[uint64]*instance
 	pending map[uint64]bool // undecided instances with a local proposal
 	timerOn bool
+
+	log        *storage.Log
+	recovering bool // replaying the log: no re-persisting
 }
 
 var _ node.Protocol = (*Consensus)(nil)
@@ -152,6 +171,7 @@ func New(cfg Config) *Consensus {
 		label:   label,
 		insts:   make(map[uint64]*instance),
 		pending: make(map[uint64]bool),
+		log:     cfg.Log,
 	}
 	c.group = cfg.API.Topo().Members(cfg.API.Group())
 	c.d = len(c.group)
@@ -222,6 +242,8 @@ func (c *Consensus) Receive(from types.ProcessID, body any) {
 		c.onAccepted(from, m)
 	case DecideMsg:
 		c.learn(m.Instance, m.Value)
+	case LearnMsg:
+		c.onLearnReq(from, m)
 	default:
 		panic(fmt.Sprintf("consensus: unexpected message %T", body))
 	}
@@ -331,8 +353,13 @@ func (c *Consensus) onPrepare(from types.ProcessID, m PrepareMsg) {
 		return // reject silently; the leader retries with a higher ballot
 	}
 	// Equal ballots are re-promised: retransmitted Prepares must be
-	// idempotent for liveness over lossy or reordered transports.
-	in.promised = m.Ballot
+	// idempotent for liveness over lossy or reordered transports. Only a
+	// ballot increase is persisted — a re-promise restates durable state.
+	if m.Ballot > in.promised {
+		in.promised = m.Ballot
+		c.log.Append(storage.Record{Kind: storage.KindPromise, Proto: c.label, Inst: m.Instance, Ballot: m.Ballot})
+		c.log.Commit() // the promise must survive a crash before it is given
+	}
 	c.send(from, PromiseMsg{Instance: m.Instance, Ballot: m.Ballot, VBallot: in.accepted, VValue: in.aValue})
 }
 
@@ -376,9 +403,15 @@ func (c *Consensus) onAccept(from types.ProcessID, m AcceptMsg) {
 	if m.Ballot < in.promised {
 		return
 	}
-	in.promised = m.Ballot
-	in.accepted = m.Ballot
-	in.aValue = m.Value
+	// A retransmitted Accept for the ballot already voted (one ballot
+	// carries one value) restates durable state: skip the second fsync.
+	if m.Ballot > in.accepted {
+		in.promised = m.Ballot
+		in.accepted = m.Ballot
+		in.aValue = m.Value
+		c.log.Append(storage.Record{Kind: storage.KindAccept, Proto: c.label, Inst: m.Instance, Ballot: m.Ballot, Value: m.Value})
+		c.log.Commit() // the vote must survive a crash before it is cast
+	}
 	c.send(from, AcceptedMsg{Instance: m.Instance, Ballot: m.Ballot})
 }
 
@@ -399,6 +432,9 @@ func (c *Consensus) onAccepted(from types.ProcessID, m AcceptedMsg) {
 }
 
 // learn records a decision and fires the client callback exactly once.
+// The decision is appended to the log BEFORE its effects run (so replay
+// order matches event order) but not synced: a decision is group-durable,
+// and a restarted process recovers a lost tail from live peers.
 func (c *Consensus) learn(k uint64, v Value) {
 	in := c.inst(k)
 	if in.decided {
@@ -407,8 +443,28 @@ func (c *Consensus) learn(k uint64, v Value) {
 	in.decided = true
 	in.decision = v
 	delete(c.pending, k)
+	if !c.recovering {
+		c.log.Append(storage.Record{Kind: storage.KindDecide, Proto: c.label, Inst: k, Value: v})
+	}
 	c.api.RecordConsensus()
 	c.onDec(k, v)
+}
+
+// onLearnReq answers a peer's decision query (restart catch-up and gap
+// healing); unknown instances stay silent — the asker retries elsewhere.
+func (c *Consensus) onLearnReq(from types.ProcessID, m LearnMsg) {
+	if in, ok := c.insts[m.Instance]; ok && in.decided {
+		c.send(from, DecideMsg{Instance: m.Instance, Value: in.decision})
+	}
+}
+
+// requestDecision asks every group peer for instance k's decision.
+func (c *Consensus) requestDecision(k uint64) {
+	for _, q := range c.group {
+		if q != c.api.Self() {
+			c.send(q, LearnMsg{Instance: k})
+		}
+	}
 }
 
 func (c *Consensus) onLeaderChange(leader types.ProcessID) {

@@ -28,6 +28,9 @@ func init() {
 	wire.Register(wire.KindConsensusDecide,
 		func(buf []byte, m DecideMsg) []byte { return m.AppendTo(buf) },
 		func(data []byte) (m DecideMsg, rest []byte, err error) { rest, err = m.DecodeFrom(data); return })
+	wire.Register(wire.KindConsensusLearn,
+		func(buf []byte, m LearnMsg) []byte { return m.AppendTo(buf) },
+		func(data []byte) (m LearnMsg, rest []byte, err error) { rest, err = m.DecodeFrom(data); return })
 }
 
 // AppendTo appends m's wire encoding.
@@ -114,6 +117,17 @@ func (m *AcceptedMsg) DecodeFrom(data []byte) (rest []byte, err error) {
 		return nil, err
 	}
 	m.Ballot, data, err = wire.Varint(data)
+	return data, err
+}
+
+// AppendTo appends m's wire encoding.
+func (m LearnMsg) AppendTo(buf []byte) []byte {
+	return wire.AppendUvarint(buf, m.Instance)
+}
+
+// DecodeFrom decodes m from data and returns the remainder.
+func (m *LearnMsg) DecodeFrom(data []byte) (rest []byte, err error) {
+	m.Instance, data, err = wire.Uvarint(data)
 	return data, err
 }
 

@@ -1,0 +1,151 @@
+// Package durable orchestrates one process's crash recovery: it owns the
+// wiring between a storage.Store and the process's protocol endpoints
+// (Algorithm A1, Algorithm A2, and any extra sections such as the service
+// layer's state machine), building snapshots from their sections and
+// recovering them in the right order.
+//
+// The order matters. On recovery, every section restores its snapshot
+// state first — so the layers agree on one consistent cut — then the
+// ordering engines re-fire decisions the snapshot knew but had not applied
+// (their delivery effects post-date the cut and must reach the restored
+// state machine), and finally the WAL tail replays through the same code
+// paths that wrote it. The host process must be in recovering mode
+// throughout (sends and metrics suppressed); liveness is restored
+// afterwards by the endpoints' StartSync state transfer.
+package durable
+
+import (
+	"fmt"
+
+	"wanamcast/internal/abcast"
+	"wanamcast/internal/amcast"
+	"wanamcast/internal/storage"
+)
+
+// Section is one extra named snapshot contributor (beyond A1/A2), e.g.
+// the service layer's replica state.
+type Section struct {
+	Name    string
+	Save    func() ([]byte, error)
+	Restore func(data []byte) error
+}
+
+// Node drives snapshots and recovery for one process.
+type Node struct {
+	Store storage.Store
+	A1    *amcast.Mcast
+	A2    *abcast.Bcast
+	// Extra sections, restored in slice order AFTER the cluster/A1/A2
+	// sections and BEFORE decision re-fire and WAL replay.
+	Extra []Section
+}
+
+// Section names of the built-in contributors.
+const (
+	sectionA1 = "a1"
+	sectionA2 = "a2"
+)
+
+// Snapshot captures every section into one blob and atomically replaces
+// the store's snapshot with it (pruning covered WAL segments).
+func (n *Node) Snapshot() error {
+	if n.Store == nil {
+		return nil
+	}
+	var blob []byte
+	if n.A1 != nil {
+		blob = storage.AppendSection(blob, sectionA1, n.A1.AppendSnapshot(nil))
+	}
+	if n.A2 != nil {
+		blob = storage.AppendSection(blob, sectionA2, n.A2.AppendSnapshot(nil))
+	}
+	for _, s := range n.Extra {
+		body, err := s.Save()
+		if err != nil {
+			return fmt.Errorf("durable: snapshot section %q: %w", s.Name, err)
+		}
+		blob = storage.AppendSection(blob, s.Name, body)
+	}
+	return n.Store.SaveSnapshot(blob)
+}
+
+// Recover rebuilds the endpoints from the store: snapshot sections, then
+// decision re-fire, then the WAL tail. Call with the host process in
+// recovering mode, before it handles any live event.
+func (n *Node) Recover() error {
+	if n.Store == nil {
+		return nil
+	}
+	snap, from, err := n.Store.Load()
+	if err != nil {
+		return err
+	}
+	if snap != nil {
+		secs, err := storage.Sections(snap)
+		if err != nil {
+			return fmt.Errorf("durable: snapshot: %w", err)
+		}
+		for _, sec := range secs {
+			if err := n.restoreSection(sec); err != nil {
+				return fmt.Errorf("durable: restore section %q: %w", sec.Name, err)
+			}
+		}
+	}
+	// Re-fire decisions the snapshot knew but had not applied: their
+	// delivery effects post-date the snapshot cut.
+	if n.A1 != nil {
+		n.A1.Recover()
+		defer n.A1.EndRecovery()
+	}
+	if n.A2 != nil {
+		n.A2.Recover()
+		defer n.A2.EndRecovery()
+	}
+	// The WAL tail, through the same paths that wrote it.
+	return n.Store.Replay(from, n.dispatch)
+}
+
+func (n *Node) restoreSection(sec storage.Section) error {
+	switch sec.Name {
+	case sectionA1:
+		if n.A1 != nil {
+			return n.A1.RestoreSnapshot(sec.Data)
+		}
+	case sectionA2:
+		if n.A2 != nil {
+			return n.A2.RestoreSnapshot(sec.Data)
+		}
+	default:
+		for _, s := range n.Extra {
+			if s.Name == sec.Name {
+				return s.Restore(sec.Data)
+			}
+		}
+		// An unknown section (a layer this incarnation does not run) is
+		// skipped, not fatal: the snapshot remains usable.
+	}
+	return nil
+}
+
+// dispatch routes one WAL record to its owning endpoint by label prefix.
+func (n *Node) dispatch(rec storage.Record) error {
+	if n.A1 != nil && (rec.Proto == n.A1.Proto() || rec.Proto == n.A1.EngineLabel()) {
+		return n.A1.ReplayRecord(rec)
+	}
+	if n.A2 != nil && (rec.Proto == n.A2.Proto() || rec.Proto == n.A2.EngineLabel()) {
+		return n.A2.ReplayRecord(rec)
+	}
+	// Records of layers this incarnation does not run are skipped.
+	return nil
+}
+
+// StartSync begins both endpoints' peer state transfer (call on the live
+// event loop once recovery finished and the process may send again).
+func (n *Node) StartSync() {
+	if n.A1 != nil {
+		n.A1.StartSync()
+	}
+	if n.A2 != nil {
+		n.A2.StartSync()
+	}
+}

@@ -125,6 +125,19 @@ type Options struct {
 	// GobWire reverts the live transport to the legacy encoding/gob codec
 	// (benchmark baseline); ignored by the simulated runtime.
 	GobWire bool
+	// DataDir enables durability on a live cluster: each process persists
+	// its WAL and snapshots under DataDir/p<N> and can be crash-recovered
+	// (LiveCluster.Restart; wannode recovers at startup). Empty disables
+	// persistence. The simulated runtime has no crashes to recover from
+	// and ignores it.
+	DataDir string
+	// NoFsync keeps writing the WAL but skips the fsync barriers: the
+	// "fsync=off" benchmark configuration. Ignored without DataDir.
+	NoFsync bool
+	// SnapshotEvery is the live cluster's snapshot cadence in deliveries
+	// per process (0 = default 512, negative disables automatic
+	// snapshots). Ignored without DataDir.
+	SnapshotEvery int
 	// Trace receives debug lines if non-nil.
 	Trace func(format string, args ...any)
 }
@@ -151,6 +164,10 @@ func (o Options) Validate() error {
 		return fmt.Errorf("flush interval must be non-negative: %v", o.FlushEvery)
 	case o.ConsensusRetry < 0:
 		return fmt.Errorf("consensus retry must be non-negative: %v", o.ConsensusRetry)
+	case o.NoFsync && o.DataDir == "":
+		return fmt.Errorf("fsync=off is meaningless without a data dir")
+	case o.SnapshotEvery != 0 && o.DataDir == "":
+		return fmt.Errorf("snapshot cadence is meaningless without a data dir")
 	}
 	return nil
 }

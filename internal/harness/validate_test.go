@@ -11,6 +11,8 @@ func TestOptionsValidate(t *testing.T) {
 	good := []Options{
 		{},
 		{Groups: 3, PerGroup: 3, Inter: time.Second, MaxBatch: 64, A1Pipeline: 4},
+		{DataDir: "/tmp/x", NoFsync: true, SnapshotEvery: 128},
+		{DataDir: "/tmp/x", SnapshotEvery: -1}, // negative = snapshots off
 	}
 	for i, o := range good {
 		if err := o.Validate(); err != nil {
@@ -18,16 +20,18 @@ func TestOptionsValidate(t *testing.T) {
 		}
 	}
 	bad := map[string]Options{
-		"neg groups":    {Groups: -1},
-		"neg pergroup":  {PerGroup: -2},
-		"neg inter":     {Inter: -time.Second},
-		"neg jitter":    {Jitter: -1},
-		"neg maxbatch":  {MaxBatch: -1},
-		"neg pipeline":  {A1Pipeline: -1},
-		"neg keepalive": {A2KeepAlive: -1},
-		"neg sendqueue": {SendQueue: -1},
-		"neg flush":     {FlushEvery: -time.Millisecond},
-		"neg retry":     {ConsensusRetry: -1},
+		"neg groups":            {Groups: -1},
+		"neg pergroup":          {PerGroup: -2},
+		"neg inter":             {Inter: -time.Second},
+		"neg jitter":            {Jitter: -1},
+		"neg maxbatch":          {MaxBatch: -1},
+		"neg pipeline":          {A1Pipeline: -1},
+		"neg keepalive":         {A2KeepAlive: -1},
+		"neg sendqueue":         {SendQueue: -1},
+		"neg flush":             {FlushEvery: -time.Millisecond},
+		"neg retry":             {ConsensusRetry: -1},
+		"nofsync w/o datadir":   {NoFsync: true},
+		"snapshots w/o datadir": {SnapshotEvery: 64},
 	}
 	for name, o := range bad {
 		if err := o.Validate(); err == nil {

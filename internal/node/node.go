@@ -121,14 +121,15 @@ type Env interface {
 // Proc is one process: a Lamport clock, a crash flag, and a protocol
 // registry. Construct with NewProc.
 type Proc struct {
-	id      types.ProcessID
-	group   types.GroupID
-	topo    *types.Topology
-	env     Env
-	clock   int64
-	crashed bool
-	protos  map[string]Protocol
-	order   []string // registration order, for deterministic Start
+	id         types.ProcessID
+	group      types.GroupID
+	topo       *types.Topology
+	env        Env
+	clock      int64
+	crashed    bool
+	recovering bool
+	protos     map[string]Protocol
+	order      []string // registration order, for deterministic Start
 }
 
 var _ API = (*Proc)(nil)
@@ -181,8 +182,19 @@ func (p *Proc) Clock() int64 { return p.clock }
 func (p *Proc) Crashed() bool { return p.crashed }
 
 // Crash marks the process as crashed: it stops sending, receiving, and
-// running timers. Crash-stop (§2.1): there is no recovery.
+// running timers. Crash-stop (§2.1): there is no recovery of THIS Proc —
+// the live runtime recovers a process by building a fresh Proc and
+// replaying its durable state into it (see internal/transport/tcp).
 func (p *Proc) Crash() { p.crashed = true }
+
+// SetRecovering toggles replay mode: while recovering, the process sends
+// nothing and records no metrics — log replay must reconstruct state
+// silently, not re-broadcast the past. Timers still arm (they fire after
+// recovery and re-drive liveness), and local hand-offs still run.
+func (p *Proc) SetRecovering(r bool) { p.recovering = r }
+
+// Recovering reports whether the process is replaying durable state.
+func (p *Proc) Recovering() bool { return p.recovering }
 
 // Send implements API. It applies the §2.3 clock rule for send events:
 // inter-group sends tick the clock; intra-group sends do not.
@@ -192,7 +204,7 @@ func (p *Proc) Send(to types.ProcessID, proto string, body any) {
 
 // Multicast implements API.
 func (p *Proc) Multicast(tos []types.ProcessID, proto string, body any) {
-	if p.crashed || len(tos) == 0 {
+	if p.crashed || p.recovering || len(tos) == 0 {
 		return
 	}
 	interGroup := false
@@ -227,19 +239,35 @@ func (p *Proc) After(d time.Duration, fn func()) {
 
 // RecordCast implements API.
 func (p *Proc) RecordCast(id types.MessageID) {
+	if p.recovering {
+		return
+	}
 	p.env.Recorder().OnCast(id, p.clock, p.env.Now())
 }
 
 // RecordDeliver implements API.
 func (p *Proc) RecordDeliver(id types.MessageID) {
+	if p.recovering {
+		return
+	}
 	p.env.Recorder().OnDeliver(id, p.id, p.clock, p.env.Now())
 }
 
 // RecordConsensus implements API.
-func (p *Proc) RecordConsensus() { p.env.Recorder().OnConsensusInstance() }
+func (p *Proc) RecordConsensus() {
+	if p.recovering {
+		return
+	}
+	p.env.Recorder().OnConsensusInstance()
+}
 
 // RecordBatch implements API.
-func (p *Proc) RecordBatch(size int) { p.env.Recorder().OnBatchDecided(size) }
+func (p *Proc) RecordBatch(size int) {
+	if p.recovering {
+		return
+	}
+	p.env.Recorder().OnBatchDecided(size)
+}
 
 // Tracef implements API.
 func (p *Proc) Tracef(format string, args ...any) {

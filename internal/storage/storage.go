@@ -1,0 +1,212 @@
+// Package storage is the durability subsystem: a segmented, CRC-framed,
+// append-only write-ahead log plus atomic-rename snapshot files, shared by
+// every durable layer of a process (consensus acceptors, the A1/A2
+// ordering engines, and the service layer's replicated state).
+//
+// One process owns one Store. Layers append Records tagged with their
+// protocol label and call Commit at their durability barriers (an acceptor
+// must not ack a Promise or Accept it could forget); Commit flushes the
+// write buffer and fsyncs unless the store was opened with NoFsync.
+// Because consensus values are whole ordering batches, the steady-state
+// cost is one fsync per decided batch per acceptor, not one per message —
+// and the encode path reuses the internal/wire zero-allocation codecs, so
+// appending a record allocates nothing.
+//
+// Snapshots bound the log: SaveSnapshot atomically replaces the snapshot
+// file (write temp, fsync, rename) and records the WAL index it covers;
+// segments entirely below that index are deleted. Recovery is
+// Load (snapshot blob + replay start index) followed by Replay, which
+// tolerates a torn or corrupted tail by stopping at the first bad frame —
+// everything before it is intact by CRC.
+//
+// Mem is the in-memory implementation for tests and for in-process
+// restarts without a disk; a nil *Log is the no-op used when durability is
+// off.
+package storage
+
+import (
+	"fmt"
+
+	"wanamcast/internal/wire"
+)
+
+// Store is one process's durable state: an appendable record log and a
+// replaceable snapshot.
+type Store interface {
+	// Append adds one record to the log. It is buffered: the record is
+	// durable only after the next Commit.
+	Append(rec Record) error
+	// Commit is the durability barrier: flush buffered appends and fsync
+	// (unless the store runs fsync-off).
+	Commit() error
+	// SaveSnapshot atomically replaces the snapshot with data, marking it
+	// as covering every record appended so far, and prunes log segments
+	// the snapshot makes obsolete.
+	SaveSnapshot(data []byte) error
+	// Load returns the newest intact snapshot (nil if none) and the log
+	// index replay should start from.
+	Load() (snap []byte, replayFrom uint64, err error)
+	// Replay invokes fn for every intact record with index >= from, in
+	// append order. A torn or corrupt tail ends the replay cleanly.
+	Replay(from uint64, fn func(rec Record) error) error
+	// Close flushes and releases the store.
+	Close() error
+}
+
+// Log is the nil-safe append handle layers hold. A nil *Log discards
+// everything, so protocols need no durability branches on their hot
+// paths. Append and Commit panic on store errors: a process that cannot
+// persist the state it is about to promise must fail-stop (§2.1's
+// crash-stop model), not carry on with amnesia.
+type Log struct {
+	store Store
+}
+
+// NewLog wraps store; a nil store yields a nil (discard-everything) Log.
+func NewLog(store Store) *Log {
+	if store == nil {
+		return nil
+	}
+	return &Log{store: store}
+}
+
+// Append buffers one record.
+func (l *Log) Append(rec Record) {
+	if l == nil {
+		return
+	}
+	if err := l.store.Append(rec); err != nil {
+		panic(fmt.Sprintf("storage: append failed, cannot continue without durability: %v", err))
+	}
+}
+
+// Commit is the durability barrier; see Store.Commit.
+func (l *Log) Commit() {
+	if l == nil {
+		return
+	}
+	if err := l.store.Commit(); err != nil {
+		panic(fmt.Sprintf("storage: commit failed, cannot continue without durability: %v", err))
+	}
+}
+
+// Enabled reports whether records appended here are actually retained.
+func (l *Log) Enabled() bool { return l != nil }
+
+// --- in-memory store ------------------------------------------------------
+
+// Mem is an in-memory Store: records and snapshot survive as long as the
+// process does. It backs tests and in-process restart scenarios (the
+// LiveCluster Crash/Restart cycle) without touching a disk. Mem is not
+// safe for concurrent use by multiple goroutines — like a disk store, it
+// belongs to one process's event loop.
+type Mem struct {
+	recs     []Record
+	snap     []byte
+	snapFrom uint64
+	closed   bool
+}
+
+var _ Store = (*Mem)(nil)
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem { return &Mem{} }
+
+// Append implements Store.
+func (m *Mem) Append(rec Record) error {
+	if m.closed {
+		return fmt.Errorf("storage: append to closed store")
+	}
+	m.recs = append(m.recs, rec)
+	return nil
+}
+
+// Commit implements Store (memory is always "durable").
+func (m *Mem) Commit() error { return nil }
+
+// SaveSnapshot implements Store.
+func (m *Mem) SaveSnapshot(data []byte) error {
+	m.snap = append([]byte(nil), data...)
+	m.snapFrom = uint64(len(m.recs))
+	return nil
+}
+
+// Load implements Store.
+func (m *Mem) Load() ([]byte, uint64, error) {
+	if m.snap == nil {
+		return nil, 0, nil
+	}
+	return append([]byte(nil), m.snap...), m.snapFrom, nil
+}
+
+// Replay implements Store.
+func (m *Mem) Replay(from uint64, fn func(rec Record) error) error {
+	for i := int(from); i < len(m.recs); i++ {
+		if err := fn(m.recs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close implements Store.
+func (m *Mem) Close() error {
+	m.closed = true
+	return nil
+}
+
+// Len returns the number of records appended so far (test access).
+func (m *Mem) Len() int { return len(m.recs) }
+
+// TrimTail bounds an append-only slice amortisedly: once it reaches twice
+// max, the newest max entries are copied down and the vacated tail is
+// zeroed (releasing payload references). It returns the slice and how many
+// entries were dropped from the front. The shared idiom behind the
+// cluster's delivery log and the endpoints' sync archives.
+func TrimTail[T any](s []T, max int) ([]T, int) {
+	if max <= 0 || len(s) < 2*max {
+		return s, 0
+	}
+	dropped := len(s) - max
+	n := copy(s, s[dropped:])
+	var zero T
+	for i := n; i < len(s); i++ {
+		s[i] = zero
+	}
+	return s[:n], dropped
+}
+
+// --- snapshot sections ----------------------------------------------------
+
+// A snapshot blob is a sequence of named sections, one per durable layer,
+// concatenated in restore order.
+
+// AppendSection appends one named section to a snapshot blob.
+func AppendSection(buf []byte, name string, body []byte) []byte {
+	buf = wire.AppendString(buf, name)
+	return wire.AppendBytes(buf, body)
+}
+
+// Section is one named slice of a snapshot blob. Data aliases the blob.
+type Section struct {
+	Name string
+	Data []byte
+}
+
+// Sections splits a snapshot blob into its sections, in order.
+func Sections(data []byte) ([]Section, error) {
+	var out []Section
+	for len(data) > 0 {
+		name, rest, err := wire.String(data)
+		if err != nil {
+			return nil, err
+		}
+		body, rest, err := wire.Bytes(rest)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Section{Name: name, Data: body})
+		data = rest
+	}
+	return out, nil
+}

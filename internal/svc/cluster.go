@@ -2,6 +2,7 @@ package svc
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"wanamcast/internal/metrics"
@@ -38,7 +39,11 @@ type ServiceConfig struct {
 // Service is one Server per cluster process plus the address book that
 // clients and redirects use.
 type Service struct {
-	topo     *types.Topology
+	topo    *types.Topology
+	cfg     ServiceConfig
+	cluster Cluster
+
+	mu       sync.Mutex
 	servers  []*Server
 	machines []StateMachine
 	addrs    map[types.GroupID][]string
@@ -49,12 +54,18 @@ type Service struct {
 // the cluster has started, and Stop the Service BEFORE stopping the
 // cluster: a request in flight submits through the cluster's event loops,
 // and tearing those down first would strand it.
+//
+// On a durable cluster (one implementing DurableCluster) every replica's
+// state machine and session tables also register as a snapshot section, so
+// cluster snapshots capture them and RestartReplica recovers them.
 func ServeCluster(c Cluster, topo *types.Topology, cfg ServiceConfig) (*Service, error) {
 	if cfg.NewMachine == nil {
 		panic("svc: ServiceConfig.NewMachine is required")
 	}
 	svc := &Service{
 		topo:     topo,
+		cfg:      cfg,
+		cluster:  c,
 		servers:  make([]*Server, topo.N()),
 		machines: make([]StateMachine, topo.N()),
 		addrs:    make(map[types.GroupID][]string, topo.NumGroups()),
@@ -66,28 +77,12 @@ func ServeCluster(c Cluster, topo *types.Topology, cfg ServiceConfig) (*Service,
 	// the GroupAddrs closures can never read svc.addrs while it is still
 	// being built, even on predictable fixed ports.
 	for _, p := range topo.AllProcesses() {
-		p := p
 		g := topo.GroupOf(p)
 		addr := "127.0.0.1:0"
 		if cfg.BasePort != 0 {
 			addr = fmt.Sprintf("127.0.0.1:%d", cfg.BasePort+int(p))
 		}
-		machine := cfg.NewMachine(p, g)
-		srv := NewServer(ServerConfig{
-			Self:    p,
-			Group:   g,
-			Groups:  topo.NumGroups(),
-			Addr:    addr,
-			Machine: machine,
-			Submit: func(cmd Command, dest types.GroupSet) types.MessageID {
-				return c.Multicast(p, cmd, dest.Groups()...)
-			},
-			// Read-only by the time Serve (phase 2) admits any client.
-			GroupAddrs:   func(g types.GroupID) []string { return svc.addrs[g] },
-			Stats:        cfg.Stats,
-			ReplyTimeout: cfg.ReplyTimeout,
-			MaxSessions:  cfg.MaxSessions,
-		})
+		srv, machine := svc.buildServer(p, g, addr)
 		if err := srv.Listen(); err != nil {
 			svc.Stop()
 			return nil, err
@@ -97,11 +92,16 @@ func ServeCluster(c Cluster, topo *types.Topology, cfg ServiceConfig) (*Service,
 		svc.addrs[g] = append(svc.addrs[g], srv.Addr())
 	}
 	// Phase 2: every listener is bound and the address book is complete;
-	// wire the delivery hooks and start accepting. (A stopped server's
-	// Deliver is a no-op, so a Service that is later Stopped goes inert
-	// even though hooks cannot be unregistered.)
+	// wire the delivery hooks and snapshot sections, and start accepting.
+	// (A stopped server's Deliver is a no-op, so a Service that is later
+	// Stopped goes inert even though hooks cannot be unregistered.)
+	dc, durable := c.(DurableCluster)
 	for _, p := range topo.AllProcesses() {
 		c.OnDeliverAt(p, svc.servers[p].Deliver)
+		if durable {
+			srv := svc.servers[p]
+			dc.RegisterSnapshot(p, snapshotSection, srv.SaveSnapshot, srv.RestoreSnapshot)
+		}
 	}
 	for _, srv := range svc.servers {
 		srv.Serve()
@@ -109,19 +109,112 @@ func ServeCluster(c Cluster, topo *types.Topology, cfg ServiceConfig) (*Service,
 	return svc, nil
 }
 
-// Addrs returns the client-facing address book: group → its servers.
-// Callers must not modify it.
-func (s *Service) Addrs() map[types.GroupID][]string { return s.addrs }
+// buildServer constructs (without binding) replica p's server and machine.
+func (s *Service) buildServer(p types.ProcessID, g types.GroupID, addr string) (*Server, StateMachine) {
+	machine := s.cfg.NewMachine(p, g)
+	srv := NewServer(ServerConfig{
+		Self:    p,
+		Group:   g,
+		Groups:  s.topo.NumGroups(),
+		Addr:    addr,
+		Machine: machine,
+		Submit: func(cmd Command, dest types.GroupSet) types.MessageID {
+			return s.cluster.Multicast(p, cmd, dest.Groups()...)
+		},
+		GroupAddrs:   func(g types.GroupID) []string { return s.groupAddrs(g) },
+		Stats:        s.cfg.Stats,
+		ReplyTimeout: s.cfg.ReplyTimeout,
+		MaxSessions:  s.cfg.MaxSessions,
+	})
+	return srv, machine
+}
+
+// groupAddrs reads the (mutable across restarts) address book.
+func (s *Service) groupAddrs(g types.GroupID) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.addrs[g]...)
+}
+
+// RestartReplica recovers crashed replica p end to end: the old server
+// (with its listener and connections) is stopped, a fresh server and
+// state machine are built and wired as p's ONLY delivery hook and
+// snapshot section — nothing of the dead incarnation stays reachable —
+// and the cluster's Restart replays p's durable state (restoring the
+// machine and session tables) and catches up from live peers. The new
+// server reuses the old incarnation's client-facing address.
+func (s *Service) RestartReplica(p types.ProcessID) error {
+	dc, ok := s.cluster.(DurableCluster)
+	if !ok {
+		return fmt.Errorf("svc: cluster does not support restart")
+	}
+	s.mu.Lock()
+	old := s.servers[p]
+	s.mu.Unlock()
+	if old == nil {
+		return fmt.Errorf("svc: no server for %v", p)
+	}
+	g := s.topo.GroupOf(p)
+	oldAddr := old.Addr()
+	old.Stop() // frees the listen address for the new incarnation
+	srv, machine := s.buildServer(p, g, oldAddr)
+	if err := srv.Listen(); err != nil {
+		return err
+	}
+	// Wire the new incarnation BEFORE recovery so replayed deliveries
+	// rebuild its state; replace (not append) the hook and section so the
+	// dead incarnation leaks nothing into the delivery path.
+	dc.RegisterSnapshot(p, snapshotSection, srv.SaveSnapshot, srv.RestoreSnapshot)
+	dc.SetDeliverAt(p, srv.Deliver)
+	if err := dc.Restart(p); err != nil {
+		srv.Stop()
+		return err
+	}
+	srv.Serve()
+	s.mu.Lock()
+	s.servers[p] = srv
+	s.machines[p] = machine
+	for i, a := range s.addrs[g] {
+		if a == oldAddr {
+			s.addrs[g][i] = srv.Addr()
+		}
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Addrs returns a copy of the client-facing address book: group → its
+// servers (the book can change across replica restarts).
+func (s *Service) Addrs() map[types.GroupID][]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[types.GroupID][]string, len(s.addrs))
+	for g, as := range s.addrs {
+		out[g] = append([]string(nil), as...)
+	}
+	return out
+}
 
 // Machine returns replica p's state machine (test/diagnostic access).
-func (s *Service) Machine(p types.ProcessID) StateMachine { return s.machines[p] }
+func (s *Service) Machine(p types.ProcessID) StateMachine {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.machines[p]
+}
 
 // Server returns replica p's server.
-func (s *Service) Server(p types.ProcessID) *Server { return s.servers[p] }
+func (s *Service) Server(p types.ProcessID) *Server {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.servers[p]
+}
 
 // Stop stops every server. The underlying cluster keeps running.
 func (s *Service) Stop() {
-	for _, srv := range s.servers {
+	s.mu.Lock()
+	servers := append([]*Server(nil), s.servers...)
+	s.mu.Unlock()
+	for _, srv := range servers {
 		if srv != nil {
 			srv.Stop()
 		}

@@ -159,7 +159,8 @@ func (m *KVMachine) Apply(op []byte) ([]byte, error) {
 }
 
 // Snapshot implements StateMachine: a deterministic encoding of the shard
-// state, byte-identical across in-sync replicas.
+// state (including the exactly-once apply counter), byte-identical across
+// in-sync replicas.
 func (m *KVMachine) Snapshot() ([]byte, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -169,12 +170,42 @@ func (m *KVMachine) Snapshot() ([]byte, error) {
 	}
 	sort.Strings(keys)
 	var buf []byte
+	buf = wire.AppendUvarint(buf, m.applied)
 	buf = wire.AppendUvarint(buf, uint64(len(keys)))
 	for _, k := range keys {
 		buf = wire.AppendString(buf, k)
 		buf = wire.AppendString(buf, m.data[k])
 	}
 	return buf, nil
+}
+
+// Restore implements StateMachine: it replaces the shard state with a
+// Snapshot-ted one (crash recovery).
+func (m *KVMachine) Restore(snapshot []byte) error {
+	applied, data, err := wire.Uvarint(snapshot)
+	if err != nil {
+		return fmt.Errorf("kv: corrupt snapshot: %w", err)
+	}
+	var n int
+	if n, data, err = wire.SliceLen(data); err != nil {
+		return fmt.Errorf("kv: corrupt snapshot: %w", err)
+	}
+	fresh := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		var k, v string
+		if k, data, err = wire.String(data); err != nil {
+			return fmt.Errorf("kv: corrupt snapshot key: %w", err)
+		}
+		if v, data, err = wire.String(data); err != nil {
+			return fmt.Errorf("kv: corrupt snapshot value: %w", err)
+		}
+		fresh[k] = v
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.data = fresh
+	m.applied = applied
+	return nil
 }
 
 // Applied returns how many mutating commands this replica has executed —

@@ -25,7 +25,11 @@ type LoadSpec struct {
 	Timeout time.Duration
 	// KeysPerShard sizes each client's per-shard key space (default 16).
 	KeysPerShard int
-	Seed         int64
+	// SessionBase offsets the session IDs (client i uses SessionBase+i+1;
+	// default 0). Set it to run a second load against a cluster whose
+	// replicas still hold the first load's dedup windows.
+	SessionBase uint64
+	Seed        int64
 }
 
 // LoadResult aggregates one load run.
@@ -75,7 +79,7 @@ func RunKVLoad(topo *types.Topology, addrs map[types.GroupID][]string, spec Load
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(spec.Seed + int64(i)*7919))
 			client := NewClient(ClientConfig{
-				Session: uint64(i + 1),
+				Session: spec.SessionBase + uint64(i+1),
 				Addrs:   addrs,
 				Timeout: spec.Timeout,
 				Stats:   stats,

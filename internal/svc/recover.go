@@ -1,0 +1,132 @@
+// Crash recovery for the service layer: a replica's durable section is
+// its state machine snapshot plus the replicated session-dedup tables —
+// exactly the state that is a deterministic function of the A-Delivery
+// sequence, captured at the same instant as the ordering layer's snapshot
+// (both run between events on the replica's loop), so log replay
+// re-applies precisely the commands the cut excludes.
+package svc
+
+import (
+	"fmt"
+	"sort"
+
+	"wanamcast/internal/types"
+	"wanamcast/internal/wire"
+)
+
+// SaveSnapshot encodes the replica's durable state: machine snapshot,
+// delivery tick, and every session's dedup window. Pending replies are
+// connection-bound and deliberately excluded — a restarted replica has no
+// clients yet, and their commands' results live in the session windows.
+func (s *Server) SaveSnapshot() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	machine, err := s.cfg.Machine.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("svc: machine snapshot: %w", err)
+	}
+	buf := wire.AppendBytes(nil, machine)
+	buf = wire.AppendUvarint(buf, s.tick)
+	ids := make([]uint64, 0, len(s.sessions))
+	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	buf = wire.AppendUvarint(buf, uint64(len(ids)))
+	for _, id := range ids {
+		sess := s.sessions[id]
+		buf = wire.AppendUvarint(buf, id)
+		buf = wire.AppendUvarint(buf, sess.maxSeq)
+		buf = wire.AppendUvarint(buf, sess.touched)
+		seqs := make([]uint64, 0, len(sess.applied))
+		for q := range sess.applied {
+			seqs = append(seqs, q)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		buf = wire.AppendUvarint(buf, uint64(len(seqs)))
+		for _, q := range seqs {
+			ac := sess.applied[q]
+			buf = wire.AppendUvarint(buf, q)
+			buf = wire.AppendBytes(buf, ac.result)
+			buf = wire.AppendString(buf, ac.err)
+		}
+	}
+	return buf, nil
+}
+
+// RestoreSnapshot replaces the replica's durable state with a
+// SaveSnapshot-ted one. Call before the replica sees any delivery.
+func (s *Server) RestoreSnapshot(data []byte) error {
+	machine, data, err := wire.Bytes(data)
+	if err != nil {
+		return err
+	}
+	if err := s.cfg.Machine.Restore(machine); err != nil {
+		return fmt.Errorf("svc: machine restore: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tick, data, err = wire.Uvarint(data); err != nil {
+		return err
+	}
+	var n int
+	if n, data, err = wire.SliceLen(data); err != nil {
+		return err
+	}
+	s.sessions = make(map[uint64]*session, n)
+	for i := 0; i < n; i++ {
+		var id uint64
+		if id, data, err = wire.Uvarint(data); err != nil {
+			return err
+		}
+		sess := &session{applied: make(map[uint64]appliedCmd)}
+		if sess.maxSeq, data, err = wire.Uvarint(data); err != nil {
+			return err
+		}
+		if sess.touched, data, err = wire.Uvarint(data); err != nil {
+			return err
+		}
+		var m int
+		if m, data, err = wire.SliceLen(data); err != nil {
+			return err
+		}
+		for j := 0; j < m; j++ {
+			var q uint64
+			if q, data, err = wire.Uvarint(data); err != nil {
+				return err
+			}
+			var ac appliedCmd
+			var res []byte
+			if res, data, err = wire.Bytes(data); err != nil {
+				return err
+			}
+			ac.result = append([]byte(nil), res...)
+			if ac.err, data, err = wire.String(data); err != nil {
+				return err
+			}
+			sess.applied[q] = ac
+		}
+		s.sessions[id] = sess
+	}
+	return nil
+}
+
+// DurableCluster is the optional restart surface of a Cluster; the root
+// package's LiveCluster implements it when configured with a durable
+// store.
+type DurableCluster interface {
+	Cluster
+	// Restart recovers crashed process p from its durable store and
+	// catches it up from live peers.
+	Restart(p types.ProcessID) error
+	// RegisterSnapshot adds (or replaces, by name) a snapshot section for
+	// process p.
+	RegisterSnapshot(p types.ProcessID, name string,
+		save func() ([]byte, error), restore func(data []byte) error)
+	// SetDeliverAt replaces ALL of p's delivery hooks with fn.
+	SetDeliverAt(p types.ProcessID, fn func(id types.MessageID, payload any))
+}
+
+// snapshotSection is the service layer's section name in cluster
+// snapshots.
+const snapshotSection = "svc"

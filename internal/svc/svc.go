@@ -72,13 +72,16 @@ import (
 // StateMachine is one replica's application state. Apply is invoked in
 // A-Delivery order, sequentially, for every command addressed to the
 // replica's shard; it returns the replica-local result. Snapshot
-// serialises the state deterministically (replica-equality checks,
-// future state transfer). Implementations need no internal locking for
-// Apply (the Server serialises calls) but Snapshot may race with Apply and
-// must synchronise if the machine is read concurrently.
+// serialises the state deterministically (replica-equality checks, crash
+// recovery, state transfer); Restore replaces the state with a previously
+// Snapshot-ted one — it runs during crash recovery, before any Apply of
+// the new incarnation. Implementations need no internal locking for Apply
+// (the Server serialises calls) but Snapshot may race with Apply and must
+// synchronise if the machine is read concurrently.
 type StateMachine interface {
 	Apply(op []byte) ([]byte, error)
 	Snapshot() ([]byte, error)
+	Restore(snapshot []byte) error
 }
 
 // ServerConfig configures one replica's client-facing server.
@@ -338,6 +341,12 @@ func (s *Server) handle(conn *tcp.SvcConn, req Request) {
 	s.mu.Unlock()
 
 	id := s.cfg.Submit(Command{Session: req.Session, Seq: req.Seq, Op: req.Op}, req.Dest)
+	if id.IsZero() {
+		// The ordering layer refused the submission (the replica's process
+		// is crashed and not yet restarted). No reply: the client times
+		// out and retries against a live replica under the same sequence.
+		return
+	}
 
 	s.mu.Lock()
 	// The command may have been delivered between Submit returning and

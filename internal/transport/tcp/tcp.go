@@ -41,6 +41,7 @@ import (
 	"wanamcast/internal/amcast"
 	"wanamcast/internal/baseline"
 	"wanamcast/internal/consensus"
+	"wanamcast/internal/fd"
 	"wanamcast/internal/node"
 	"wanamcast/internal/rmcast"
 	"wanamcast/internal/types"
@@ -60,14 +61,19 @@ func RegisterWireTypes() {
 	gob.Register(consensus.AcceptMsg{})
 	gob.Register(consensus.AcceptedMsg{})
 	gob.Register(consensus.DecideMsg{})
+	gob.Register(consensus.LearnMsg{})
 	gob.Register(rmcast.DataMsg{})
 	gob.Register(rmcast.Message{})
 	gob.Register(amcast.TSMsg{})
 	gob.Register(amcast.Descriptor{})
 	gob.Register([]amcast.Descriptor{})
+	gob.Register(amcast.SyncReq{})
+	gob.Register(amcast.SyncResp{})
 	gob.Register(abcast.BundleMsg{})
 	gob.Register(abcast.Record{})
 	gob.Register([]abcast.Record{})
+	gob.Register(abcast.SyncReq{})
+	gob.Register(abcast.SyncResp{})
 	gob.Register(baseline.SkeenData{})
 	gob.Register(baseline.SkeenProp{})
 	gob.Register(heartbeatMsg{})
@@ -358,9 +364,50 @@ func (rt *Runtime) Run(id types.ProcessID, fn func()) {
 	wg.Wait()
 }
 
+// Async schedules fn on process id's event loop without waiting for it.
+// Use for work that must run between protocol events (snapshots) from code
+// that may itself be running on that loop.
+func (rt *Runtime) Async(id types.ProcessID, fn func()) {
+	rt.enqueue(id, fn)
+}
+
 // Crash crash-stops process id: its loop ignores everything from now on.
 func (rt *Runtime) Crash(id types.ProcessID) {
 	rt.Run(id, func() { rt.procs[id].Crash() })
+}
+
+// Restart replaces crashed process id with a fresh incarnation. It runs
+// entirely as ONE event on id's loop, so no frame or timer can interleave
+// with the rebuild: rebuild receives the fresh Proc (already carrying a
+// fresh failure detector, in recovering mode — sends suppressed) and must
+// register the new protocol endpoints and replay their durable state.
+// Afterwards the new incarnation is swapped in, recovering mode ends, and
+// every protocol's Start runs. Timers, delivery closures, and sockets of
+// the old incarnation keep pointing at the old (crashed, inert) Proc;
+// outbound links are reused.
+func (rt *Runtime) Restart(id types.ProcessID, rebuild func(proc *node.Proc, det fd.Detector)) error {
+	var err error
+	rt.Run(id, func() {
+		old := rt.procs[id]
+		if old == nil {
+			err = fmt.Errorf("tcp: process %v is not hosted by this runtime", id)
+			return
+		}
+		if !old.Crashed() {
+			err = fmt.Errorf("tcp: process %v is not crashed", id)
+			return
+		}
+		proc := node.NewProc(id, rt.topo, rt)
+		hfd := newHeartbeatFD(proc, rt.cfg.HeartbeatEvery, rt.cfg.SuspectAfter)
+		proc.Register(hfd)
+		proc.SetRecovering(true)
+		rebuild(proc, hfd)
+		rt.procs[id] = proc
+		rt.fds[id] = hfd
+		proc.SetRecovering(false)
+		proc.StartAll()
+	})
+	return err
 }
 
 func (rt *Runtime) addr(id types.ProcessID) string {

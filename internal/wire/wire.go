@@ -73,6 +73,7 @@ const (
 	KindConsensusAccept   Kind = 19 // consensus.AcceptMsg
 	KindConsensusAccepted Kind = 20 // consensus.AcceptedMsg
 	KindConsensusDecide   Kind = 21 // consensus.DecideMsg
+	KindConsensusLearn    Kind = 22 // consensus.LearnMsg (decision catch-up query)
 	KindRMcastData        Kind = 24 // rmcast.DataMsg
 	KindRMcastMessage     Kind = 25 // rmcast.Message (as a payload value)
 	KindAMcastTS          Kind = 28 // amcast.TSMsg
@@ -86,6 +87,10 @@ const (
 	KindSvcReply          Kind = 45 // svc.Reply (server → client)
 	KindSvcRedirect       Kind = 46 // svc.Redirect (server → client)
 	KindSvcCommand        Kind = 47 // svc.Command (the multicast payload)
+	KindA1SyncReq         Kind = 50 // amcast.SyncReq (restart state transfer)
+	KindA1SyncResp        Kind = 51 // amcast.SyncResp
+	KindA2SyncReq         Kind = 52 // abcast.SyncReq (restart state transfer)
+	KindA2SyncResp        Kind = 53 // abcast.SyncResp
 )
 
 // MaxFrame bounds one frame on the wire. A larger length prefix is treated

@@ -2,16 +2,21 @@ package wanamcast
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"wanamcast/internal/abcast"
 	"wanamcast/internal/amcast"
 	"wanamcast/internal/check"
+	"wanamcast/internal/durable"
+	"wanamcast/internal/fd"
 	"wanamcast/internal/node"
 	"wanamcast/internal/rmcast"
+	"wanamcast/internal/storage"
 	"wanamcast/internal/transport/tcp"
 	"wanamcast/internal/types"
+	"wanamcast/internal/wire"
 )
 
 // LiveConfig describes a cluster running over real TCP sockets on
@@ -60,6 +65,29 @@ type LiveConfig struct {
 	// retains the full run (unaffected by RetainDeliveries): leave it off
 	// for unbounded benchmarks.
 	Check bool
+	// DataDir enables durability: process p persists its WAL and
+	// snapshots under DataDir/p<N>, and Crash(p) can be undone with
+	// Restart(p) — the replica recovers its Paxos, clock, and session
+	// state from disk and catches up missed instances from live peers.
+	// Empty means no persistence (the historical behavior).
+	DataDir string
+	// StoreFor overrides DataDir with an explicit store per process
+	// (tests use storage.NewMem). When it returns nil for a process, that
+	// process runs without persistence.
+	StoreFor func(p ProcessID) storage.Store
+	// NoFsync makes Commit barriers flush without fsyncing: crashes of
+	// the whole OS process lose the tail, in-process Crash/Restart does
+	// not. The "fsync=off" benchmark knob.
+	NoFsync bool
+	// SnapshotEvery is how many A-Deliveries a process accumulates before
+	// its state is snapshotted and the WAL truncated (default 512;
+	// negative disables automatic snapshots).
+	SnapshotEvery int
+	// SyncArchive bounds the per-process archives (recent deliveries for
+	// A1, completed rounds for A2) that serve restarted peers' catch-up.
+	// Default 4096: a replica that missed more than this cannot rejoin by
+	// log transfer.
+	SyncArchive int
 }
 
 // LiveCluster runs Algorithms A1 and A2 on every process over TCP.
@@ -69,12 +97,19 @@ type LiveConfig struct {
 type LiveCluster struct {
 	rt   *tcp.Runtime
 	topo *types.Topology
+	cfg  LiveConfig
 	a1   []*amcast.Mcast
 	a2   []*abcast.Bcast
+
+	stores   []storage.Store // per process; nil = no persistence
+	castSeqs []uint64        // per-process cast allocators (loop-confined)
 
 	mu         sync.Mutex
 	onDeliver  func(p ProcessID, id MessageID, payload any)
 	hooks      [][]func(id MessageID, payload any) // per-process delivery hooks
+	extras     [][]durable.Section                 // registered snapshot sections
+	recovering []bool                              // per process: replaying its log
+	snapCount  []int                               // deliveries since last snapshot
 	deliveries []Delivery
 	retain     int
 	counts     map[MessageID]int
@@ -84,17 +119,23 @@ type LiveCluster struct {
 	started    bool
 	stopped    bool
 	startTime  time.Time
+	closeOnce  sync.Once
 }
 
 // NewLiveCluster builds (but does not start) a live cluster. Protocol wire
 // types are registered with gob; register your own payload types before
-// casting non-basic values.
+// casting non-basic values. It panics if a configured data directory
+// cannot be opened: a cluster asked to be durable must not silently run
+// volatile.
 func NewLiveCluster(cfg LiveConfig) *LiveCluster {
 	if cfg.Groups == 0 {
 		cfg.Groups = 2
 	}
 	if cfg.PerGroup == 0 {
 		cfg.PerGroup = 3
+	}
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = 512
 	}
 	tcp.RegisterWireTypes()
 	topo := types.NewTopology(cfg.Groups, cfg.PerGroup)
@@ -113,53 +154,116 @@ func NewLiveCluster(cfg LiveConfig) *LiveCluster {
 		Recorder:   node.NopRecorder{},
 	})
 	l := &LiveCluster{
-		rt:      rt,
-		topo:    topo,
-		a1:      make([]*amcast.Mcast, topo.N()),
-		a2:      make([]*abcast.Bcast, topo.N()),
-		retain:  cfg.RetainDeliveries,
-		counts:  make(map[MessageID]int),
-		hooks:   make([][]func(id MessageID, payload any), topo.N()),
-		crashed: make(map[ProcessID]bool),
+		rt:         rt,
+		topo:       topo,
+		cfg:        cfg,
+		a1:         make([]*amcast.Mcast, topo.N()),
+		a2:         make([]*abcast.Bcast, topo.N()),
+		stores:     make([]storage.Store, topo.N()),
+		castSeqs:   make([]uint64, topo.N()),
+		retain:     cfg.RetainDeliveries,
+		counts:     make(map[MessageID]int),
+		hooks:      make([][]func(id MessageID, payload any), topo.N()),
+		extras:     make([][]durable.Section, topo.N()),
+		recovering: make([]bool, topo.N()),
+		snapCount:  make([]int, topo.N()),
+		crashed:    make(map[ProcessID]bool),
 	}
 	if cfg.Check {
 		l.checker = check.New(topo)
 	}
 	for _, id := range topo.AllProcesses() {
-		id := id
-		// One allocator per process: A1 and A2 IDs must not collide. The
-		// counter is only touched on the process's own event loop.
-		var castSeq uint64
-		nextID := func() MessageID {
-			castSeq++
-			return MessageID{Origin: id, Seq: castSeq}
-		}
-		l.a1[id] = amcast.New(amcast.Config{
-			Host:       rt.Proc(id),
-			Detector:   rt.Detector(id),
-			SkipStages: true,
-			NextID:     nextID,
-			MaxBatch:   cfg.MaxBatch,
-			Pipeline:   cfg.Pipeline,
-			OnDeliver:  func(m rmcast.Message) { l.recordDelivery(id, m.ID, m.Payload) },
-		})
-		l.a2[id] = abcast.New(abcast.Config{
-			Host:            rt.Proc(id),
-			Detector:        rt.Detector(id),
-			KeepAliveRounds: cfg.KeepAliveRounds,
-			Pipeline:        cfg.Pipeline,
-			MaxBatch:        cfg.MaxBatch,
-			NextID:          nextID,
-			OnDeliver:       func(mid MessageID, payload any) { l.recordDelivery(id, mid, payload) },
-		})
+		l.stores[id] = l.openStore(id)
+		l.buildEndpoints(id, rt.Proc(id), rt.Detector(id))
 	}
 	return l
 }
 
+// openStore creates process id's durable store per the config: StoreFor
+// wins, then DataDir, else none.
+func (l *LiveCluster) openStore(id ProcessID) storage.Store {
+	if l.cfg.StoreFor != nil {
+		return l.cfg.StoreFor(id)
+	}
+	if l.cfg.DataDir == "" {
+		return nil
+	}
+	d, err := storage.OpenDisk(filepath.Join(l.cfg.DataDir, fmt.Sprintf("p%d", int(id))),
+		storage.DiskOptions{NoFsync: l.cfg.NoFsync})
+	if err != nil {
+		panic(fmt.Sprintf("wanamcast: open data dir for %v: %v", id, err))
+	}
+	return d
+}
+
+// buildEndpoints wires one process's A1 and A2 endpoints onto proc. It
+// runs at construction and again, on the process's own event loop, when
+// Restart builds a fresh incarnation.
+func (l *LiveCluster) buildEndpoints(id ProcessID, proc *node.Proc, det fd.Detector) {
+	// One allocator per process: A1 and A2 IDs must not collide. The
+	// counter is only touched on the process's own event loop (and is
+	// snapshot-restored with a safety gap across restarts).
+	nextID := func() MessageID {
+		l.castSeqs[id]++
+		return MessageID{Origin: id, Seq: l.castSeqs[id]}
+	}
+	log := storage.NewLog(l.stores[id])
+	var onSynced func()
+	if l.stores[id] != nil {
+		// A completed state transfer is the natural snapshot point: the
+		// adopted deliveries live only in the WAL until one is taken.
+		onSynced = func() { l.rt.Async(id, func() { l.snapshot(id) }) }
+	}
+	l.a1[id] = amcast.New(amcast.Config{
+		Host:        proc,
+		Detector:    det,
+		SkipStages:  true,
+		NextID:      nextID,
+		MaxBatch:    l.cfg.MaxBatch,
+		Pipeline:    l.cfg.Pipeline,
+		Log:         log,
+		SyncArchive: l.cfg.SyncArchive,
+		OnSynced:    onSynced,
+		OnDeliver:   func(m rmcast.Message) { l.recordDelivery(id, m.ID, m.Payload) },
+	})
+	l.a2[id] = abcast.New(abcast.Config{
+		Host:            proc,
+		Detector:        det,
+		KeepAliveRounds: l.cfg.KeepAliveRounds,
+		Pipeline:        l.cfg.Pipeline,
+		MaxBatch:        l.cfg.MaxBatch,
+		NextID:          nextID,
+		Log:             log,
+		SyncArchive:     l.cfg.SyncArchive,
+		OnSynced:        onSynced,
+		OnDeliver:       func(mid MessageID, payload any) { l.recordDelivery(id, mid, payload) },
+	})
+}
+
 func (l *LiveCluster) recordDelivery(p ProcessID, id MessageID, payload any) {
 	l.mu.Lock()
+	if l.recovering[p] {
+		// Log replay re-emits deliveries the cluster already recorded
+		// before the crash: the checker, counts, and the delivery log must
+		// not see them twice. The per-process hooks DO run — they rebuild
+		// the restarted replica's service state from the replayed sequence.
+		hooks := l.hooks[p]
+		l.mu.Unlock()
+		for _, h := range hooks {
+			h(id, payload)
+		}
+		return
+	}
 	fn := l.onDeliver
 	hooks := l.hooks[p]
+	snapDue := false
+	if l.stores[p] != nil && l.cfg.SnapshotEvery > 0 {
+		l.snapCount[p]++
+		if l.snapCount[p] >= l.cfg.SnapshotEvery {
+			l.snapCount[p] = 0
+			snapDue = true
+		}
+	}
 	if l.checker != nil {
 		l.checker.RecordDeliver(p, id)
 	}
@@ -174,13 +278,7 @@ func (l *LiveCluster) recordDelivery(p ProcessID, id MessageID, payload any) {
 	// one per message forever): the oldest ids are evicted once it exceeds
 	// countBound(), so DeliveredCount stays exact for recent messages only.
 	if l.retain > 0 {
-		if len(l.deliveries) >= 2*l.retain {
-			n := copy(l.deliveries, l.deliveries[len(l.deliveries)-l.retain:])
-			for i := n; i < len(l.deliveries); i++ {
-				l.deliveries[i] = Delivery{} // release payload references
-			}
-			l.deliveries = l.deliveries[:n]
-		}
+		l.deliveries, _ = storage.TrimTail(l.deliveries, l.retain)
 		if bound := l.countBound(); len(l.countOrder) > 2*bound {
 			evict := l.countOrder[:len(l.countOrder)-bound]
 			for _, old := range evict {
@@ -197,6 +295,11 @@ func (l *LiveCluster) recordDelivery(p ProcessID, id MessageID, payload any) {
 	// its deliveries sequentially, in A-Delivery order.
 	for _, h := range hooks {
 		h(id, payload)
+	}
+	if snapDue {
+		// Snapshots must not run mid-delivery-cascade (the engine state is
+		// only consistent between loop events): enqueue as its own event.
+		l.rt.Async(p, func() { l.snapshot(p) })
 	}
 }
 
@@ -259,6 +362,14 @@ func (l *LiveCluster) Stop() {
 	l.stopped = true
 	l.mu.Unlock()
 	l.rt.Stop()
+	// Loops are drained: flush and release the durable stores exactly once.
+	l.closeOnce.Do(func() {
+		for _, s := range l.stores {
+			if s != nil {
+				_ = s.Close()
+			}
+		}
+	})
 }
 
 // Process returns the ProcessID of the i-th member of group g.
@@ -275,12 +386,26 @@ func (l *LiveCluster) Broadcast(from ProcessID, payload any) MessageID {
 	// on another loop), and no A-Delivery can happen synchronously inside
 	// it. l.checker is immutable after construction, so the checker-off
 	// hot path (all benchmarks) adds no cross-loop lock contention.
+	// Broadcasting from a crashed (not yet restarted) process is refused:
+	// the zero MessageID is returned and nothing is cast — a dead process
+	// cannot originate messages, and recording such a cast would become a
+	// permanent false validity fault once the process restarts as correct.
 	l.rt.Run(from, func() {
+		// The crash flag is loop-confined state of the CURRENT incarnation
+		// (Restart swaps in a fresh one), so the checker-off hot path stays
+		// lock-free.
+		if l.rt.Proc(from).Crashed() {
+			return
+		}
 		if l.checker == nil {
 			id = l.a2[from].ABCast(payload)
 			return
 		}
 		l.mu.Lock()
+		if l.crashed[from] {
+			l.mu.Unlock()
+			return
+		}
 		id = l.a2[from].ABCast(payload)
 		l.checker.RecordCast(id, l.topo.AllGroups())
 		l.mu.Unlock()
@@ -296,13 +421,21 @@ func (l *LiveCluster) Multicast(from ProcessID, payload any, groups ...GroupID) 
 	dest := types.NewGroupSet(groups...)
 	var id MessageID
 	// See Broadcast for why l.mu spans the cast and its recording when
-	// checking is on, and why it is skipped entirely when it is off.
+	// checking is on, why it is skipped entirely when it is off, and why
+	// a crashed originator is refused (zero MessageID).
 	l.rt.Run(from, func() {
+		if l.rt.Proc(from).Crashed() {
+			return
+		}
 		if l.checker == nil {
 			id = l.a1[from].AMCast(payload, dest)
 			return
 		}
 		l.mu.Lock()
+		if l.crashed[from] {
+			l.mu.Unlock()
+			return
+		}
 		id = l.a1[from].AMCast(payload, dest)
 		l.checker.RecordCast(id, dest)
 		l.mu.Unlock()
@@ -332,6 +465,158 @@ func (l *LiveCluster) Crash(p ProcessID) {
 	l.crashed[p] = true
 	l.mu.Unlock()
 	l.rt.Crash(p)
+}
+
+// restartSeqGap is how far a restarted process's cast allocator jumps past
+// its recovered value: casts made after the last snapshot are not
+// individually logged, so the jump guarantees a fresh incarnation can
+// never re-issue a MessageID the old one already used.
+const restartSeqGap = 1 << 20
+
+// Restart brings a crashed process back as a fresh incarnation: it
+// recovers Paxos acceptor state, the group clock, delivery rounds, and
+// every registered snapshot section (e.g. the service layer's state
+// machine and session tables) from its durable store, then catches up the
+// instances it missed from live group peers via the bounded state-transfer
+// protocol. The restarted process resumes as a correct participant: once
+// its state transfer completes it again delivers everything addressed to
+// its group, and CheckProperties holds it to that.
+//
+// Restart requires the process to be crashed and durably configured
+// (DataDir or StoreFor).
+func (l *LiveCluster) Restart(p ProcessID) error {
+	l.mu.Lock()
+	switch {
+	case !l.started || l.stopped:
+		l.mu.Unlock()
+		return fmt.Errorf("wanamcast: Restart(%v) needs a started, unstopped cluster", p)
+	case !l.crashed[p]:
+		l.mu.Unlock()
+		return fmt.Errorf("wanamcast: Restart(%v): process is not crashed", p)
+	case l.stores[p] == nil:
+		l.mu.Unlock()
+		return fmt.Errorf("wanamcast: Restart(%v): no durable store (set DataDir or StoreFor)", p)
+	}
+	l.mu.Unlock()
+
+	var recErr error
+	err := l.rt.Restart(p, func(proc *node.Proc, det fd.Detector) {
+		l.buildEndpoints(p, proc, det)
+		l.mu.Lock()
+		l.recovering[p] = true
+		l.mu.Unlock()
+		recErr = l.node(p).Recover()
+		// Casts since the last snapshot are not individually logged: jump
+		// the allocator so the new incarnation cannot reuse an ID.
+		l.castSeqs[p] += restartSeqGap
+		l.mu.Lock()
+		l.recovering[p] = false
+		l.mu.Unlock()
+	})
+	if err == nil {
+		err = recErr
+	}
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	delete(l.crashed, p)
+	l.mu.Unlock()
+	// Liveness: fetch everything missed while down from the group peers.
+	l.rt.Run(p, func() {
+		l.a1[p].StartSync()
+		l.a2[p].StartSync()
+	})
+	return nil
+}
+
+// node assembles process p's durable orchestration view: A1, A2, the
+// cluster's own section (the cast allocator), and every registered extra
+// section, in registration order.
+func (l *LiveCluster) node(p ProcessID) *durable.Node {
+	l.mu.Lock()
+	extra := make([]durable.Section, 0, 1+len(l.extras[p]))
+	extra = append(extra, l.clusterSection(p))
+	extra = append(extra, l.extras[p]...)
+	l.mu.Unlock()
+	return &durable.Node{Store: l.stores[p], A1: l.a1[p], A2: l.a2[p], Extra: extra}
+}
+
+// clusterSection persists cluster-level per-process state: the cast
+// allocator.
+func (l *LiveCluster) clusterSection(p ProcessID) durable.Section {
+	return durable.Section{
+		Name: "cluster",
+		Save: func() ([]byte, error) {
+			return wire.AppendUvarint(nil, l.castSeqs[p]), nil
+		},
+		Restore: func(data []byte) error {
+			seq, _, err := wire.Uvarint(data)
+			if err != nil {
+				return err
+			}
+			l.castSeqs[p] = seq
+			return nil
+		},
+	}
+}
+
+// snapshot captures process p's full durable state and truncates its WAL.
+// It must run as its own event on p's loop (between protocol events).
+func (l *LiveCluster) snapshot(p ProcessID) {
+	l.mu.Lock()
+	skip := l.crashed[p] || l.recovering[p] || l.stores[p] == nil
+	l.mu.Unlock()
+	if skip {
+		return
+	}
+	if err := l.node(p).Snapshot(); err != nil {
+		l.rt.Tracef("snapshot %v failed: %v", p, err)
+	}
+}
+
+// Snapshot forces an immediate snapshot of process p (tests, graceful
+// shutdown). It blocks until the snapshot completes.
+func (l *LiveCluster) Snapshot(p ProcessID) {
+	l.rt.Run(p, func() { l.snapshot(p) })
+}
+
+// RegisterSnapshot adds (or, by name, replaces) a snapshot section for
+// process p: save contributes to every future snapshot, restore runs
+// during Restart before the ordering layers replay their logs. The
+// service layer registers each replica's state machine and session tables
+// here.
+func (l *LiveCluster) RegisterSnapshot(p ProcessID, name string, save func() ([]byte, error), restore func(data []byte) error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	sec := durable.Section{Name: name, Save: save, Restore: restore}
+	for i, s := range l.extras[p] {
+		if s.Name == name {
+			l.extras[p][i] = sec
+			return
+		}
+	}
+	l.extras[p] = append(l.extras[p], sec)
+}
+
+// SetDeliverAt replaces ALL of process p's delivery hooks with fn (nil
+// clears them). Restart flows use it so a dead incarnation's hooks cannot
+// linger behind the new one's.
+func (l *LiveCluster) SetDeliverAt(p ProcessID, fn func(id MessageID, payload any)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.hooks[p] = nil
+	if fn != nil {
+		l.hooks[p] = append(l.hooks[p], fn)
+	}
+}
+
+// DeliverHookCount returns how many delivery hooks process p currently
+// has (leak diagnostics).
+func (l *LiveCluster) DeliverHookCount(p ProcessID) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.hooks[p])
 }
 
 // CheckProperties verifies the §2.2 properties — uniform integrity,

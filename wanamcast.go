@@ -18,7 +18,14 @@
 //     sequential engine). The defaults reproduce the paper exactly; larger
 //     values amortize agreement cost under heavy load without changing any
 //     §2.2 property, and Stats reports the resulting batch sizes and
-//     throughput.
+//     throughput;
+//   - durable state and crash recovery on the live cluster: with
+//     LiveConfig.DataDir set, every process journals its Paxos acceptor
+//     state, ordering decisions, and service state to a write-ahead log
+//     with periodic snapshots (internal/storage), a crashed process comes
+//     back with LiveCluster.Restart — recovering from disk and catching up
+//     missed instances from live peers — and fsync batching rides the
+//     ordering batches, so durability costs one fsync per decided batch.
 //
 // The quickest way in:
 //
