@@ -1,0 +1,184 @@
+package wanamcast
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"wanamcast/internal/metrics"
+	"wanamcast/internal/scenario"
+	"wanamcast/internal/storage"
+	"wanamcast/internal/svc"
+	"wanamcast/internal/types"
+	"wanamcast/internal/workload"
+)
+
+// TestChaosSuiteLiveKVLoad is the acceptance bar of the chaos fabric: the
+// full scenario suite — symmetric partition+heal, asymmetric partition,
+// leader flap ×3, inter-group delay spike, and partition during
+// crash-recovery — each runs against a real TCP cluster serving the
+// replicated KV service under a 100-client closed-loop load that overlaps
+// the fault window. Every scenario must end with zero lost client
+// operations, a clean §2.2 CheckProperties verdict over the whole run
+// (faults included), and post-heal delivery progress: a fresh broadcast
+// and a fresh cross-shard multicast reach every correct process.
+func TestChaosSuiteLiveKVLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second live chaos suite")
+	}
+	const (
+		groups  = 2
+		perG    = 3
+		clients = 100
+		ops     = 3
+		unit    = 300 * time.Millisecond
+	)
+	topo := types.NewTopology(groups, perG)
+	suite := scenario.Suite(topo, scenario.SuiteConfig{Unit: unit, Spike: 200 * time.Millisecond})
+	for i, sc := range suite {
+		i, sc := i, sc
+		t.Run(sc.Name, func(t *testing.T) {
+			stores := make([]storage.Store, topo.N())
+			for j := range stores {
+				stores[j] = storage.NewMem()
+			}
+			cl := NewLiveCluster(LiveConfig{
+				Groups:         groups,
+				PerGroup:       perG,
+				BasePort:       26100 + i*100,
+				WANDelay:       5 * time.Millisecond,
+				HeartbeatEvery: 20 * time.Millisecond,
+				SuspectAfter:   100 * time.Millisecond,
+				MaxBatch:       64,
+				Pipeline:       2,
+				Check:          true,
+				StoreFor:       func(p ProcessID) storage.Store { return stores[p] },
+			})
+			if err := cl.Start(); err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Stop()
+			stats := &metrics.Service{}
+			route := svc.PrefixRoute(groups)
+			service, err := svc.ServeCluster(cl, topo, svc.ServiceConfig{
+				BasePort: 26150 + i*100,
+				NewMachine: func(p types.ProcessID, g types.GroupID) svc.StateMachine {
+					return svc.NewKVMachine(g, route)
+				},
+				Stats: stats,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer service.Stop()
+
+			funcs := cl.Chaos()
+			funcs.RestartFn = service.RestartReplica
+			funcs.Logf = t.Logf
+			scenario.Apply(funcs, sc)
+
+			// Closed-loop load waves until the fault window has passed:
+			// a wave caught by a partition stalls on its cross-shard
+			// commands and completes after the heal via client retries.
+			begin := time.Now()
+			totalOps, totalErrs, wave := 0, 0, 0
+			for {
+				res := svc.RunKVLoad(topo, service.Addrs(), svc.LoadSpec{
+					Clients:     clients,
+					Ops:         ops,
+					Mix:         workload.DefaultMix(),
+					Timeout:     250 * time.Millisecond,
+					Seed:        int64(100*i + wave),
+					SessionBase: uint64(wave * (clients + 1)),
+				}, stats)
+				totalOps += res.Ops
+				totalErrs += res.Errors
+				wave++
+				if time.Since(begin) > sc.Horizon()+200*time.Millisecond {
+					break
+				}
+			}
+			if totalErrs > 0 {
+				t.Errorf("%d of %d client ops failed across the fault window", totalErrs, totalErrs+totalOps)
+			}
+			if totalOps < clients*ops {
+				t.Errorf("load too small to overlap the schedule: %d ops", totalOps)
+			}
+
+			// Post-heal delivery progress on both algorithms.
+			probeFrom := cl.Process(1, 0)
+			bid := cl.Broadcast(probeFrom, fmt.Sprintf("probe-a2-%s", sc.Name))
+			if !cl.WaitDelivered(bid, topo.N(), 30*time.Second) {
+				t.Errorf("post-heal broadcast reached %d/%d processes", cl.DeliveredCount(bid), topo.N())
+			}
+			mid := cl.Multicast(probeFrom, fmt.Sprintf("probe-a1-%s", sc.Name), 0, 1)
+			if !cl.WaitDelivered(mid, 2*perG, 30*time.Second) {
+				t.Errorf("post-heal multicast reached %d/%d processes", cl.DeliveredCount(mid), 2*perG)
+			}
+
+			// §2.2 over the whole faulted run.
+			if v := cl.WaitPropertiesClean(30 * time.Second); len(v) != 0 {
+				t.Fatalf("property violations under %s (%d), first: %s", sc.Name, len(v), v[0])
+			}
+		})
+	}
+}
+
+// TestFalselySuspectedLeaderReelected pins the trust-restoration contract
+// on the live runtime: the rank-0 leader of a group is falsely suspected
+// (no crash, no partition — pure Ω mistake), every peer demotes it, and
+// once its heartbeats land again the peers restore trust and provably
+// re-elect it — observed through the leader-change subscription, not by
+// polling.
+func TestFalselySuspectedLeaderReelected(t *testing.T) {
+	cl := NewLiveCluster(LiveConfig{
+		Groups:         2,
+		PerGroup:       3,
+		BasePort:       26700,
+		WANDelay:       5 * time.Millisecond,
+		HeartbeatEvery: 15 * time.Millisecond,
+		SuspectAfter:   75 * time.Millisecond,
+	})
+	leader := cl.Process(0, 0)
+	watcher := cl.Process(0, 1)
+	changes := make(chan ProcessID, 32)
+	cl.SubscribeLeader(watcher, func(_ GroupID, l ProcessID) { changes <- l })
+	if err := cl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	time.Sleep(100 * time.Millisecond) // detectors see everyone first
+
+	if got := cl.LeaderOf(watcher); got != leader {
+		t.Fatalf("initial leader at watcher = %v, want rank-0 %v", got, leader)
+	}
+	cl.ForceSuspect(leader)
+
+	wait := func(want ProcessID, what string) {
+		deadline := time.After(10 * time.Second)
+		for {
+			select {
+			case l := <-changes:
+				if l == want {
+					return
+				}
+			case <-deadline:
+				t.Fatalf("never observed %s (leader change to %v)", what, want)
+			}
+		}
+	}
+	// Demotion: the false suspicion must move leadership off rank 0.
+	wait(watcher, "demotion of the falsely suspected rank-0 leader")
+	// Re-election: the suspect's own heartbeats (it never stopped beating)
+	// restore trust without any explicit intervention.
+	wait(leader, "re-election of rank 0 after trust restoration")
+
+	if got := cl.LeaderOf(watcher); got != leader {
+		t.Fatalf("final leader at watcher = %v, want the re-elected %v", got, leader)
+	}
+	st := cl.Stats()
+	if st.Suspicions == 0 || st.TrustRestorations == 0 || st.LeaderChanges < 2 {
+		t.Fatalf("fd counters missed the flap: %+v suspicions=%d trust=%d leaders=%d",
+			st.PerGroupFD, st.Suspicions, st.TrustRestorations, st.LeaderChanges)
+	}
+}

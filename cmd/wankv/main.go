@@ -27,6 +27,8 @@ import (
 	"wanamcast"
 	"wanamcast/internal/harness"
 	"wanamcast/internal/metrics"
+	"wanamcast/internal/scenario"
+	"wanamcast/internal/storage"
 	"wanamcast/internal/svc"
 	"wanamcast/internal/types"
 	"wanamcast/internal/workload"
@@ -54,6 +56,8 @@ func run() int {
 		dataDir  = flag.String("datadir", "", "persist each replica's WAL+snapshots under this directory (empty = volatile)")
 		noFsync  = flag.Bool("nofsync", false, "with -datadir: write WALs without fsync barriers (benchmark knob)")
 		snapEvry = flag.Int("snapevery", 0, "with -datadir: snapshot every N deliveries per replica (0 = default 512)")
+		scn      = flag.String("scenario", "", "chaos scenario to run under the load (partition-heal, asym-partition, leader-flap, delay-spike, partition-recovery); load mode only")
+		scnUnit  = flag.Duration("unit", 500*time.Millisecond, "chaos scenario time step (with -scenario)")
 	)
 	flag.Parse()
 
@@ -85,8 +89,19 @@ func run() int {
 	if (*noFsync || *snapEvry != 0) && *dataDir == "" {
 		fail("-nofsync and -snapevery need -datadir")
 	}
+	if *scn != "" {
+		if *clients < 1 {
+			fail("-scenario needs load mode (-clients >= 1)")
+		}
+		if *groups < 2 {
+			fail("-scenario needs at least 2 shards to partition")
+		}
+		if *scnUnit <= 0 {
+			fail("-unit must be positive")
+		}
+	}
 
-	cluster := wanamcast.NewLiveCluster(wanamcast.LiveConfig{
+	cfg := wanamcast.LiveConfig{
 		Groups:        *groups,
 		PerGroup:      *d,
 		BasePort:      *basePort,
@@ -98,7 +113,18 @@ func run() int {
 		DataDir:       *dataDir,
 		NoFsync:       *noFsync,
 		SnapshotEvery: *snapEvry,
-	})
+	}
+	if *scn != "" && *dataDir == "" {
+		// Crash/restart scenarios need a durable store per replica; without
+		// a data dir, in-memory stores keep the run volatile but
+		// restartable.
+		stores := make([]storage.Store, *groups**d)
+		for i := range stores {
+			stores[i] = storage.NewMem()
+		}
+		cfg.StoreFor = func(p wanamcast.ProcessID) storage.Store { return stores[p] }
+	}
+	cluster := wanamcast.NewLiveCluster(cfg)
 	if err := cluster.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "wankv:", err)
 		return 1
@@ -142,6 +168,20 @@ func run() int {
 		return 0
 	}
 
+	if *scn != "" {
+		sc, ok := scenario.ByName(topo, scenario.SuiteConfig{Unit: *scnUnit}, *scn)
+		if !ok {
+			fail("unknown -scenario %q (have %v)", *scn, scenario.Names())
+		}
+		funcs := cluster.Chaos()
+		funcs.RestartFn = service.RestartReplica
+		funcs.Logf = func(format string, args ...any) {
+			fmt.Printf("chaos: "+format+"\n", args...)
+		}
+		scenario.Apply(funcs, sc)
+		fmt.Printf("chaos: scenario %s armed (unit %v, horizon %v)\n", sc.Name, *scnUnit, sc.Horizon())
+	}
+
 	fmt.Printf("load: %d closed-loop clients x %d ops (seed %d, timeout %v)\n", *clients, *ops, *seed, *timeout)
 	res := svc.RunKVLoad(topo, service.Addrs(), svc.LoadSpec{
 		Clients: *clients,
@@ -155,6 +195,10 @@ func run() int {
 		res.Ops, res.Errors, res.Elapsed.Round(time.Millisecond),
 		float64(res.Ops)/res.Elapsed.Seconds())
 	fmt.Printf("service        %v\n", res.Stats)
+	if st := cluster.Stats(); st.Suspicions > 0 || st.TrustRestorations > 0 || st.LeaderChanges > 0 {
+		fmt.Printf("fd             suspicions=%d trust-restored=%d leader-changes=%d\n",
+			st.Suspicions, st.TrustRestorations, st.LeaderChanges)
+	}
 
 	exit := 0
 	if res.Errors > 0 {

@@ -212,16 +212,23 @@ func main() {
 		os.Exit(1)
 	}
 	defer rt.Stop()
-	if recovered {
+	if store != nil {
 		// Catch up whatever the group ordered while this instance was
-		// down. A cold-started cluster skips this: there is nothing to
-		// have missed, and peers that are themselves syncing do not serve.
+		// down. This must run for a COLD start too: recovery leaves
+		// delivery gated until the state transfer confirms the group's
+		// prefix (a wiped data dir on a running cluster is just "very far
+		// behind"), and on a cluster-wide cold start every member answers
+		// Busy-with-nothing-newer, so the group concludes nobody holds
+		// more and resumes — skipping the sync here would leave the gate
+		// armed forever.
 		rt.Run(self, func() {
 			a1.StartSync()
 			a2.StartSync()
 		})
-		fmt.Printf("[%v] recovered from %s (a1 deliveries=%d, a2 round=%d); syncing with group peers\n",
-			self, *dataDir, a1.Delivered(), a2.Round())
+		if recovered {
+			fmt.Printf("[%v] recovered from %s (a1 deliveries=%d, a2 round=%d); syncing with group peers\n",
+				self, *dataDir, a1.Delivered(), a2.Round())
+		}
 	}
 	fmt.Printf("[%v] up: group %v, listening on %d, peers on %d..%d\n",
 		self, topo.GroupOf(self), *basePort+*id, *basePort, *basePort+topo.N()-1)

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"wanamcast/internal/harness"
+	"wanamcast/internal/scenario"
 	"wanamcast/internal/types"
 )
 
@@ -42,6 +43,8 @@ func main() {
 		sendq    = flag.Int("sendqueue", 0, "live transport: per-connection send queue depth (0 = default 4096)")
 		flush    = flag.Duration("flush", 0, "live transport: max frame-coalescing latency before a flush (0 = default 200µs)")
 		gobWire  = flag.Bool("gobwire", false, "live transport: use the legacy gob codec instead of the wire codec")
+		scn      = flag.String("scenario", "", "chaos scenario to run under the workload (partition-heal, asym-partition, leader-flap, delay-spike, partition-recovery); sim only")
+		scnUnit  = flag.Duration("scnunit", 500*time.Millisecond, "chaos scenario time step (with -scenario)")
 		verbose  = flag.Bool("v", false, "print every delivery")
 	)
 	flag.Parse()
@@ -73,6 +76,17 @@ func main() {
 		if err := harness.ValidatePortRange(*basePort, *groups**d); err != nil {
 			fail("-port: %v", err)
 		}
+		if *scn != "" {
+			fail("-scenario runs on the simulator only (cmd/wanchaos drives live chaos)")
+		}
+	}
+	if *scn != "" {
+		if *groups < 2 {
+			fail("-scenario needs at least 2 groups to partition")
+		}
+		if *scnUnit <= 0 {
+			fail("-scnunit must be positive")
+		}
 	}
 	if *spread > *groups {
 		*spread = *groups
@@ -102,6 +116,28 @@ func main() {
 	rng := rand.New(rand.NewSource(*seed))
 	period := time.Duration(float64(time.Second) / *rate)
 
+	crashed := make(map[types.ProcessID]bool)
+	if *scn != "" {
+		sc, ok := scenario.ByName(s.Topo, scenario.SuiteConfig{Unit: *scnUnit}, *scn)
+		if !ok {
+			fail("unknown -scenario %q (have %v)", *scn, scenario.Names())
+		}
+		funcs := s.Chaos()
+		funcs.Logf = func(format string, args ...any) {
+			fmt.Printf("chaos: "+format+"\n", args...)
+		}
+		scenario.Apply(funcs, sc)
+		// The simulator cannot restart, so scenario crash victims stay
+		// down: stop scheduling casts from them.
+		for _, e := range sc.Events {
+			if e.Kind == scenario.Crash {
+				for _, p := range e.Procs {
+					crashed[p] = true
+				}
+			}
+		}
+	}
+
 	// Warm A2's rounds so the steady-state latency is measured.
 	if algo == harness.AlgoA2 {
 		for g := 0; g < *groups; g++ {
@@ -109,7 +145,6 @@ func main() {
 		}
 	}
 
-	crashed := make(map[types.ProcessID]bool)
 	for i := 0; i < *crash && i < *groups; i++ {
 		// Crash the last member of group i (never the consensus leader's
 		// whole majority).

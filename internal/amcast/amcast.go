@@ -314,8 +314,19 @@ func (a *Mcast) handleTS(g types.GroupID, d Descriptor, replay bool) {
 	a.checkStage1(d.ID)
 }
 
-// onRDeliver is Task 2, lines 10–13.
+// onRDeliver is Task 2, lines 10–13. A first admission is WAL-logged
+// (unsynced): PENDING entries gate the ADeliveryTest barrier, so a replay
+// that dropped them would reconstruct a weaker barrier than the pre-crash
+// one and deliver s3 messages ahead of the group's order (found by the
+// chaos suite's partition-during-recovery scenario, pinned by
+// TestReplayMatchesPreCrashDeliveries).
 func (a *Mcast) onRDeliver(m rmcast.Message) {
+	if !a.adelivered[m.ID] {
+		if _, ok := a.pending[m.ID]; !ok {
+			a.log.Append(storage.Record{Kind: storage.KindAdmit, Proto: a.label,
+				ID: m.ID, Dest: m.Dest, Value: m.Payload})
+		}
+	}
 	a.admit(m.ID, m.Dest, m.Payload)
 }
 

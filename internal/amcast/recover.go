@@ -21,6 +21,7 @@
 package amcast
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
@@ -226,8 +227,19 @@ func (a *Mcast) Recover() {
 	a.engine.Recover()
 }
 
-// EndRecovery leaves replay mode once the WAL tail has been replayed.
-func (a *Mcast) EndRecovery() { a.engine.EndRecovery() }
+// EndRecovery leaves replay mode once the WAL tail has been replayed. If
+// the group has peers, organic delivery is gated from here on: the
+// replayed state is a consistent cut of the pre-crash state, but the group
+// may have delivered past that cut while the process was down, and an
+// organic event (a frame arriving before the host gets around to
+// StartSync) must not let the ADeliveryTest run ahead of the missed
+// prefix. StartSync's completion (finishSync) lifts the gate.
+func (a *Mcast) EndRecovery() {
+	a.engine.EndRecovery()
+	if len(a.api.Topo().Members(a.api.Group())) > 1 {
+		a.syncing = true
+	}
+}
 
 // ReplayRecord replays one WAL record belonging to this endpoint (its own
 // label or its consensus engine's).
@@ -236,6 +248,8 @@ func (a *Mcast) ReplayRecord(rec storage.Record) error {
 		return a.engine.ReplayRecord(rec)
 	}
 	switch rec.Kind {
+	case storage.KindAdmit:
+		a.admit(rec.ID, rec.Dest, rec.Value)
 	case storage.KindTSProp:
 		if tm, ok := rec.Value.(TSMsg); ok {
 			a.handleTS(types.GroupID(rec.Aux), tm.Desc, true)
@@ -530,4 +544,19 @@ func decodeDeliverRec(data []byte) (dr DeliverRec, rest []byte, err error) {
 	}
 	dr.Payload, data, err = wire.DecodeValue(data)
 	return dr, data, err
+}
+
+// PendingIDs summarises the PENDING table — one "id@stage/ts" string per
+// message, in admission order (restart and chaos diagnostics).
+func (a *Mcast) PendingIDs() []string {
+	pends := make([]*pend, 0, len(a.pending))
+	for _, p := range a.pending {
+		pends = append(pends, p)
+	}
+	sort.Slice(pends, func(i, j int) bool { return pends[i].seq < pends[j].seq })
+	out := make([]string, 0, len(pends))
+	for _, p := range pends {
+		out = append(out, fmt.Sprintf("%v@s%d/%d", p.id, p.stage, p.ts))
+	}
+	return out
 }

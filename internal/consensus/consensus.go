@@ -15,6 +15,20 @@
 // and Ω mistakes. Crucially for the paper's quiescence property (Prop.
 // A.9), the retry timer is armed only while undecided proposals exist:
 // an idle consensus layer sends nothing and schedules nothing.
+//
+// Ω mistakes include FALSE suspicions and their revocation (fd.Oracle
+// Unsuspect, the heartbeat detector's trust restoration): a leader can be
+// demoted mid-instance while its ballot's messages are in flight, the next
+// rank drives a higher ballot concurrently, and the old leader re-drives
+// after re-election. Safety through such ballot races rests on the
+// acceptor guards alone — promised/accepted only move up, and a value is
+// adopted from the highest accepted ballot of a promise quorum — so no
+// handler consults the detector on the receive path; leadership only
+// gates who initiates ballots. When an old leader's ballot has been
+// outbid, its retry tick observes maxSeen > ballot and restarts with a
+// fresh owned ballot, which converges once Ω stabilises
+// (suspicion_test.go sweeps demotion instants across the round trip and
+// storms flaps over pipelined instances to pin this).
 package consensus
 
 import (

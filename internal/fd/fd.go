@@ -3,11 +3,21 @@
 // (§2.1); Ω is the weakest failure detector for that, so protocols in this
 // repository depend only on the Detector interface below.
 //
+// Ω is allowed arbitrary mistakes for arbitrary finite prefixes of a run:
+// it may falsely suspect a correct process (demoting a leader) and later
+// restore trust in it (re-electing it). Detectors here are therefore NOT
+// monotone — suspicion is a revocable judgement, and every leader change,
+// in either direction, re-notifies subscribers. Only eventual accuracy is
+// promised: eventually the same correct process leads forever at every
+// correct process, which is all the consensus layer needs for liveness
+// (safety never depends on Ω).
+//
 // Two implementations exist: the simulation oracle in this package, driven
-// by the simulated runtime's perfect knowledge of crashes (made imperfect by
-// a configurable suspicion delay, during which a crashed leader is still
-// trusted), and the heartbeat detector in internal/transport/tcp for live
-// runs.
+// by the simulated runtime's knowledge of crashes and partitions (made
+// imperfect by a configurable suspicion delay, and made wrong on demand by
+// chaos scenarios forcing false suspicions), and the heartbeat detector in
+// internal/transport/tcp for live runs, which restores trust whenever a
+// suspect's heartbeats resume.
 package fd
 
 import (
@@ -23,19 +33,38 @@ type Detector interface {
 	// Leader returns the current leader of group g.
 	Leader(g types.GroupID) types.ProcessID
 	// Subscribe registers fn to run whenever the leader of any group
-	// changes. Registration order is preserved.
+	// changes — including a change BACK to a previously demoted leader
+	// after trust is restored. Registration order is preserved.
 	Subscribe(fn func(g types.GroupID, leader types.ProcessID))
 }
 
+// Observer receives failure-detector lifecycle events for metrics: new
+// suspicions, trust restorations (a suspicion revoked), and leader
+// changes. metrics.Collector implements it; implementations must tolerate
+// being called from whatever goroutine drives the detector (the live
+// runtime's recorder lock covers this).
+type Observer interface {
+	OnSuspect(g types.GroupID, p types.ProcessID)
+	OnTrustRestored(g types.GroupID, p types.ProcessID)
+	OnLeaderChange(g types.GroupID, leader types.ProcessID)
+}
+
 // Oracle is the simulation Ω: the leader of a group is its lowest-ID member
-// not yet suspected. The simulated runtime calls Suspect when a crashed
-// process's suspicion delay elapses. The zero value is not usable;
-// construct with NewOracle.
+// not currently suspected. The simulated runtime calls Suspect when a
+// crashed process's suspicion delay elapses, or when a partition cuts a
+// process off from its whole group; it calls Unsuspect when the partition
+// heals (simulated heartbeats resume). Chaos scenarios call both directly
+// to inject false suspicions and leader flaps. The zero value is not
+// usable; construct with NewOracle.
 type Oracle struct {
 	topo      *types.Topology
 	suspected map[types.ProcessID]bool
 	leaders   []types.ProcessID // indexed by GroupID
 	subs      []func(types.GroupID, types.ProcessID)
+
+	// Observer, when non-nil, receives suspicion/trust/leader events. Set
+	// it before the run starts.
+	Observer Observer
 }
 
 var _ Detector = (*Oracle)(nil)
@@ -69,18 +98,51 @@ func (o *Oracle) Suspect(p types.ProcessID) {
 	}
 	o.suspected[p] = true
 	g := o.topo.GroupOf(p)
+	if o.Observer != nil {
+		o.Observer.OnSuspect(g, p)
+	}
+	o.recomputeLeader(g)
+}
+
+// Unsuspect revokes the suspicion of p — trust restored (Ω is allowed
+// mistakes, and this is how it takes one back). If that changes p's
+// group's leader (typically re-electing p itself), subscribers are
+// re-notified. Unsuspecting an unsuspected process is a no-op.
+//
+// The runtimes never Unsuspect a crashed process: a crash-stop is
+// permanent, only partition- or scenario-induced suspicions are revocable.
+// The oracle itself does not know why p was suspected, so that guard lives
+// with the callers.
+func (o *Oracle) Unsuspect(p types.ProcessID) {
+	if !o.suspected[p] {
+		return
+	}
+	delete(o.suspected, p)
+	g := o.topo.GroupOf(p)
+	if o.Observer != nil {
+		o.Observer.OnTrustRestored(g, p)
+	}
+	o.recomputeLeader(g)
+}
+
+// Suspected reports whether p is currently suspected.
+func (o *Oracle) Suspected(p types.ProcessID) bool { return o.suspected[p] }
+
+// recomputeLeader refreshes g's leader after a suspicion change, notifying
+// subscribers and the observer if it moved.
+func (o *Oracle) recomputeLeader(g types.GroupID) {
 	newLeader := o.computeLeader(g)
 	if newLeader == o.leaders[g] {
 		return
 	}
 	o.leaders[g] = newLeader
+	if o.Observer != nil {
+		o.Observer.OnLeaderChange(g, newLeader)
+	}
 	for _, fn := range o.subs {
 		fn(g, newLeader)
 	}
 }
-
-// Suspected reports whether p is currently suspected.
-func (o *Oracle) Suspected(p types.ProcessID) bool { return o.suspected[p] }
 
 func (o *Oracle) computeLeader(g types.GroupID) types.ProcessID {
 	members := append([]types.ProcessID(nil), o.topo.Members(g)...)

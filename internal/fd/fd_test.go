@@ -86,6 +86,95 @@ func TestSuspectIdempotent(t *testing.T) {
 	}
 }
 
+// TestUnsuspectRestoresLeader: trust restoration re-elects the original
+// leader and re-notifies subscribers — the non-monotone Ω behavior the
+// chaos layer depends on.
+func TestUnsuspectRestoresLeader(t *testing.T) {
+	topo := types.NewTopology(1, 3)
+	o := NewOracle(topo)
+	var leaders []types.ProcessID
+	o.Subscribe(func(_ types.GroupID, l types.ProcessID) { leaders = append(leaders, l) })
+	o.Suspect(0)
+	if o.Leader(0) != 1 {
+		t.Fatalf("after suspicion leader = %v, want p1", o.Leader(0))
+	}
+	o.Unsuspect(0)
+	if o.Leader(0) != 0 {
+		t.Fatalf("after trust restoration leader = %v, want p0", o.Leader(0))
+	}
+	if o.Suspected(0) {
+		t.Fatal("p0 still suspected after Unsuspect")
+	}
+	want := []types.ProcessID{1, 0}
+	if len(leaders) != 2 || leaders[0] != want[0] || leaders[1] != want[1] {
+		t.Fatalf("leader notifications = %v, want %v", leaders, want)
+	}
+}
+
+func TestUnsuspectIdempotent(t *testing.T) {
+	topo := types.NewTopology(1, 2)
+	o := NewOracle(topo)
+	fired := 0
+	o.Subscribe(func(types.GroupID, types.ProcessID) { fired++ })
+	o.Unsuspect(0) // never suspected: no-op
+	o.Suspect(0)
+	o.Unsuspect(0)
+	o.Unsuspect(0)
+	if fired != 2 {
+		t.Errorf("fired %d notifications, want 2 (demote + restore)", fired)
+	}
+}
+
+// TestUnsuspectNonLeaderSilent: restoring trust in a process that was not
+// blocking the leadership does not re-notify.
+func TestUnsuspectNonLeaderSilent(t *testing.T) {
+	topo := types.NewTopology(1, 3)
+	o := NewOracle(topo)
+	fired := 0
+	o.Subscribe(func(types.GroupID, types.ProcessID) { fired++ })
+	o.Suspect(2)
+	o.Unsuspect(2)
+	if fired != 0 {
+		t.Errorf("non-leader flap fired %d notifications", fired)
+	}
+}
+
+type obsLog struct {
+	events []string
+}
+
+func (l *obsLog) OnSuspect(g types.GroupID, p types.ProcessID) {
+	l.events = append(l.events, "suspect")
+}
+func (l *obsLog) OnTrustRestored(g types.GroupID, p types.ProcessID) {
+	l.events = append(l.events, "trust")
+}
+func (l *obsLog) OnLeaderChange(g types.GroupID, p types.ProcessID) {
+	l.events = append(l.events, "leader")
+}
+
+// TestObserverEvents: the metrics observer sees every suspicion, trust
+// restoration, and leader change.
+func TestObserverEvents(t *testing.T) {
+	topo := types.NewTopology(1, 3)
+	o := NewOracle(topo)
+	log := &obsLog{}
+	o.Observer = log
+	o.Suspect(0)   // suspect + leader
+	o.Suspect(0)   // no-op
+	o.Unsuspect(0) // trust + leader
+	o.Suspect(2)   // suspect only (non-leader)
+	want := []string{"suspect", "leader", "trust", "leader", "suspect"}
+	if len(log.events) != len(want) {
+		t.Fatalf("observer events = %v, want %v", log.events, want)
+	}
+	for i := range want {
+		if log.events[i] != want[i] {
+			t.Fatalf("observer events = %v, want %v", log.events, want)
+		}
+	}
+}
+
 func TestAllSuspectedFallsBackToLowest(t *testing.T) {
 	topo := types.NewTopology(1, 2)
 	o := NewOracle(topo)

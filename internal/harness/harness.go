@@ -19,6 +19,7 @@ import (
 	"wanamcast/internal/network"
 	"wanamcast/internal/node"
 	"wanamcast/internal/rmcast"
+	"wanamcast/internal/scenario"
 	"wanamcast/internal/types"
 )
 
@@ -333,6 +334,13 @@ func (s *System) CastAt(at time.Duration, from types.ProcessID, payload any, des
 func (s *System) CrashAt(p types.ProcessID, at time.Duration) {
 	s.crashed[p] = true
 	s.RT.CrashAt(p, at)
+}
+
+// Chaos returns the scenario control surface of the simulated system:
+// pass it to scenario.Apply before Run to schedule a fault script.
+// Crashed victims are excluded from Check's correct-process set.
+func (s *System) Chaos() scenario.Funcs {
+	return scenario.SimFuncs(s.RT, func(p types.ProcessID) { s.crashed[p] = true })
 }
 
 // Run drains the event queue and returns the virtual end time.

@@ -36,12 +36,21 @@ type Collector struct {
 	// benchmarks would otherwise hold every send in memory.
 	LogSends bool
 
+	// CastWindow, when positive, bounds the per-cast records (each holding
+	// its deliveries) to the most recent CastWindow casts: older ones are
+	// evicted in cast order, so LatencyDegree/WallLatency answer only for
+	// recent messages and Snapshot aggregates over the window. Zero keeps
+	// every cast forever — fine for bounded runs, unbounded memory for a
+	// long-lived service. Set before the run.
+	CastWindow int
+
 	totalMsgs      uint64
 	interGroupMsgs uint64
 	perProto       map[string]*ProtoCount
 	sends          []SendEvent
 
 	casts      map[types.MessageID]*castRecord
+	castOrder  []types.MessageID // cast arrival order, for CastWindow eviction
 	lastSend   time.Duration
 	anySend    bool
 	consensusN uint64
@@ -49,6 +58,19 @@ type Collector struct {
 	batchesN    uint64
 	batchedMsgs uint64
 	maxBatch    int
+
+	fdPerGroup map[types.GroupID]*FDCount
+}
+
+// FDCount is the failure-detector accounting for one group: how often its
+// members were suspected, how often trust was restored (a suspicion
+// revoked — partitions healing, false suspicions corrected), and how often
+// its leadership moved. On live runs every member's detector reports
+// independently, so one network-level incident counts once per observer.
+type FDCount struct {
+	Suspicions        uint64
+	TrustRestorations uint64
+	LeaderChanges     uint64
 }
 
 // SendEvent is one logged point-to-point send.
@@ -117,6 +139,17 @@ func (c *Collector) OnCast(id types.MessageID, lamportTS int64, at time.Duration
 		return // duplicate cast report; keep the first
 	}
 	c.casts[id] = &castRecord{castTS: lamportTS, castAt: at}
+	if c.CastWindow > 0 {
+		// Amortised trim, same idiom as the live delivery log: grow to
+		// twice the window, then copy the newest half down.
+		c.castOrder = append(c.castOrder, id)
+		if len(c.castOrder) > 2*c.CastWindow {
+			for _, old := range c.castOrder[:len(c.castOrder)-c.CastWindow] {
+				delete(c.casts, old)
+			}
+			c.castOrder = append(c.castOrder[:0], c.castOrder[len(c.castOrder)-c.CastWindow:]...)
+		}
+	}
 }
 
 // OnDeliver records an A-Deliver of id at process p with p's Lamport clock
@@ -142,6 +175,33 @@ func (c *Collector) OnBatchDecided(size int) {
 	if size > c.maxBatch {
 		c.maxBatch = size
 	}
+}
+
+// OnSuspect, OnTrustRestored, and OnLeaderChange implement fd.Observer:
+// the failure detectors report suspicions, trust restorations, and leader
+// changes here, counted per group.
+func (c *Collector) OnSuspect(g types.GroupID, p types.ProcessID) { c.fd(g).Suspicions++ }
+
+// OnTrustRestored implements fd.Observer.
+func (c *Collector) OnTrustRestored(g types.GroupID, p types.ProcessID) {
+	c.fd(g).TrustRestorations++
+}
+
+// OnLeaderChange implements fd.Observer.
+func (c *Collector) OnLeaderChange(g types.GroupID, leader types.ProcessID) {
+	c.fd(g).LeaderChanges++
+}
+
+func (c *Collector) fd(g types.GroupID) *FDCount {
+	if c.fdPerGroup == nil {
+		c.fdPerGroup = make(map[types.GroupID]*FDCount)
+	}
+	fc := c.fdPerGroup[g]
+	if fc == nil {
+		fc = &FDCount{}
+		c.fdPerGroup[g] = fc
+	}
+	return fc
 }
 
 // LatencyDegree returns Δ(id) = max deliverer Lamport clock minus the
@@ -228,6 +288,12 @@ type Stats struct {
 	// the amortization the batched engine buys (ConsensusInstances counts
 	// per-process learns, so this is comparable across equal topologies).
 	OrderedPerLearn float64
+
+	// Failure-detector totals and their per-group breakdown (see FDCount).
+	Suspicions        uint64
+	TrustRestorations uint64
+	LeaderChanges     uint64
+	PerGroupFD        map[types.GroupID]FDCount
 }
 
 // Snapshot computes aggregate statistics over everything recorded so far.
@@ -245,6 +311,15 @@ func (c *Collector) Snapshot() Stats {
 	st.BatchesDecided = c.batchesN
 	st.BatchedMessages = c.batchedMsgs
 	st.MaxBatchSize = c.maxBatch
+	if len(c.fdPerGroup) > 0 {
+		st.PerGroupFD = make(map[types.GroupID]FDCount, len(c.fdPerGroup))
+		for g, fc := range c.fdPerGroup {
+			st.PerGroupFD[g] = *fc
+			st.Suspicions += fc.Suspicions
+			st.TrustRestorations += fc.TrustRestorations
+			st.LeaderChanges += fc.LeaderChanges
+		}
+	}
 	if c.batchesN > 0 {
 		st.MeanBatchSize = float64(c.batchedMsgs) / float64(c.batchesN)
 	}
@@ -303,6 +378,78 @@ func (c *Collector) Snapshot() Stats {
 		}
 	}
 	return st
+}
+
+// LockedCollector wraps a Collector behind a mutex so concurrent runtimes
+// (the live cluster's process loops, its failure detectors, and whoever
+// snapshots mid-run) can share one. It satisfies the same structural
+// interfaces as Collector (node.Recorder and fd.Observer).
+type LockedCollector struct {
+	mu sync.Mutex
+	c  Collector
+}
+
+func (l *LockedCollector) OnSend(proto string, from, to types.ProcessID, interGroup bool, at time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.c.OnSend(proto, from, to, interGroup, at)
+}
+
+func (l *LockedCollector) OnCast(id types.MessageID, lamportTS int64, at time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.c.OnCast(id, lamportTS, at)
+}
+
+func (l *LockedCollector) OnDeliver(id types.MessageID, p types.ProcessID, lamportTS int64, at time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.c.OnDeliver(id, p, lamportTS, at)
+}
+
+func (l *LockedCollector) OnConsensusInstance() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.c.OnConsensusInstance()
+}
+
+func (l *LockedCollector) OnBatchDecided(size int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.c.OnBatchDecided(size)
+}
+
+func (l *LockedCollector) OnSuspect(g types.GroupID, p types.ProcessID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.c.OnSuspect(g, p)
+}
+
+func (l *LockedCollector) OnTrustRestored(g types.GroupID, p types.ProcessID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.c.OnTrustRestored(g, p)
+}
+
+func (l *LockedCollector) OnLeaderChange(g types.GroupID, leader types.ProcessID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.c.OnLeaderChange(g, leader)
+}
+
+// SetCastWindow bounds the wrapped collector's per-cast records (see
+// Collector.CastWindow). Call before the run starts.
+func (l *LockedCollector) SetCastWindow(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.c.CastWindow = n
+}
+
+// Snapshot computes the aggregate statistics under the lock.
+func (l *LockedCollector) Snapshot() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.c.Snapshot()
 }
 
 // Service collects service-level (client-facing) counters and
@@ -470,6 +617,20 @@ func (st Stats) String() string {
 		s += fmt.Sprintf("\n  batches=%d batched-msgs=%d mean-batch=%.2f max-batch=%d throughput=%.1f msg/s ordered/learn=%.3f",
 			st.BatchesDecided, st.BatchedMessages, st.MeanBatchSize, st.MaxBatchSize,
 			st.ThroughputPerSec, st.OrderedPerLearn)
+	}
+	if st.Suspicions > 0 || st.TrustRestorations > 0 || st.LeaderChanges > 0 {
+		s += fmt.Sprintf("\n  fd: suspicions=%d trust-restored=%d leader-changes=%d",
+			st.Suspicions, st.TrustRestorations, st.LeaderChanges)
+		groups := make([]types.GroupID, 0, len(st.PerGroupFD))
+		for g := range st.PerGroupFD {
+			groups = append(groups, g)
+		}
+		sort.Slice(groups, func(i, j int) bool { return groups[i] < groups[j] })
+		for _, g := range groups {
+			fc := st.PerGroupFD[g]
+			s += fmt.Sprintf("\n    g%d: suspicions=%d trust-restored=%d leader-changes=%d",
+				int(g), fc.Suspicions, fc.TrustRestorations, fc.LeaderChanges)
+		}
 	}
 	for _, name := range protos {
 		pc := st.PerProtocol[name]

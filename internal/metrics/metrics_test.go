@@ -247,3 +247,68 @@ func TestServiceStatsConcurrent(t *testing.T) {
 		t.Fatalf("concurrent recording lost events: %+v", st)
 	}
 }
+
+// TestFDCounters: suspicions, trust restorations, and leader changes are
+// counted per group and totaled in the snapshot.
+func TestFDCounters(t *testing.T) {
+	var c Collector
+	c.OnSuspect(0, 0)
+	c.OnLeaderChange(0, 1)
+	c.OnTrustRestored(0, 0)
+	c.OnLeaderChange(0, 0)
+	c.OnSuspect(1, 4)
+	st := c.Snapshot()
+	if st.Suspicions != 2 || st.TrustRestorations != 1 || st.LeaderChanges != 2 {
+		t.Fatalf("fd totals = %d/%d/%d, want 2/1/2",
+			st.Suspicions, st.TrustRestorations, st.LeaderChanges)
+	}
+	g0 := st.PerGroupFD[0]
+	if g0.Suspicions != 1 || g0.TrustRestorations != 1 || g0.LeaderChanges != 2 {
+		t.Fatalf("g0 fd counts = %+v", g0)
+	}
+	if st.PerGroupFD[1].Suspicions != 1 {
+		t.Fatalf("g1 fd counts = %+v", st.PerGroupFD[1])
+	}
+	for _, frag := range []string{"suspicions=2", "trust-restored=1", "leader-changes=2", "g0:", "g1:"} {
+		if !strings.Contains(st.String(), frag) {
+			t.Errorf("Stats.String() missing %q in %q", frag, st.String())
+		}
+	}
+}
+
+// TestFDCountersAbsentWhenQuiet: a run with no detector events reports
+// nothing (no map allocated, no String noise).
+func TestFDCountersAbsentWhenQuiet(t *testing.T) {
+	var c Collector
+	st := c.Snapshot()
+	if st.PerGroupFD != nil || st.Suspicions != 0 {
+		t.Fatalf("quiet run grew fd stats: %+v", st)
+	}
+	if strings.Contains(st.String(), "fd:") {
+		t.Errorf("quiet Stats.String() mentions fd: %q", st.String())
+	}
+}
+
+// TestLockedCollectorConcurrent: the locked wrapper serialises recorders
+// from many goroutines and snapshots consistently.
+func TestLockedCollectorConcurrent(t *testing.T) {
+	var lc LockedCollector
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				lc.OnSend("x", 0, 1, true, 0)
+				lc.OnSuspect(0, 1)
+				lc.OnTrustRestored(0, 1)
+				lc.OnLeaderChange(0, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	st := lc.Snapshot()
+	if st.TotalMessages != 800 || st.Suspicions != 800 || st.TrustRestorations != 800 || st.LeaderChanges != 800 {
+		t.Fatalf("locked collector lost events: %+v", st)
+	}
+}

@@ -1,0 +1,293 @@
+package network
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wanamcast/internal/types"
+)
+
+// Link is one directed (from, to) channel of the fabric. Every override —
+// severing, delay, jitter — is directional: a symmetric fault is two links.
+type Link struct {
+	From, To types.ProcessID
+}
+
+// Fabric is a mutable, runtime-controllable link table layered over a base
+// Model: the chaos surface of the repository. The base model answers for
+// every link the fabric holds no override for; Sever/Heal, SetDelay, and
+// SetJitter install per-link overrides at runtime, per (from, to) pair or
+// per group-pair, symmetric or asymmetric.
+//
+// A severed link is still a quasi-reliable channel (§2.1): the runtimes do
+// not LOSE messages sent across it, they withhold them — the simulator
+// parks them until Heal, and the TCP transport parks outbound frames the
+// way real TCP retransmission would carry them across a partition. A
+// partition-then-heal is therefore an admissible run (arbitrary finite
+// delay), so the §2.2 safety properties must hold throughout and liveness
+// must resume after Heal.
+//
+// Fabric is safe for concurrent use: the simulator drives it from the
+// scheduler goroutine, the live runtime consults it from read loops and
+// writer goroutines while a scenario mutates it from a timer goroutine.
+// The untouched-fabric fast path (no override ever installed) is a single
+// atomic load, so runs without chaos pay nothing.
+type Fabric struct {
+	topo  *types.Topology
+	model Model
+
+	active atomic.Bool // any override ever installed
+
+	mu      sync.Mutex
+	severed map[Link]bool
+	delays  map[Link]time.Duration
+	jitters map[Link]time.Duration
+	subs    []func(l Link, severed bool)
+}
+
+// NewFabric returns a fabric over topo whose every link initially behaves
+// per base.
+func NewFabric(topo *types.Topology, base Model) *Fabric {
+	return &Fabric{
+		topo:    topo,
+		model:   base,
+		severed: make(map[Link]bool),
+		delays:  make(map[Link]time.Duration),
+		jitters: make(map[Link]time.Duration),
+	}
+}
+
+// Topo returns the topology the fabric spans.
+func (f *Fabric) Topo() *types.Topology { return f.topo }
+
+// Active reports whether any override was ever installed. A false answer
+// means Severed is false and Delay equals the base model for every link —
+// hot paths use it to skip locks the untouched fabric never needs.
+func (f *Fabric) Active() bool { return f.active.Load() }
+
+// Base returns the underlying static model.
+func (f *Fabric) Base() Model { return f.model }
+
+// OnTransition subscribes fn to sever/heal transitions: it runs once per
+// link whose severed state actually changed, after the change is visible,
+// outside the fabric's lock (so fn may query the fabric). Subscribe before
+// the run starts; subscription is not synchronized against mutations.
+func (f *Fabric) OnTransition(fn func(l Link, severed bool)) {
+	f.subs = append(f.subs, fn)
+}
+
+// Severed reports whether the directed link from→to is currently severed.
+func (f *Fabric) Severed(from, to types.ProcessID) bool {
+	if !f.active.Load() {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.severed[Link{from, to}]
+}
+
+// Delay returns the current one-way delay for a message on from→to,
+// applying the per-link delay/jitter overrides over the base model. rng
+// feeds jitter draws; the Model.Delay contract applies (a jittered link
+// needs an rng).
+func (f *Fabric) Delay(from, to types.ProcessID, rng *rand.Rand) time.Duration {
+	if !f.active.Load() {
+		return f.model.Delay(f.topo, from, to, rng)
+	}
+	f.mu.Lock()
+	d, hasD := f.delays[Link{from, to}]
+	j, hasJ := f.jitters[Link{from, to}]
+	f.mu.Unlock()
+	if !hasD && !hasJ {
+		return f.model.Delay(f.topo, from, to, rng)
+	}
+	m := f.model
+	if hasD {
+		// A per-link delay override replaces the base delay but keeps the
+		// base jitter unless that is overridden too.
+		m.IntraGroup, m.InterGroup, m.PairDelay = d, d, nil
+	}
+	if hasJ {
+		m.Jitter = j
+	}
+	return m.Delay(f.topo, from, to, rng)
+}
+
+// Sever cuts the directed link from→to: the runtimes withhold everything
+// sent across it until Heal. Severing a severed link is a no-op.
+func (f *Fabric) Sever(from, to types.ProcessID) { f.apply([]Link{{from, to}}, true) }
+
+// Heal restores the directed link from→to; withheld messages flow again.
+func (f *Fabric) Heal(from, to types.ProcessID) { f.apply([]Link{{from, to}}, false) }
+
+// SeverBidi cuts both directions between a and b.
+func (f *Fabric) SeverBidi(a, b types.ProcessID) { f.apply([]Link{{a, b}, {b, a}}, true) }
+
+// HealBidi restores both directions between a and b.
+func (f *Fabric) HealBidi(a, b types.ProcessID) { f.apply([]Link{{a, b}, {b, a}}, false) }
+
+// Isolate cuts every link between p and the rest of its group, both
+// directions — the classic "node dropped off the LAN" fault. The failure
+// detectors suspect p after their detection lag and restore trust after
+// HealIsolate.
+func (f *Fabric) Isolate(p types.ProcessID) { f.apply(f.isolationLinks(p), true) }
+
+// HealIsolate undoes Isolate.
+func (f *Fabric) HealIsolate(p types.ProcessID) { f.apply(f.isolationLinks(p), false) }
+
+func (f *Fabric) isolationLinks(p types.ProcessID) []Link {
+	var links []Link
+	for _, q := range f.topo.Members(f.topo.GroupOf(p)) {
+		if q != p {
+			links = append(links, Link{p, q}, Link{q, p})
+		}
+	}
+	return links
+}
+
+// Partition severs every link between the group sets a and b: both
+// directions when symmetric, only a→b otherwise. Groups outside a∪b keep
+// all their links; links within each side are untouched.
+func (f *Fabric) Partition(a, b []types.GroupID, symmetric bool) {
+	f.apply(f.crossLinks(a, b, symmetric), true)
+}
+
+// HealPartition restores the links Partition(a, b, symmetric) severed.
+func (f *Fabric) HealPartition(a, b []types.GroupID, symmetric bool) {
+	f.apply(f.crossLinks(a, b, symmetric), false)
+}
+
+// HealAll restores every severed link in one transition sweep. Transitions
+// fire in (From, To) order — map iteration order must not leak into the
+// subscribers, or the simulator's held-message release order (and its rng
+// draw order) would vary across same-seed runs.
+func (f *Fabric) HealAll() {
+	f.mu.Lock()
+	var healed []Link
+	for l := range f.severed {
+		healed = append(healed, l)
+		delete(f.severed, l)
+	}
+	f.mu.Unlock()
+	sort.Slice(healed, func(i, j int) bool {
+		if healed[i].From != healed[j].From {
+			return healed[i].From < healed[j].From
+		}
+		return healed[i].To < healed[j].To
+	})
+	f.notify(healed, false)
+}
+
+// SetDelay overrides the one-way delay of the directed link from→to.
+func (f *Fabric) SetDelay(from, to types.ProcessID, d time.Duration) {
+	f.setDelay([]Link{{from, to}}, d)
+}
+
+// ClearDelay removes the delay override of from→to.
+func (f *Fabric) ClearDelay(from, to types.ProcessID) { f.clearDelay([]Link{{from, to}}) }
+
+// SetGroupDelay overrides the delay of every link between the group sets a
+// and b (both directions when symmetric) — a WAN delay spike.
+func (f *Fabric) SetGroupDelay(a, b []types.GroupID, d time.Duration, symmetric bool) {
+	f.setDelay(f.crossLinks(a, b, symmetric), d)
+}
+
+// ClearGroupDelay removes the overrides SetGroupDelay installed.
+func (f *Fabric) ClearGroupDelay(a, b []types.GroupID, symmetric bool) {
+	f.clearDelay(f.crossLinks(a, b, symmetric))
+}
+
+// SetJitter overrides the jitter of the directed link from→to.
+func (f *Fabric) SetJitter(from, to types.ProcessID, j time.Duration) {
+	if j < 0 {
+		panic(fmt.Sprintf("network: negative jitter %v", j))
+	}
+	f.active.Store(true)
+	f.mu.Lock()
+	f.jitters[Link{from, to}] = j
+	f.mu.Unlock()
+}
+
+// ClearJitter removes the jitter override of from→to.
+func (f *Fabric) ClearJitter(from, to types.ProcessID) {
+	f.mu.Lock()
+	delete(f.jitters, Link{from, to})
+	f.mu.Unlock()
+}
+
+// crossLinks enumerates the directed links crossing from group set a to
+// group set b (and back when symmetric), excluding self-links.
+func (f *Fabric) crossLinks(a, b []types.GroupID, symmetric bool) []Link {
+	var links []Link
+	for _, ga := range a {
+		for _, gb := range b {
+			if ga == gb {
+				continue
+			}
+			for _, p := range f.topo.Members(ga) {
+				for _, q := range f.topo.Members(gb) {
+					links = append(links, Link{p, q})
+					if symmetric {
+						links = append(links, Link{q, p})
+					}
+				}
+			}
+		}
+	}
+	return links
+}
+
+// apply flips the severed state of links to target and notifies
+// subscribers of the actual transitions.
+func (f *Fabric) apply(links []Link, target bool) {
+	if target {
+		f.active.Store(true)
+	}
+	f.mu.Lock()
+	var changed []Link
+	for _, l := range links {
+		if f.severed[l] == target {
+			continue
+		}
+		if target {
+			f.severed[l] = true
+		} else {
+			delete(f.severed, l)
+		}
+		changed = append(changed, l)
+	}
+	f.mu.Unlock()
+	f.notify(changed, target)
+}
+
+func (f *Fabric) notify(links []Link, severed bool) {
+	for _, l := range links {
+		for _, fn := range f.subs {
+			fn(l, severed)
+		}
+	}
+}
+
+func (f *Fabric) setDelay(links []Link, d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("network: negative delay %v", d))
+	}
+	f.active.Store(true)
+	f.mu.Lock()
+	for _, l := range links {
+		f.delays[l] = d
+	}
+	f.mu.Unlock()
+}
+
+func (f *Fabric) clearDelay(links []Link) {
+	f.mu.Lock()
+	for _, l := range links {
+		delete(f.delays, l)
+	}
+	f.mu.Unlock()
+}

@@ -7,6 +7,11 @@
 // inter-group links, optional uniform jitter, and an optional per-pair
 // override for irregular topologies. Links are quasi-reliable (§2.1): no
 // loss, no corruption, no duplication — delay is the only effect.
+//
+// Model is the static description; Fabric layers a mutable link table on
+// top of it for runtime fault injection (partitions, delay spikes) while
+// preserving quasi-reliability — a severed link withholds messages until
+// it heals, which is still just delay.
 package network
 
 import (
@@ -38,9 +43,16 @@ func WAN(interGroup time.Duration) Model {
 	return Model{IntraGroup: 1 * time.Millisecond, InterGroup: interGroup}
 }
 
-// Delay returns the one-way delay for a message from from to to. rng may be
-// nil when Jitter is zero.
+// Delay returns the one-way delay for a message from from to to.
+//
+// Contract: a model with Jitter > 0 needs an rng to draw from — passing a
+// nil rng then is a wiring bug and panics. (It used to silently drop the
+// jitter, turning a run the caller believed was jittered into a perfectly
+// regular one.) rng may be nil only while Jitter is zero.
 func (m Model) Delay(topo *types.Topology, from, to types.ProcessID, rng *rand.Rand) time.Duration {
+	if m.Jitter > 0 && rng == nil {
+		panic("network: Model.Delay needs an rng when Jitter > 0")
+	}
 	var d time.Duration
 	if m.PairDelay != nil {
 		if override, ok := m.PairDelay(from, to); ok {
@@ -51,7 +63,7 @@ func (m Model) Delay(topo *types.Topology, from, to types.ProcessID, rng *rand.R
 	} else {
 		d = m.baseDelay(topo, from, to)
 	}
-	if m.Jitter > 0 && rng != nil {
+	if m.Jitter > 0 {
 		d += time.Duration(rng.Int63n(int64(m.Jitter)))
 	}
 	return d

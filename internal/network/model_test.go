@@ -68,6 +68,19 @@ func TestJitterDeterministicPerSeed(t *testing.T) {
 	}
 }
 
+// TestJitterNeedsRNG pins the Delay contract: a jittered model with no rng
+// is a wiring bug and panics rather than silently dropping the jitter.
+func TestJitterNeedsRNG(t *testing.T) {
+	topo := types.NewTopology(2, 2)
+	m := Model{InterGroup: 10 * time.Millisecond, Jitter: 5 * time.Millisecond}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Delay with Jitter>0 and nil rng did not panic")
+		}
+	}()
+	m.Delay(topo, 0, 2, nil)
+}
+
 func TestPairDelayOverride(t *testing.T) {
 	topo := types.NewTopology(2, 2)
 	m := Model{

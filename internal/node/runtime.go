@@ -11,18 +11,32 @@ import (
 )
 
 // Runtime is the simulated whole-system runtime: it owns the scheduler, the
-// network model, one Proc per process, the failure-detector oracle, and the
+// network fabric, one Proc per process, the failure-detector oracle, and the
 // metrics recorder. It implements Env.
+//
+// The fabric makes the simulated network partitionable at runtime: a
+// message sent over a severed link is withheld (parked in the runtime, not
+// lost — quasi-reliable channels, §2.1) and released when the link heals,
+// so a partition-then-heal is exactly an arbitrary-but-finite delay and
+// every such run is admissible. Severing every intra-group link out of a
+// process simulates its heartbeats ceasing: after SuspicionDelay the Ω
+// oracle suspects it, and healing restores trust (Unsuspect), re-electing
+// any demoted leader. All fabric mutations must happen on the scheduler's
+// goroutine (schedule them as events, or make them before Run).
 type Runtime struct {
 	sched  *sim.Scheduler
 	topo   *types.Topology
-	model  network.Model
+	fabric *network.Fabric
 	rec    Recorder
 	oracle *fd.Oracle
 	procs  []*Proc
 
-	// SuspicionDelay is how long after a crash the Ω oracle starts
-	// suspecting the crashed process. It models failure-detection lag.
+	held         map[network.Link][]heldMsg // parked sends of severed links
+	isoSuspected map[types.ProcessID]bool   // suspected due to isolation, not crash
+
+	// SuspicionDelay is how long after a crash (or a full intra-group
+	// isolation) the Ω oracle starts suspecting the process. It models
+	// failure-detection lag.
 	SuspicionDelay time.Duration
 
 	// Trace, if non-nil, receives debug trace lines.
@@ -31,10 +45,19 @@ type Runtime struct {
 	started bool
 }
 
+// heldMsg is one send parked on a severed link until it heals.
+type heldMsg struct {
+	proto  string
+	body   any
+	sendTS int64
+}
+
 var _ Env = (*Runtime)(nil)
 
 // NewRuntime builds a simulated system over topo with the given network
-// model and RNG seed. rec may be nil to discard metrics.
+// model and RNG seed. rec may be nil to discard metrics; a recorder that
+// also implements fd.Observer receives the oracle's suspicion, trust, and
+// leader-change events.
 func NewRuntime(topo *types.Topology, model network.Model, seed int64, rec Recorder) *Runtime {
 	if rec == nil {
 		rec = NopRecorder{}
@@ -42,15 +65,21 @@ func NewRuntime(topo *types.Topology, model network.Model, seed int64, rec Recor
 	rt := &Runtime{
 		sched:          sim.New(seed),
 		topo:           topo,
-		model:          model,
+		fabric:         network.NewFabric(topo, model),
 		rec:            rec,
 		oracle:         fd.NewOracle(topo),
+		held:           make(map[network.Link][]heldMsg),
+		isoSuspected:   make(map[types.ProcessID]bool),
 		SuspicionDelay: 20 * time.Millisecond,
+	}
+	if obs, ok := rec.(fd.Observer); ok {
+		rt.oracle.Observer = obs
 	}
 	rt.procs = make([]*Proc, topo.N())
 	for _, id := range topo.AllProcesses() {
 		rt.procs[id] = NewProc(id, topo, rt)
 	}
+	rt.fabric.OnTransition(rt.onLinkTransition)
 	return rt
 }
 
@@ -62,6 +91,10 @@ func (rt *Runtime) Topo() *types.Topology { return rt.topo }
 
 // Oracle returns the simulation's Ω oracle.
 func (rt *Runtime) Oracle() *fd.Oracle { return rt.oracle }
+
+// Fabric returns the mutable link fabric: the chaos control surface of the
+// simulated network. Mutate it only from the scheduler goroutine.
+func (rt *Runtime) Fabric() *network.Fabric { return rt.fabric }
 
 // Scheduler returns the underlying discrete-event scheduler.
 func (rt *Runtime) Scheduler() *sim.Scheduler { return rt.sched }
@@ -99,22 +132,87 @@ func (rt *Runtime) Tracef(format string, args ...any) {
 
 // Transmit implements Env: it accounts the send, applies the network delay,
 // and delivers unless the receiver has crashed by arrival time. Self-sends
-// take the intra-group delay but are not counted as network messages.
+// take the intra-group delay but are not counted as network messages. A
+// send over a severed link is parked until the link heals — the message is
+// in the network, arbitrarily delayed, never lost.
 func (rt *Runtime) Transmit(from, to types.ProcessID, proto string, body any, sendTS int64) {
 	interGroup := !rt.topo.SameGroup(from, to)
 	if from != to {
 		rt.rec.OnSend(proto, from, to, interGroup, rt.sched.Now())
 	}
+	if rt.fabric.Severed(from, to) {
+		rt.Tracef("HOLD %v->%v %s ts=%d (link severed)", from, to, proto, sendTS)
+		l := network.Link{From: from, To: to}
+		rt.held[l] = append(rt.held[l], heldMsg{proto: proto, body: body, sendTS: sendTS})
+		return
+	}
 	rt.Tracef("SEND %v->%v %s ts=%d %+v", from, to, proto, sendTS, body)
-	delay := rt.model.Delay(rt.topo, from, to, rt.sched.Rand())
+	rt.scheduleDelivery(from, to, proto, body, sendTS)
+}
+
+// scheduleDelivery applies the fabric delay and enqueues the arrival.
+func (rt *Runtime) scheduleDelivery(from, to types.ProcessID, proto string, body any, sendTS int64) {
+	delay := rt.fabric.Delay(from, to, rt.sched.Rand())
 	prio := 0
-	if interGroup {
+	if !rt.topo.SameGroup(from, to) {
 		prio = 1 // at equal instants, local events precede WAN arrivals
 	}
 	receiver := rt.procs[to]
 	rt.sched.AfterPrio(delay, prio, func() {
 		receiver.Deliver(from, proto, body, sendTS)
 	})
+}
+
+// onLinkTransition reacts to fabric sever/heal events: healing a link
+// releases its parked messages (in send order, at the link's current
+// delay) and restores trust in a process whose isolation caused a
+// suspicion; severing the last intra-group link out of a process starts
+// its suspicion clock, modeling heartbeats going dark.
+func (rt *Runtime) onLinkTransition(l network.Link, severed bool) {
+	if severed {
+		if rt.intraGroupPeer(l) && rt.isolated(l.From) && !rt.procs[l.From].Crashed() {
+			p := l.From
+			rt.Tracef("ISOLATED %v at %v", p, rt.sched.Now())
+			rt.sched.After(rt.SuspicionDelay, func() {
+				if rt.isolated(p) && !rt.procs[p].Crashed() && !rt.oracle.Suspected(p) {
+					rt.isoSuspected[p] = true
+					rt.oracle.Suspect(p)
+				}
+			})
+		}
+		return
+	}
+	// Healed: release parked messages.
+	if msgs := rt.held[l]; len(msgs) > 0 {
+		delete(rt.held, l)
+		rt.Tracef("RELEASE %d held msgs %v->%v at %v", len(msgs), l.From, l.To, rt.sched.Now())
+		for _, m := range msgs {
+			rt.scheduleDelivery(l.From, l.To, m.proto, m.body, m.sendTS)
+		}
+	}
+	// Trust restored: simulated heartbeats resume the moment any
+	// intra-group link out of the process heals.
+	if rt.intraGroupPeer(l) && rt.isoSuspected[l.From] && !rt.procs[l.From].Crashed() {
+		delete(rt.isoSuspected, l.From)
+		rt.oracle.Unsuspect(l.From)
+	}
+}
+
+// intraGroupPeer reports whether l connects two distinct members of one
+// group — the links simulated heartbeats ride on.
+func (rt *Runtime) intraGroupPeer(l network.Link) bool {
+	return l.From != l.To && rt.topo.SameGroup(l.From, l.To)
+}
+
+// isolated reports whether every intra-group link out of p is severed: no
+// simulated heartbeat of p reaches any group peer.
+func (rt *Runtime) isolated(p types.ProcessID) bool {
+	for _, q := range rt.topo.Members(rt.topo.GroupOf(p)) {
+		if q != p && !rt.fabric.Severed(p, q) {
+			return false
+		}
+	}
+	return true
 }
 
 // Later implements Env. Timer callbacks whose owning process has crashed
@@ -138,6 +236,7 @@ func (rt *Runtime) Crash(id types.ProcessID) {
 		return
 	}
 	p.Crash()
+	delete(rt.isoSuspected, id) // a crash suspicion is permanent
 	rt.Tracef("CRASH %v at %v", id, rt.sched.Now())
 	rt.sched.After(rt.SuspicionDelay, func() {
 		rt.oracle.Suspect(id)
@@ -149,8 +248,23 @@ func (rt *Runtime) CrashAt(id types.ProcessID, at time.Duration) {
 	rt.sched.At(at, func() { rt.Crash(id) })
 }
 
+// Suspect injects a (possibly false) suspicion of id into the Ω oracle —
+// the chaos scenarios' leader-flap lever.
+func (rt *Runtime) Suspect(id types.ProcessID) { rt.oracle.Suspect(id) }
+
+// Unsuspect restores trust in id unless it has crashed (a crash-stop is
+// permanent; only mistaken suspicions are revocable).
+func (rt *Runtime) Unsuspect(id types.ProcessID) {
+	if rt.procs[id].Crashed() {
+		return
+	}
+	delete(rt.isoSuspected, id)
+	rt.oracle.Unsuspect(id)
+}
+
 // String summarises the runtime configuration.
 func (rt *Runtime) String() string {
+	base := rt.fabric.Base()
 	return fmt.Sprintf("sim runtime: %d groups, %d processes, intra=%v inter=%v",
-		rt.topo.NumGroups(), rt.topo.N(), rt.model.IntraGroup, rt.model.InterGroup)
+		rt.topo.NumGroups(), rt.topo.N(), base.IntraGroup, base.InterGroup)
 }

@@ -47,6 +47,15 @@ const (
 	// post-restart state transfer (A2): Inst is the round, Value the
 	// delivered []Record union.
 	KindRound Kind = 7
+	// KindAdmit is an A1 reliable-multicast receipt — a message's FIRST
+	// admission to PENDING: ID/Dest identify the message, Value carries
+	// the payload. Unlogged admissions would let WAL replay reconstruct a
+	// smaller PENDING set than the pre-crash one, weakening the
+	// ADeliveryTest barrier and over-delivering out of group order.
+	// Appended unsynced: a lost tail admission is as if the rmcast never
+	// arrived — the (TS, m) path or the restart state transfer re-supplies
+	// the message.
+	KindAdmit Kind = 8
 )
 
 // Record is one durable event. Field meaning is kind-specific; unused

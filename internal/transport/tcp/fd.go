@@ -14,11 +14,17 @@ type heartbeatMsg struct{}
 
 // heartbeatFD is the live Ω: every process beats to its group peers; a
 // peer silent for SuspectAfter is suspected; the leader is the lowest
-// unsuspected member. Ω's eventual accuracy holds as long as the loopback
-// keeps delivering beats within the timeout — adequate for the localhost
-// deployments this runtime targets.
+// unsuspected member. Suspicion is revocable: the moment a suspect's beat
+// arrives again — after a partition heals, or after a chaos scenario's
+// forced false suspicion — trust is restored, the leader is recomputed,
+// and subscribers are re-notified. Ω's eventual accuracy holds as long as
+// the loopback eventually delivers beats within the timeout — adequate for
+// the localhost deployments this runtime targets, and exactly the
+// trust-restoring behavior partitions need: one transient outage demotes a
+// leader only until its heartbeats resume.
 type heartbeatFD struct {
 	api          node.API
+	obs          fd.Observer // may be nil
 	every        time.Duration
 	suspectAfter time.Duration
 
@@ -32,9 +38,10 @@ type heartbeatFD struct {
 var _ fd.Detector = (*heartbeatFD)(nil)
 var _ node.Protocol = (*heartbeatFD)(nil)
 
-func newHeartbeatFD(api node.API, every, suspectAfter time.Duration) *heartbeatFD {
+func newHeartbeatFD(api node.API, every, suspectAfter time.Duration, obs fd.Observer) *heartbeatFD {
 	h := &heartbeatFD{
 		api:          api,
+		obs:          obs,
 		every:        every,
 		suspectAfter: suspectAfter,
 		lastSeen:     make(map[types.ProcessID]time.Duration),
@@ -75,11 +82,46 @@ func (h *heartbeatFD) tick() {
 func (h *heartbeatFD) Receive(from types.ProcessID, _ any) {
 	h.lastSeen[from] = h.api.Now()
 	if h.suspected[from] {
-		// Crash-stop model: a revived suspicion would be a false positive;
-		// trust the fresh beat again (Ω is allowed mistakes).
-		delete(h.suspected, from)
-		h.recomputeLeader()
+		// The suspicion was a mistake (crash-stop processes never beat
+		// again): the fresh beat restores trust, Ω taking its mistake back.
+		h.restore(from)
 	}
+}
+
+// Suspect forces a (false) suspicion of q, as a chaos scenario does to flap
+// a leader: q is treated exactly like a timed-out peer, so the leader is
+// recomputed and subscribers notified — and trust restores itself the
+// moment q's next heartbeat lands. Run it on the owning process's loop.
+// Suspecting self or an already-suspected peer is a no-op.
+func (h *heartbeatFD) Suspect(q types.ProcessID) {
+	if q == h.api.Self() || h.suspected[q] {
+		return
+	}
+	h.suspected[q] = true
+	if h.obs != nil {
+		h.obs.OnSuspect(h.api.Group(), q)
+	}
+	h.recomputeLeader()
+}
+
+// Unsuspect explicitly restores trust in q (scenarios use it to end a
+// forced suspicion without waiting for the next beat). It also refreshes
+// q's lastSeen so the next suspicion check does not immediately re-suspect
+// a peer whose beats are still in flight.
+func (h *heartbeatFD) Unsuspect(q types.ProcessID) {
+	h.lastSeen[q] = h.api.Now()
+	if h.suspected[q] {
+		h.restore(q)
+	}
+}
+
+// restore revokes q's suspicion and recomputes the leadership.
+func (h *heartbeatFD) restore(q types.ProcessID) {
+	delete(h.suspected, q)
+	if h.obs != nil {
+		h.obs.OnTrustRestored(h.api.Group(), q)
+	}
+	h.recomputeLeader()
 }
 
 func (h *heartbeatFD) checkSuspicions() {
@@ -91,6 +133,9 @@ func (h *heartbeatFD) checkSuspicions() {
 		}
 		if now-h.lastSeen[q] > h.suspectAfter {
 			h.suspected[q] = true
+			if h.obs != nil {
+				h.obs.OnSuspect(h.api.Group(), q)
+			}
 			changed = true
 		}
 	}
@@ -111,6 +156,9 @@ func (h *heartbeatFD) recomputeLeader() {
 		return
 	}
 	h.leader = leader
+	if h.obs != nil {
+		h.obs.OnLeaderChange(h.api.Group(), leader)
+	}
 	for _, fn := range h.subs {
 		fn(h.api.Group(), leader)
 	}

@@ -32,6 +32,7 @@ import (
 	"bufio"
 	"encoding/gob"
 	"fmt"
+	"math/rand"
 	"net"
 	"os"
 	"sync"
@@ -42,6 +43,7 @@ import (
 	"wanamcast/internal/baseline"
 	"wanamcast/internal/consensus"
 	"wanamcast/internal/fd"
+	"wanamcast/internal/network"
 	"wanamcast/internal/node"
 	"wanamcast/internal/rmcast"
 	"wanamcast/internal/types"
@@ -159,6 +161,20 @@ type Config struct {
 	// Codec selects the wire format (default CodecWire). Both ends of a
 	// deployment must agree.
 	Codec Codec
+	// Fabric, when non-nil, is the mutable link table chaos scenarios
+	// drive: a severed (from, to) link kills the outbound connection,
+	// rejects dials, and parks outbound frames (heartbeats excepted) until
+	// the link heals — the transport-level analogue of TCP retransmission
+	// carrying data across a partition, so partitions stay admissible
+	// quasi-reliable runs. Per-link delay overrides replace the static
+	// WANDelay/LANDelay injection. When nil, a private fabric is built
+	// from WANDelay/LANDelay; Fabric() exposes it either way. All hosted
+	// processes consult the same fabric, which assumes one Runtime per
+	// deployment or an external fabric shared between them. An injected
+	// fabric's BASE model must have zero Jitter (per-link jitter overrides
+	// are fine): base jitter would need the shared rng on the lock-free
+	// receive fast path.
+	Fabric *network.Fabric
 	// Recorder receives measurement events; it is locked internally.
 	// Nil discards.
 	Recorder node.Recorder
@@ -170,10 +186,15 @@ type Config struct {
 
 // Runtime is the live counterpart of node.Runtime.
 type Runtime struct {
-	cfg   Config
-	topo  *types.Topology
-	rec   *lockedRecorder
-	start time.Time
+	cfg    Config
+	topo   *types.Topology
+	rec    *lockedRecorder
+	fabric *network.Fabric
+	base   network.Model // the fabric's base, for the override-free fast path
+	start  time.Time
+
+	rngMu sync.Mutex
+	jrng  *rand.Rand // feeds fabric jitter overrides; dispatch goroutines share it
 
 	procs   []*node.Proc
 	inboxes []chan func()
@@ -235,14 +256,39 @@ func New(cfg Config) *Runtime {
 			fmt.Fprintf(os.Stderr, "DEBUG "+format+"\n", args...)
 		}
 	}
-	rt := &Runtime{
-		cfg:   cfg,
-		topo:  cfg.Topo,
-		rec:   &lockedRecorder{inner: rec},
-		links: make(map[connKey]*link),
-		trace: trace,
-		done:  make(chan struct{}),
+	fabric := cfg.Fabric
+	if fabric == nil {
+		fabric = network.NewFabric(cfg.Topo, network.Model{
+			IntraGroup: cfg.LANDelay,
+			InterGroup: cfg.WANDelay,
+		})
 	}
+	rt := &Runtime{
+		cfg:    cfg,
+		topo:   cfg.Topo,
+		rec:    &lockedRecorder{inner: rec},
+		fabric: fabric,
+		base:   fabric.Base(),
+		jrng:   rand.New(rand.NewSource(time.Now().UnixNano())),
+		links:  make(map[connKey]*link),
+		trace:  trace,
+		done:   make(chan struct{}),
+	}
+	// Writer goroutines block on their queues; a fabric transition must
+	// wake the affected link so a sever kills its connection immediately
+	// (not at the next frame) and a heal flushes the parked frames even if
+	// nothing new is being sent.
+	fabric.OnTransition(func(l network.Link, severed bool) {
+		rt.connMu.Lock()
+		lk := rt.links[connKey{l.From, l.To}]
+		rt.connMu.Unlock()
+		if lk != nil {
+			select {
+			case lk.wake <- struct{}{}:
+			default: // a wake is already pending
+			}
+		}
+	})
 	n := cfg.Topo.N()
 	rt.procs = make([]*node.Proc, n)
 	rt.inboxes = make([]chan func(), n)
@@ -255,7 +301,7 @@ func New(cfg Config) *Runtime {
 	for _, id := range local {
 		rt.procs[id] = node.NewProc(id, cfg.Topo, rt)
 		rt.inboxes[id] = make(chan func(), 4096)
-		rt.fds[id] = newHeartbeatFD(rt.procs[id], cfg.HeartbeatEvery, cfg.SuspectAfter)
+		rt.fds[id] = newHeartbeatFD(rt.procs[id], cfg.HeartbeatEvery, cfg.SuspectAfter, rt.rec)
 		rt.procs[id].Register(rt.fds[id])
 	}
 	return rt
@@ -272,6 +318,10 @@ func (rt *Runtime) Proc(id types.ProcessID) *node.Proc {
 
 // Detector returns process id's failure detector.
 func (rt *Runtime) Detector(id types.ProcessID) *heartbeatFD { return rt.fds[id] }
+
+// Fabric returns the runtime's link fabric — the chaos control surface.
+// It is safe to mutate from any goroutine while the runtime runs.
+func (rt *Runtime) Fabric() *network.Fabric { return rt.fabric }
 
 // Start opens the listeners, launches the event loops, and runs every
 // protocol's Start on its own loop. Starting a stopped runtime fails:
@@ -398,7 +448,7 @@ func (rt *Runtime) Restart(id types.ProcessID, rebuild func(proc *node.Proc, det
 			return
 		}
 		proc := node.NewProc(id, rt.topo, rt)
-		hfd := newHeartbeatFD(proc, rt.cfg.HeartbeatEvery, rt.cfg.SuspectAfter)
+		hfd := newHeartbeatFD(proc, rt.cfg.HeartbeatEvery, rt.cfg.SuspectAfter, rt.rec)
 		proc.Register(hfd)
 		proc.SetRecovering(true)
 		rebuild(proc, hfd)
@@ -519,12 +569,28 @@ func (rt *Runtime) validFrom(from types.ProcessID) bool {
 	return from >= 0 && int(from) < rt.topo.N()
 }
 
-// dispatch applies the injected link delay and hands the frame to the
-// receiver's event loop.
+// dispatch applies the injected link delay (the fabric's current view of
+// it, so delay spikes take effect mid-run) and hands the frame to the
+// receiver's event loop. Frames of a link severed after they were written
+// still deliver: they are in flight, and in-flight traffic draining during
+// a partition is just delay — the sender side stopped writing the moment
+// the sever landed.
 func (rt *Runtime) dispatch(to types.ProcessID, f wire.Frame) {
-	delay := rt.cfg.LANDelay
-	if !rt.topo.SameGroup(f.From, to) {
-		delay = rt.cfg.WANDelay
+	// Read loops run concurrently, and the shared jitter rng needs a lock —
+	// but only an ACTIVE fabric can have jitter overrides, so the common
+	// case (no chaos this run) stays lock-free: every frame taking a
+	// runtime-global mutex here would serialise all receive paths for a
+	// knob that is usually untouched. (A base model with static jitter
+	// would need the rng too, but the transport's base is built from
+	// WANDelay/LANDelay alone; an injected Config.Fabric must keep its
+	// base jitter zero.)
+	var delay time.Duration
+	if rt.fabric.Active() {
+		rt.rngMu.Lock()
+		delay = rt.fabric.Delay(f.From, to, rt.jrng)
+		rt.rngMu.Unlock()
+	} else {
+		delay = rt.base.Delay(rt.topo, f.From, to, nil)
 	}
 	// The nil check must come before the call: building the variadic args
 	// boxes every operand, which would put allocations back on the
@@ -627,6 +693,7 @@ func (rt *Runtime) link(from, to types.ProcessID) *link {
 		from:  from,
 		to:    to,
 		queue: make(chan outFrame, rt.cfg.SendQueue),
+		wake:  make(chan struct{}, 1),
 	}
 	rt.links[key] = l
 	rt.wg.Add(1)
@@ -643,11 +710,14 @@ type outFrame struct {
 
 // link owns one outbound TCP connection: a bounded frame queue drained by a
 // single writer goroutine that dials, encodes, and writes with coalesced
-// flushes.
+// flushes. While the fabric severs the link, the writer kills the
+// connection, refuses to dial, and parks protocol frames in held until the
+// link heals — the heal wakes it through wake.
 type link struct {
 	rt       *Runtime
 	from, to types.ProcessID
 	queue    chan outFrame
+	wake     chan struct{} // fabric transition signal, capacity 1
 }
 
 func (l *link) writeLoop() {
@@ -659,6 +729,7 @@ func (l *link) writeLoop() {
 		genc     *gob.Encoder
 		buf      []byte // reused wire-encode buffer; zero-alloc steady state
 		nextDial time.Time
+		held     []outFrame // frames parked while the fabric severs the link
 	)
 	// teardown closes the connection after a write error. It does NOT arm
 	// the dial backoff: a transient error on an established connection
@@ -680,19 +751,55 @@ func (l *link) writeLoop() {
 	}()
 	for {
 		var f outFrame
+		var got bool
 		select {
 		case f = <-l.queue:
+			got = true
+		case <-l.wake:
+			// Fabric transition on this link: fall through to re-check the
+			// severed state — killing the connection on a sever, flushing
+			// held on a heal.
 		case <-rt.done:
 			return
 		}
+		if rt.fabric.Severed(l.from, l.to) {
+			// Partition: kill the connection, reject dials, and park the
+			// frame — the transport-level stand-in for the TCP retransmit
+			// buffer that carries unacked data across a real partition, so
+			// the severed link stays a quasi-reliable (arbitrarily slow)
+			// channel. Heartbeats are NOT parked: they are ephemeral
+			// liveness signals, and withholding them is the whole point —
+			// the peer must suspect us until the link heals. The park
+			// buffer is bounded by SendQueue; beyond it frames drop, as a
+			// full send queue always has (protocol retries recover).
+			if conn != nil {
+				teardown()
+			}
+			if got && f.proto != "fd" {
+				if len(held) < rt.cfg.SendQueue {
+					held = append(held, f)
+				} else {
+					rt.Tracef("partition hold full: drop %v->%v %s", l.from, l.to, f.proto)
+				}
+			}
+			continue
+		}
+		if got {
+			held = append(held, f)
+		}
+		if len(held) == 0 {
+			continue
+		}
 		if conn == nil {
 			if time.Now().Before(nextDial) {
+				held = nil
 				continue // peer presumed dead: drop until the backoff expires
 			}
 			c, err := net.DialTimeout("tcp", rt.addr(l.to), rt.cfg.DialTimeout)
 			if err != nil {
 				rt.Tracef("dial error %v->%v: %v", l.from, l.to, err)
 				nextDial = time.Now().Add(rt.cfg.DialTimeout)
+				held = nil
 				continue // unreachable peer: quasi-reliable links lose nothing between correct processes
 			}
 			conn = c
@@ -702,11 +809,21 @@ func (l *link) writeLoop() {
 				genc = gob.NewEncoder(bw)
 			}
 		}
-		// Coalesce: keep encoding queued frames into the write buffer for
-		// at most FlushEvery, then flush them as one syscall (bufio flushes
-		// on its own if the batch outgrows the buffer).
+		// Coalesce: write the held frames (usually just the one received
+		// above; more after a heal), then keep encoding queued frames into
+		// the write buffer for at most FlushEvery, and flush them as one
+		// syscall (bufio flushes on its own if the batch outgrows the
+		// buffer).
 		deadline := time.Now().Add(rt.cfg.FlushEvery)
-		err := l.writeFrame(bw, genc, &buf, f)
+		var err error
+		for len(held) > 0 && err == nil {
+			if err = l.writeFrame(bw, genc, &buf, held[0]); err == nil {
+				held = held[1:]
+			}
+		}
+		if len(held) == 0 {
+			held = nil // release the backing array
+		}
 		for err == nil && time.Now().Before(deadline) {
 			var more bool
 			select {
@@ -723,6 +840,8 @@ func (l *link) writeLoop() {
 			err = bw.Flush()
 		}
 		if err != nil {
+			// Unwritten held frames stay parked for the next attempt (a
+			// heal racing a broken connection must not lose them).
 			rt.Tracef("write error %v->%v: %v", l.from, l.to, err)
 			teardown()
 		}
@@ -780,4 +899,31 @@ func (l *lockedRecorder) OnBatchDecided(size int) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.inner.OnBatchDecided(size)
+}
+
+// The failure-detector events (fd.Observer) are forwarded only when the
+// wrapped recorder cares about them; the per-process heartbeat detectors
+// all share this one locked observer.
+func (l *lockedRecorder) OnSuspect(g types.GroupID, p types.ProcessID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if obs, ok := l.inner.(fd.Observer); ok {
+		obs.OnSuspect(g, p)
+	}
+}
+
+func (l *lockedRecorder) OnTrustRestored(g types.GroupID, p types.ProcessID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if obs, ok := l.inner.(fd.Observer); ok {
+		obs.OnTrustRestored(g, p)
+	}
+}
+
+func (l *lockedRecorder) OnLeaderChange(g types.GroupID, leader types.ProcessID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if obs, ok := l.inner.(fd.Observer); ok {
+		obs.OnLeaderChange(g, leader)
+	}
 }

@@ -11,8 +11,11 @@ import (
 	"wanamcast/internal/check"
 	"wanamcast/internal/durable"
 	"wanamcast/internal/fd"
+	"wanamcast/internal/metrics"
+	"wanamcast/internal/network"
 	"wanamcast/internal/node"
 	"wanamcast/internal/rmcast"
+	"wanamcast/internal/scenario"
 	"wanamcast/internal/storage"
 	"wanamcast/internal/transport/tcp"
 	"wanamcast/internal/types"
@@ -31,6 +34,11 @@ type LiveConfig struct {
 	// LANDelay applies within groups (default 0: raw loopback).
 	WANDelay time.Duration
 	LANDelay time.Duration
+	// HeartbeatEvery and SuspectAfter tune the heartbeat failure detector
+	// (defaults 50 ms and 250 ms): a peer silent for SuspectAfter is
+	// suspected — and trusted again the moment its beats resume.
+	HeartbeatEvery time.Duration
+	SuspectAfter   time.Duration
 	// KeepAliveRounds tunes A2's quiescence predictor (default 1, the
 	// paper's Algorithm A2).
 	KeepAliveRounds int
@@ -98,6 +106,7 @@ type LiveCluster struct {
 	rt   *tcp.Runtime
 	topo *types.Topology
 	cfg  LiveConfig
+	col  *metrics.LockedCollector
 	a1   []*amcast.Mcast
 	a2   []*abcast.Bcast
 
@@ -143,18 +152,32 @@ func NewLiveCluster(cfg LiveConfig) *LiveCluster {
 	if cfg.GobCodec {
 		codec = tcp.CodecGob
 	}
+	col := &metrics.LockedCollector{}
+	// The collector's per-cast records (each holding its deliveries) must
+	// not grow forever on a long-lived cluster: bound them like the
+	// delivery-count map — generously past RetainDeliveries when that is
+	// set, and at 64k casts otherwise (a serve-mode cluster with the
+	// historical keep-everything delivery log still gets bounded metrics).
+	if cfg.RetainDeliveries > 0 {
+		col.SetCastWindow(8 * cfg.RetainDeliveries)
+	} else {
+		col.SetCastWindow(1 << 16)
+	}
 	rt := tcp.New(tcp.Config{
-		Topo:       topo,
-		BasePort:   cfg.BasePort,
-		WANDelay:   cfg.WANDelay,
-		LANDelay:   cfg.LANDelay,
-		SendQueue:  cfg.SendQueue,
-		FlushEvery: cfg.FlushEvery,
-		Codec:      codec,
-		Recorder:   node.NopRecorder{},
+		Topo:           topo,
+		BasePort:       cfg.BasePort,
+		WANDelay:       cfg.WANDelay,
+		LANDelay:       cfg.LANDelay,
+		HeartbeatEvery: cfg.HeartbeatEvery,
+		SuspectAfter:   cfg.SuspectAfter,
+		SendQueue:      cfg.SendQueue,
+		FlushEvery:     cfg.FlushEvery,
+		Codec:          codec,
+		Recorder:       col,
 	})
 	l := &LiveCluster{
 		rt:         rt,
+		col:        col,
 		topo:       topo,
 		cfg:        cfg,
 		a1:         make([]*amcast.Mcast, topo.N()),
@@ -465,6 +488,90 @@ func (l *LiveCluster) Crash(p ProcessID) {
 	l.crashed[p] = true
 	l.mu.Unlock()
 	l.rt.Crash(p)
+}
+
+// Stats returns the aggregate protocol measurements of the run so far:
+// message counts, latency degrees, batch sizes, and the failure-detector
+// counters (suspicions, trust restorations, leader changes per group).
+// Counters are cumulative; the per-cast latency aggregates cover a bounded
+// window of recent casts (8×RetainDeliveries, or 65536 when the delivery
+// log is unbounded), so a long-running cluster's memory stays flat.
+func (l *LiveCluster) Stats() Stats { return l.col.Snapshot() }
+
+// Fabric exposes the live network's mutable link table: severing a
+// (from, to) pair kills its TCP connection, rejects dials, and parks
+// outbound frames (except heartbeats) until the link heals — the paper's
+// quasi-reliable channel under arbitrary delay, so partitions are
+// admissible runs. Safe to mutate from any goroutine while the cluster
+// runs.
+func (l *LiveCluster) Fabric() *network.Fabric { return l.rt.Fabric() }
+
+// ForceSuspect injects a false suspicion of p into every group peer's
+// failure detector — a leader flap without any real fault. Trust restores
+// itself as soon as p's next heartbeats land (within ~HeartbeatEvery), or
+// explicitly via Unsuspect.
+func (l *LiveCluster) ForceSuspect(p ProcessID) {
+	for _, q := range l.topo.Members(l.topo.GroupOf(p)) {
+		if q == p {
+			continue
+		}
+		q := q
+		l.rt.Run(q, func() { l.rt.Detector(q).Suspect(p) })
+	}
+}
+
+// Unsuspect restores every group peer's trust in p immediately.
+func (l *LiveCluster) Unsuspect(p ProcessID) {
+	for _, q := range l.topo.Members(l.topo.GroupOf(p)) {
+		if q == p {
+			continue
+		}
+		q := q
+		l.rt.Run(q, func() { l.rt.Detector(q).Unsuspect(p) })
+	}
+}
+
+// LeaderOf returns process q's current view of its own group's leader.
+func (l *LiveCluster) LeaderOf(q ProcessID) ProcessID {
+	var leader ProcessID
+	l.rt.Run(q, func() { leader = l.rt.Detector(q).Leader(l.topo.GroupOf(q)) })
+	return leader
+}
+
+// SubscribeLeader registers fn with process q's failure detector: it runs
+// on q's event loop at every leader change q observes — demotions and
+// re-elections both. Subscribe before Start or while the cluster runs.
+func (l *LiveCluster) SubscribeLeader(q ProcessID, fn func(g GroupID, leader ProcessID)) {
+	l.mu.Lock()
+	started := l.started
+	l.mu.Unlock()
+	if !started {
+		// Loops are not running yet; the detector is safe to touch
+		// directly.
+		l.rt.Detector(q).Subscribe(fn)
+		return
+	}
+	l.rt.Run(q, func() { l.rt.Detector(q).Subscribe(fn) })
+}
+
+// Chaos returns the scenario control surface of the live cluster: pass it
+// to scenario.Apply to run a fault script (wall-clock timed) against the
+// real TCP fabric. Restart events go through LiveCluster.Restart and thus
+// need a durable store; when the cluster hosts a service layer
+// (svc.ServeCluster), override RestartFn with Service.RestartReplica so
+// the replica's server is reincarnated too. Scenario events are logged
+// through the runtime's trace hook.
+func (l *LiveCluster) Chaos() scenario.Funcs {
+	return scenario.Funcs{
+		Topo:        l.topo,
+		Net:         l.rt.Fabric(),
+		Schedule:    func(d time.Duration, fn func()) { time.AfterFunc(d, fn) },
+		CrashFn:     l.Crash,
+		RestartFn:   l.Restart,
+		SuspectFn:   l.ForceSuspect,
+		UnsuspectFn: l.Unsuspect,
+		Logf:        l.rt.Tracef,
+	}
 }
 
 // restartSeqGap is how far a restarted process's cast allocator jumps past

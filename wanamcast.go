@@ -51,6 +51,7 @@ import (
 	"wanamcast/internal/network"
 	"wanamcast/internal/node"
 	"wanamcast/internal/rmcast"
+	"wanamcast/internal/scenario"
 	"wanamcast/internal/types"
 )
 
@@ -261,6 +262,29 @@ func (c *Cluster) BroadcastAt(at time.Duration, from ProcessID, payload any) {
 func (c *Cluster) CrashAt(p ProcessID, at time.Duration) {
 	c.crashed[p] = true
 	c.rt.CrashAt(p, at)
+}
+
+// Crash crash-stops process p now (chaos scenarios crash mid-event).
+func (c *Cluster) Crash(p ProcessID) {
+	c.crashed[p] = true
+	c.rt.Crash(p)
+}
+
+// Fabric exposes the simulated network's mutable link table: sever and
+// heal links (messages on severed links are withheld, not lost, so a
+// partition-then-heal is an admissible quasi-reliable run), override
+// per-link delays and jitter, or partition whole group sets. Mutate it
+// only from scheduled events (or before Run) — the simulation is
+// single-threaded.
+func (c *Cluster) Fabric() *network.Fabric { return c.rt.Fabric() }
+
+// Chaos returns the scenario control surface of the simulated cluster:
+// pass it to scenario.Apply to schedule a fault script. Crashed processes
+// are excluded from the §2.2 checker's correct set automatically. The
+// simulator has no durable restart, so Restart events leave their crash
+// permanent (logged and skipped).
+func (c *Cluster) Chaos() scenario.Funcs {
+	return scenario.SimFuncs(c.rt, func(p types.ProcessID) { c.crashed[p] = true })
 }
 
 // Run executes the simulation until no events remain (all protocols
