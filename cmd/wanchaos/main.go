@@ -66,6 +66,11 @@ func run() int {
 		suspAft  = flag.Duration("suspectafter", 250*time.Millisecond, "failure detector suspicion timeout (live)")
 		hbEvery  = flag.Duration("heartbeat", 50*time.Millisecond, "failure detector heartbeat period (live)")
 		measure  = flag.Bool("measure", false, "measure re-election/trust-restore/resume latencies instead of running a scenario")
+		lanes    = flag.Int("lanes", 0, "shard processes across this many ordering lane goroutines by group (0 = one per process)")
+		inbox    = flag.Int("inbox", 0, "per-lane inbox ring size, live mode (0 = default 4096)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile (post-GC, live objects) to this file")
+		mtxProf  = flag.String("mutexprofile", "", "write a mutex-contention profile to this file")
 		verbose  = flag.Bool("v", false, "log every scenario event and delivery progress")
 	)
 	flag.Parse()
@@ -96,6 +101,9 @@ func run() int {
 	}
 	if *suspAft <= 0 || *hbEvery <= 0 || *hbEvery >= *suspAft {
 		fail("need 0 < -heartbeat < -suspectafter (got %v, %v)", *hbEvery, *suspAft)
+	}
+	if *lanes < 0 || *inbox < 0 {
+		fail("-lanes and -inbox must be non-negative")
 	}
 	n := *groups * *d
 	// Each live scenario gets a disjoint port block so a fresh cluster
@@ -137,6 +145,16 @@ func run() int {
 		scenarios = []scenario.Scenario{sc}
 	}
 
+	stopProf, err := harness.StartProfiles(*cpuProf, *memProf, *mtxProf)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "wanchaos: profile:", err)
+		}
+	}()
+
 	if *measure {
 		return measureLatencies(*groups, *d, *basePort, *wan, *lan, *hbEvery, *suspAft, *verbose)
 	}
@@ -149,13 +167,13 @@ func run() int {
 		}
 		var ok bool
 		if *mode == "sim" {
-			ok = runSim(algo, sc, *groups, *d, *wan, *lan, *maxBatch, *pipeline, *seed, *verbose)
+			ok = runSim(algo, sc, *groups, *d, *wan, *lan, *maxBatch, *pipeline, *lanes, *seed, *verbose)
 		} else {
 			// Fresh ports per scenario: listeners of the previous cluster
 			// are closed, but lingering TIME_WAIT sockets must not flake
 			// the next bind.
 			ok = runLive(sc, *groups, *d, *basePort+i*stride, *svcPort+i*stride, *wan, *lan,
-				*hbEvery, *suspAft, *maxBatch, *pipeline, *clients, *ops, *timeout, *seed, *verbose)
+				*hbEvery, *suspAft, *maxBatch, *pipeline, *lanes, *inbox, *clients, *ops, *timeout, *seed, *verbose)
 		}
 		if ok {
 			fmt.Printf("=== %s: OK ===\n\n", sc.Name)
@@ -176,7 +194,7 @@ func run() int {
 // service under closed-loop client load. Replicas persist to in-memory
 // stores so crash/restart scenarios work without disk.
 func runLive(sc scenario.Scenario, groups, d, basePort, svcPort int, wan, lan,
-	hbEvery, suspAft time.Duration, maxBatch, pipeline, clients, ops int,
+	hbEvery, suspAft time.Duration, maxBatch, pipeline, lanes, inbox, clients, ops int,
 	timeout time.Duration, seed int64, verbose bool) bool {
 
 	stores := make([]storage.Store, groups*d)
@@ -193,6 +211,8 @@ func runLive(sc scenario.Scenario, groups, d, basePort, svcPort int, wan, lan,
 		SuspectAfter:   suspAft,
 		MaxBatch:       maxBatch,
 		Pipeline:       pipeline,
+		Lanes:          lanes,
+		InboxSize:      inbox,
 		Check:          true,
 		StoreFor:       func(p wanamcast.ProcessID) storage.Store { return stores[p] },
 	})
@@ -296,11 +316,12 @@ func runLive(sc scenario.Scenario, groups, d, basePort, svcPort int, wan, lan,
 // runSim replays one scenario deterministically on the simulated runtime
 // under a Poisson workload.
 func runSim(algo harness.Algo, sc scenario.Scenario, groups, d int, wan, lan time.Duration,
-	maxBatch, pipeline int, seed int64, verbose bool) bool {
+	maxBatch, pipeline, lanes int, seed int64, verbose bool) bool {
 
 	s := harness.Build(algo, harness.Options{
 		Groups: groups, PerGroup: d, Inter: wan, Intra: lan, Seed: seed,
 		MaxBatch: maxBatch, A1Pipeline: pipeline, A2Pipeline: pipeline,
+		Lanes: lanes,
 	})
 	funcs := s.Chaos()
 	if verbose {

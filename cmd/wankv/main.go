@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"time"
 
 	"wanamcast"
@@ -58,6 +59,12 @@ func run() int {
 		snapEvry = flag.Int("snapevery", 0, "with -datadir: snapshot every N deliveries per replica (0 = default 512)")
 		scn      = flag.String("scenario", "", "chaos scenario to run under the load (partition-heal, asym-partition, leader-flap, delay-spike, partition-recovery); load mode only")
 		scnUnit  = flag.Duration("unit", 500*time.Millisecond, "chaos scenario time step (with -scenario)")
+		lanes    = flag.Int("lanes", 0, "shard replicas across this many ordering lane goroutines by group (0 = one per replica)")
+		inbox    = flag.Int("inbox", 0, "per-lane inbox ring size (0 = default 4096)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile (post-GC, live objects) to this file")
+		mtxProf  = flag.String("mutexprofile", "", "write a mutex-contention profile to this file")
+		benchOut = flag.String("benchjson", "", "load mode: append a machine-readable result record to this JSON file")
 	)
 	flag.Parse()
 
@@ -89,6 +96,12 @@ func run() int {
 	if (*noFsync || *snapEvry != 0) && *dataDir == "" {
 		fail("-nofsync and -snapevery need -datadir")
 	}
+	if *lanes < 0 || *inbox < 0 {
+		fail("-lanes and -inbox must be non-negative")
+	}
+	if *benchOut != "" && *clients < 1 {
+		fail("-benchjson records load-mode runs only (-clients >= 1)")
+	}
 	if *scn != "" {
 		if *clients < 1 {
 			fail("-scenario needs load mode (-clients >= 1)")
@@ -101,6 +114,16 @@ func run() int {
 		}
 	}
 
+	stopProf, err := harness.StartProfiles(*cpuProf, *memProf, *mtxProf)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "wankv: profile:", err)
+		}
+	}()
+
 	cfg := wanamcast.LiveConfig{
 		Groups:        *groups,
 		PerGroup:      *d,
@@ -109,6 +132,8 @@ func run() int {
 		LANDelay:      *lan,
 		MaxBatch:      *maxBatch,
 		Pipeline:      *pipeline,
+		Lanes:         *lanes,
+		InboxSize:     *inbox,
 		Check:         *checkRun,
 		DataDir:       *dataDir,
 		NoFsync:       *noFsync,
@@ -147,8 +172,12 @@ func run() int {
 	}
 	defer service.Stop()
 
-	fmt.Printf("wankv: %d shards x %d replicas, wan=%v lan=%v maxbatch=%d pipeline=%d\n",
-		*groups, *d, *wan, *lan, *maxBatch, *pipeline)
+	laneDesc := "one per replica"
+	if *lanes > 0 {
+		laneDesc = fmt.Sprintf("%d", *lanes)
+	}
+	fmt.Printf("wankv: %d shards x %d replicas, wan=%v lan=%v maxbatch=%d pipeline=%d lanes=%s\n",
+		*groups, *d, *wan, *lan, *maxBatch, *pipeline, laneDesc)
 	if *dataDir != "" {
 		mode := "fsync per batch"
 		if *noFsync {
@@ -198,6 +227,37 @@ func run() int {
 	if st := cluster.Stats(); st.Suspicions > 0 || st.TrustRestorations > 0 || st.LeaderChanges > 0 {
 		fmt.Printf("fd             suspicions=%d trust-restored=%d leader-changes=%d\n",
 			st.Suspicions, st.TrustRestorations, st.LeaderChanges)
+	}
+	if fs := cluster.FsyncStats(); fs.Fsyncs > 0 || fs.Barriers > 0 {
+		fmt.Printf("durability     fsyncs=%d gc-barriers=%d gc-windows=%d\n",
+			fs.Fsyncs, fs.Barriers, fs.Windows)
+	}
+	if *benchOut != "" {
+		st := cluster.Stats()
+		fs := cluster.FsyncStats()
+		r := harness.BenchResult{
+			Name:           "wankv-load",
+			Topology:       fmt.Sprintf("%dx%d", *groups, *d),
+			Lanes:          *lanes,
+			Cores:          runtime.NumCPU(),
+			Casts:          res.Ops,
+			OrderedPerSec:  float64(res.Ops) / res.Elapsed.Seconds(),
+			P50Ms:          float64(st.P50Wall) / float64(time.Millisecond),
+			P99Ms:          float64(st.P99Wall) / float64(time.Millisecond),
+			Fsyncs:         fs.Fsyncs,
+			GCBarriers:     fs.Barriers,
+			GCWindows:      fs.Windows,
+			BatchesDecided: st.BatchesDecided,
+			StartedAt:      time.Now().UTC().Format(time.RFC3339),
+		}
+		if r.BatchesDecided > 0 {
+			r.FsyncsPerBatch = float64(r.Fsyncs) / float64(r.BatchesDecided)
+		}
+		if err := harness.AppendBenchJSON(*benchOut, r); err != nil {
+			fmt.Fprintln(os.Stderr, "wankv: benchjson:", err)
+			return 1
+		}
+		fmt.Printf("benchjson      appended to %s\n", *benchOut)
 	}
 
 	exit := 0

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"time"
 
 	"wanamcast"
@@ -30,6 +31,8 @@ func runLive(algo harness.Algo, opts harness.Options, basePort, casts int, rate 
 		LANDelay:   opts.Intra,
 		MaxBatch:   opts.MaxBatch,
 		Pipeline:   opts.A1Pipeline,
+		Lanes:      opts.Lanes,
+		InboxSize:  opts.InboxSize,
 		SendQueue:  opts.SendQueue,
 		FlushEvery: opts.FlushEvery,
 		GobCodec:   opts.GobWire,
@@ -56,8 +59,12 @@ func runLive(algo harness.Algo, opts harness.Options, basePort, casts int, rate 
 		flush = tcp.DefaultFlushEvery
 	}
 	n := opts.Groups * opts.PerGroup
-	fmt.Printf("live %s: %d groups x %d processes over TCP, wan=%v lan=%v codec=%s sendqueue=%d flush=%v\n",
-		algo, opts.Groups, opts.PerGroup, opts.Inter, opts.Intra, codec, sendq, flush)
+	laneDesc := fmt.Sprintf("%d", opts.Lanes)
+	if opts.Lanes == 0 {
+		laneDesc = "per-process"
+	}
+	fmt.Printf("live %s: %d groups x %d processes over TCP, wan=%v lan=%v codec=%s lanes=%s sendqueue=%d flush=%v\n",
+		algo, opts.Groups, opts.PerGroup, opts.Inter, opts.Intra, codec, laneDesc, sendq, flush)
 
 	rng := rand.New(rand.NewSource(seed))
 	period := time.Duration(float64(time.Second) / rate)
@@ -107,4 +114,31 @@ func runLive(algo harness.Algo, opts harness.Options, basePort, casts int, rate 
 	fmt.Printf("wall time      %v\n", elapsed.Round(time.Millisecond))
 	fmt.Printf("ordered/sec    %.0f (deliveries/sec %.0f)\n",
 		float64(casts)/elapsed.Seconds(), float64(delivered)/elapsed.Seconds())
+	if opts.BenchJSON != "" {
+		st := l.Stats()
+		fs := l.FsyncStats()
+		r := harness.BenchResult{
+			Name:           "wansim-live-" + string(algo),
+			Topology:       fmt.Sprintf("%dx%d", opts.Groups, opts.PerGroup),
+			Lanes:          opts.Lanes,
+			Cores:          runtime.NumCPU(),
+			Casts:          casts,
+			OrderedPerSec:  float64(casts) / elapsed.Seconds(),
+			P50Ms:          float64(st.P50Wall) / float64(time.Millisecond),
+			P99Ms:          float64(st.P99Wall) / float64(time.Millisecond),
+			Fsyncs:         fs.Fsyncs,
+			GCBarriers:     fs.Barriers,
+			GCWindows:      fs.Windows,
+			BatchesDecided: st.BatchesDecided,
+			StartedAt:      begin.UTC().Format(time.RFC3339),
+		}
+		if r.BatchesDecided > 0 {
+			r.FsyncsPerBatch = float64(r.Fsyncs) / float64(r.BatchesDecided)
+		}
+		if err := harness.AppendBenchJSON(opts.BenchJSON, r); err != nil {
+			fmt.Fprintln(os.Stderr, "wansim: benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchjson      appended to %s\n", opts.BenchJSON)
+	}
 }

@@ -43,6 +43,12 @@ func main() {
 		sendq    = flag.Int("sendqueue", 0, "live transport: per-connection send queue depth (0 = default 4096)")
 		flush    = flag.Duration("flush", 0, "live transport: max frame-coalescing latency before a flush (0 = default 200µs)")
 		gobWire  = flag.Bool("gobwire", false, "live transport: use the legacy gob codec instead of the wire codec")
+		lanes    = flag.Int("lanes", 0, "ordering lanes: shard processes across this many goroutines by group (0 = one per process); sim runs only account lanes")
+		inbox    = flag.Int("inbox", 0, "live transport: per-lane inbox ring size (0 = default 4096)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile (post-GC, live objects) to this file")
+		mtxProf  = flag.String("mutexprofile", "", "write a mutex-contention profile to this file")
+		benchOut = flag.String("benchjson", "", "with -live: append a machine-readable result record to this JSON file")
 		scn      = flag.String("scenario", "", "chaos scenario to run under the workload (partition-heal, asym-partition, leader-flap, delay-spike, partition-recovery); sim only")
 		scnUnit  = flag.Duration("scnunit", 500*time.Millisecond, "chaos scenario time step (with -scenario)")
 		verbose  = flag.Bool("v", false, "print every delivery")
@@ -99,17 +105,33 @@ func main() {
 	if !algo.Known() {
 		fail("unknown -algo %q", *algoName)
 	}
+	if *benchOut != "" && !*live {
+		fail("-benchjson records live benchmark runs only (add -live)")
+	}
 	opts := harness.Options{
 		Groups: *groups, PerGroup: *d,
 		Inter: *inter, Intra: *intra, Jitter: *jitter, Seed: *seed,
 		MaxBatch: *maxBatch, A1Pipeline: *pipeline, A2Pipeline: *pipeline,
 		SendQueue: *sendq, FlushEvery: *flush, GobWire: *gobWire,
+		Lanes: *lanes, InboxSize: *inbox,
+		CPUProfile: *cpuProf, MemProfile: *memProf, MutexProfile: *mtxProf,
+		BenchJSON: *benchOut,
 	}
 	if err := opts.Validate(); err != nil {
 		fail("%v", err)
 	}
+	stopProf, err := harness.StartProfiles(opts.CPUProfile, opts.MemProfile, opts.MutexProfile)
+	if err != nil {
+		fail("%v", err)
+	}
+	flushProf := func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "wansim: profile:", err)
+		}
+	}
 	if *live {
 		runLive(algo, opts, *basePort, *casts, *rate, *spread, *seed, *verbose)
+		flushProf()
 		return
 	}
 	s := harness.Build(algo, opts)
@@ -175,6 +197,7 @@ func main() {
 	}
 
 	s.Run()
+	flushProf()
 
 	if *verbose {
 		for _, del := range s.Deliveries {

@@ -372,9 +372,17 @@ func (c *Consensus) onPrepare(from types.ProcessID, m PrepareMsg) {
 	if m.Ballot > in.promised {
 		in.promised = m.Ballot
 		c.log.Append(storage.Record{Kind: storage.KindPromise, Proto: c.label, Inst: m.Instance, Ballot: m.Ballot})
-		c.log.Commit() // the promise must survive a crash before it is given
 	}
-	c.send(from, PromiseMsg{Instance: m.Instance, Ballot: m.Ballot, VBallot: in.accepted, VValue: in.aValue})
+	// The promise must survive a crash before it is given: the reply is
+	// parked until the record's durability barrier resolves — inline
+	// fsync on a synchronous log, or the group-commit syncer's next
+	// covering fsync when lanes batch their barriers. A re-promise rides
+	// the same barrier so it can never overtake a first promise whose
+	// fsync is still in flight. The reply captures the acceptor state at
+	// promise time; a racing Accept at this same ballot is harmless (its
+	// leader has already closed phase 1).
+	reply := PromiseMsg{Instance: m.Instance, Ballot: m.Ballot, VBallot: in.accepted, VValue: in.aValue}
+	c.log.CommitThen(func() { c.send(from, reply) })
 }
 
 func (c *Consensus) onPromise(from types.ProcessID, m PromiseMsg) {
@@ -418,15 +426,18 @@ func (c *Consensus) onAccept(from types.ProcessID, m AcceptMsg) {
 		return
 	}
 	// A retransmitted Accept for the ballot already voted (one ballot
-	// carries one value) restates durable state: skip the second fsync.
+	// carries one value) restates durable state: nothing new is appended.
 	if m.Ballot > in.accepted {
 		in.promised = m.Ballot
 		in.accepted = m.Ballot
 		in.aValue = m.Value
 		c.log.Append(storage.Record{Kind: storage.KindAccept, Proto: c.label, Inst: m.Instance, Ballot: m.Ballot, Value: m.Value})
-		c.log.Commit() // the vote must survive a crash before it is cast
 	}
-	c.send(from, AcceptedMsg{Instance: m.Instance, Ballot: m.Ballot})
+	// The vote must survive a crash before it is cast: parked like the
+	// Promise reply in onPrepare — and a retransmission's reply shares
+	// the original's barrier ordering, so it cannot leak an unsynced vote.
+	reply := AcceptedMsg{Instance: m.Instance, Ballot: m.Ballot}
+	c.log.CommitThen(func() { c.send(from, reply) })
 }
 
 func (c *Consensus) onAccepted(from types.ProcessID, m AcceptedMsg) {

@@ -1,0 +1,58 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BenchResult is one machine-readable benchmark record — the lane-scaling
+// sweeps append one per configuration to a JSON array file (BENCH_lanes.json
+// by convention), so the scaling table in EXPERIMENTS.md can be regenerated
+// from data instead of transcribed.
+type BenchResult struct {
+	Name     string `json:"name"`     // benchmark identifier, e.g. "live-kv"
+	Topology string `json:"topology"` // "GxP", e.g. "8x3"
+	Lanes    int    `json:"lanes"`    // configured lane count (0 = per-process)
+	Cores    int    `json:"cores"`    // runtime.NumCPU() at run time
+	Casts    int    `json:"casts"`    // messages offered
+
+	OrderedPerSec float64 `json:"ordered_per_sec"` // A-Deliveries/s at one process
+	P50Ms         float64 `json:"p50_ms"`          // wall cast→deliver latency
+	P99Ms         float64 `json:"p99_ms"`
+
+	// Durability accounting (zero without a durable store).
+	Fsyncs         uint64  `json:"fsyncs"`           // total fsyncs across stores
+	GCBarriers     uint64  `json:"gc_barriers"`      // barriers staged through group commit
+	GCWindows      uint64  `json:"gc_windows"`       // group-commit windows executed
+	BatchesDecided uint64  `json:"batches_decided"`  // consensus batches ordered
+	FsyncsPerBatch float64 `json:"fsyncs_per_batch"` // Fsyncs / BatchesDecided
+
+	StartedAt string `json:"started_at"` // RFC 3339, informational
+}
+
+// AppendBenchJSON appends r to the JSON array in path, creating the file
+// if needed. The whole array is rewritten (these files hold dozens of
+// records, not millions), so the file is always a valid JSON document.
+func AppendBenchJSON(path string, r BenchResult) error {
+	var results []BenchResult
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if len(data) > 0 {
+			if err := json.Unmarshal(data, &results); err != nil {
+				return fmt.Errorf("benchjson: %s holds something other than a BenchResult array: %w", path, err)
+			}
+		}
+	case os.IsNotExist(err):
+		// First record: start a fresh array.
+	default:
+		return fmt.Errorf("benchjson: read %s: %w", path, err)
+	}
+	results = append(results, r)
+	out, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

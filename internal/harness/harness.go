@@ -139,6 +139,27 @@ type Options struct {
 	// per process (0 = default 512, negative disables automatic
 	// snapshots). Ignored without DataDir.
 	SnapshotEvery int
+	// Lanes shards a live cluster's processes across exactly this many
+	// ordering lane goroutines by group (0 = one goroutine per process,
+	// the historical layout), and routes WAL barriers through the
+	// group-commit syncer. The simulated runtime executes single-threaded
+	// regardless; there Lanes only configures the lane accounting
+	// (node.Runtime.SetLanes), preserving byte-identical traces.
+	Lanes int
+	// InboxSize bounds each live lane's lock-free inbox ring (default
+	// 4096); a full ring parks events, never drops. Ignored by the
+	// simulated runtime.
+	InboxSize int
+	// CPUProfile, MemProfile, and MutexProfile are file paths for pprof
+	// output; empty disables each. Commands wire them to -cpuprofile,
+	// -memprofile, and -mutexprofile and call StartProfiles around the
+	// run.
+	CPUProfile   string
+	MemProfile   string
+	MutexProfile string
+	// BenchJSON, when set, appends a machine-readable BenchResult record
+	// to this file after a live benchmark run (see AppendBenchJSON).
+	BenchJSON string
 	// Trace receives debug lines if non-nil.
 	Trace func(format string, args ...any)
 }
@@ -165,6 +186,10 @@ func (o Options) Validate() error {
 		return fmt.Errorf("flush interval must be non-negative: %v", o.FlushEvery)
 	case o.ConsensusRetry < 0:
 		return fmt.Errorf("consensus retry must be non-negative: %v", o.ConsensusRetry)
+	case o.Lanes < 0:
+		return fmt.Errorf("lane count must be non-negative: %d", o.Lanes)
+	case o.InboxSize < 0:
+		return fmt.Errorf("inbox size must be non-negative: %d", o.InboxSize)
 	case o.NoFsync && o.DataDir == "":
 		return fmt.Errorf("fsync=off is meaningless without a data dir")
 	case o.SnapshotEvery != 0 && o.DataDir == "":
@@ -234,6 +259,7 @@ func Build(algo Algo, opts Options) *System {
 	model := network.Model{IntraGroup: opts.Intra, InterGroup: opts.Inter, Jitter: opts.Jitter}
 	rt := node.NewRuntime(topo, model, opts.Seed, col)
 	rt.Trace = opts.Trace
+	rt.SetLanes(opts.Lanes)
 	s := &System{
 		Algo:    algo,
 		Opts:    opts,

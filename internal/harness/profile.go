@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// mutexProfileFraction is the sampling rate armed while a mutex profile
+// is requested: 1-in-5 contention events, cheap enough for benchmark
+// runs yet dense enough to rank the hot locks.
+const mutexProfileFraction = 5
+
+// StartProfiles arms the requested pprof outputs (each path may be
+// empty to skip that profile) and returns a stop function that flushes
+// and closes them. The CPU profile streams for the whole window; the
+// heap and mutex profiles are snapshotted at stop time — after a GC for
+// the heap, so the profile shows live memory, not garbage. Commands
+// call this around the measured run:
+//
+//	stop, err := harness.StartProfiles(cpu, mem, mutex)
+//	...
+//	defer stop()
+func StartProfiles(cpu, mem, mutex string) (stop func() error, err error) {
+	var cpuF *os.File
+	if cpu != "" {
+		cpuF, err = os.Create(cpu)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	prevFraction := 0
+	if mutex != "" {
+		prevFraction = runtime.SetMutexProfileFraction(mutexProfileFraction)
+	}
+	stop = func() error {
+		var firstErr error
+		keep := func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			keep(cpuF.Close())
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				keep(fmt.Errorf("mem profile: %w", err))
+			} else {
+				runtime.GC() // profile live objects, not collectable garbage
+				keep(pprof.WriteHeapProfile(f))
+				keep(f.Close())
+			}
+		}
+		if mutex != "" {
+			f, err := os.Create(mutex)
+			if err != nil {
+				keep(fmt.Errorf("mutex profile: %w", err))
+			} else {
+				if p := pprof.Lookup("mutex"); p != nil {
+					keep(p.WriteTo(f, 0))
+				}
+				keep(f.Close())
+			}
+			runtime.SetMutexProfileFraction(prevFraction)
+		}
+		return firstErr
+	}
+	return stop, nil
+}

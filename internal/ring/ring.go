@@ -1,0 +1,149 @@
+// Package ring provides the bounded lock-free queues under the parallel
+// ordering runtime: a single-producer/single-consumer ring (SPSC) for the
+// per-lane group-commit staging queues, and a multi-producer/
+// single-consumer ring (MPSC, Vyukov's bounded queue) for the lane
+// inboxes, which are fed concurrently by TCP read loops, timers, and
+// other lanes.
+//
+// Both rings are fixed-capacity (rounded up to a power of two) and
+// non-blocking: TryPush reports false when the ring is full and TryPop
+// reports false when it is empty, so callers choose their own overflow
+// policy (the lane inboxes park overflow in an unbounded spill list —
+// they carry consensus replies and timers, which have no retransmission
+// to fall back on and therefore must never drop).
+//
+// Memory model: value slots are written with plain stores and published
+// through sync/atomic sequence counters, so the happens-before edges the
+// consumer needs are the atomic ones — the race detector verifies this in
+// the package tests.
+package ring
+
+import "sync/atomic"
+
+// capFor rounds a requested capacity up to a power of two, with a small
+// floor so degenerate requests still leave room to amortise contention.
+func capFor(capacity int) uint64 {
+	c := uint64(8)
+	for c < uint64(capacity) {
+		c <<= 1
+	}
+	return c
+}
+
+// SPSC is a bounded single-producer/single-consumer ring. Exactly one
+// goroutine may call TryPush and exactly one (possibly different)
+// goroutine may call TryPop.
+type SPSC[T any] struct {
+	mask uint64
+	vals []T
+	_    [56]byte // keep head and tail on separate cache lines
+	head atomic.Uint64
+	_    [56]byte
+	tail atomic.Uint64
+}
+
+// NewSPSC returns an empty ring holding at least capacity elements
+// (rounded up to a power of two, minimum 8).
+func NewSPSC[T any](capacity int) *SPSC[T] {
+	c := capFor(capacity)
+	return &SPSC[T]{mask: c - 1, vals: make([]T, c)}
+}
+
+// Cap returns the ring's fixed capacity.
+func (q *SPSC[T]) Cap() int { return len(q.vals) }
+
+// TryPush appends v, reporting false when the ring is full.
+func (q *SPSC[T]) TryPush(v T) bool {
+	t := q.tail.Load() // own counter: no other writer
+	if t-q.head.Load() > q.mask {
+		return false
+	}
+	q.vals[t&q.mask] = v
+	q.tail.Store(t + 1) // publish: release for the slot write above
+	return true
+}
+
+// TryPop removes the oldest element, reporting false when the ring is
+// empty.
+func (q *SPSC[T]) TryPop() (T, bool) {
+	var zero T
+	h := q.head.Load() // own counter: no other reader
+	if h == q.tail.Load() {
+		return zero, false
+	}
+	v := q.vals[h&q.mask]
+	q.vals[h&q.mask] = zero // release the reference before re-use
+	q.head.Store(h + 1)
+	return v, true
+}
+
+// MPSC is a bounded multi-producer/single-consumer ring (Vyukov's
+// bounded MPMC queue, specialised to one consumer): every slot carries a
+// sequence number producers claim by CAS on the tail, so concurrent
+// pushes never contend on a lock and a full ring is detected without
+// reading the consumer's position.
+type MPSC[T any] struct {
+	mask  uint64
+	slots []mslot[T]
+	_     [56]byte
+	tail  atomic.Uint64 // next position producers claim
+	_     [56]byte
+	head  uint64 // consumer-confined
+}
+
+type mslot[T any] struct {
+	seq atomic.Uint64
+	val T
+}
+
+// NewMPSC returns an empty ring holding at least capacity elements
+// (rounded up to a power of two, minimum 8).
+func NewMPSC[T any](capacity int) *MPSC[T] {
+	c := capFor(capacity)
+	q := &MPSC[T]{mask: c - 1, slots: make([]mslot[T], c)}
+	for i := range q.slots {
+		q.slots[i].seq.Store(uint64(i))
+	}
+	return q
+}
+
+// Cap returns the ring's fixed capacity.
+func (q *MPSC[T]) Cap() int { return len(q.slots) }
+
+// TryPush appends v, reporting false when the ring is full. Safe for any
+// number of concurrent producers.
+func (q *MPSC[T]) TryPush(v T) bool {
+	pos := q.tail.Load()
+	for {
+		s := &q.slots[pos&q.mask]
+		switch dif := int64(s.seq.Load()) - int64(pos); {
+		case dif == 0: // slot free at this lap: try to claim it
+			if q.tail.CompareAndSwap(pos, pos+1) {
+				s.val = v
+				s.seq.Store(pos + 1) // publish to the consumer
+				return true
+			}
+			pos = q.tail.Load() // lost the claim race
+		case dif < 0: // slot still holds last lap's value: ring is full
+			return false
+		default: // another producer advanced past us
+			pos = q.tail.Load()
+		}
+	}
+}
+
+// TryPop removes the oldest element, reporting false when the ring is
+// empty (or when the oldest push is still being written — it will be
+// visible on a later call). Single consumer only.
+func (q *MPSC[T]) TryPop() (T, bool) {
+	var zero T
+	s := &q.slots[q.head&q.mask]
+	if s.seq.Load() != q.head+1 {
+		return zero, false
+	}
+	v := s.val
+	s.val = zero // release the reference before the slot recycles
+	s.seq.Store(q.head + q.mask + 1)
+	q.head++
+	return v, true
+}

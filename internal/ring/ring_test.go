@@ -1,0 +1,163 @@
+package ring
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestSPSCSequential(t *testing.T) {
+	q := NewSPSC[int](10) // rounds up to 16
+	if q.Cap() != 16 {
+		t.Fatalf("capacity = %d, want 16", q.Cap())
+	}
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("pop from empty ring succeeded")
+	}
+	for i := 0; i < 16; i++ {
+		if !q.TryPush(i) {
+			t.Fatalf("push %d refused below capacity", i)
+		}
+	}
+	if q.TryPush(99) {
+		t.Fatal("push into full ring succeeded")
+	}
+	for i := 0; i < 16; i++ {
+		v, ok := q.TryPop()
+		if !ok || v != i {
+			t.Fatalf("pop %d = (%d, %v), want (%d, true)", i, v, ok, i)
+		}
+	}
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("pop from drained ring succeeded")
+	}
+	// Wraparound: push/pop far past the capacity.
+	for i := 0; i < 1000; i++ {
+		if !q.TryPush(i) {
+			t.Fatalf("wraparound push %d refused", i)
+		}
+		v, ok := q.TryPop()
+		if !ok || v != i {
+			t.Fatalf("wraparound pop = (%d, %v), want (%d, true)", v, ok, i)
+		}
+	}
+}
+
+func TestMPSCSequential(t *testing.T) {
+	q := NewMPSC[int](8)
+	for lap := 0; lap < 100; lap++ { // exercise slot sequence recycling
+		for i := 0; i < 8; i++ {
+			if !q.TryPush(lap*8 + i) {
+				t.Fatalf("push refused below capacity (lap %d, i %d)", lap, i)
+			}
+		}
+		if q.TryPush(-1) {
+			t.Fatal("push into full ring succeeded")
+		}
+		for i := 0; i < 8; i++ {
+			v, ok := q.TryPop()
+			if !ok || v != lap*8+i {
+				t.Fatalf("pop = (%d, %v), want (%d, true)", v, ok, lap*8+i)
+			}
+		}
+		if _, ok := q.TryPop(); ok {
+			t.Fatal("pop from drained ring succeeded")
+		}
+	}
+}
+
+// TestSPSCConcurrent streams values through a small ring with the
+// producer and consumer on different goroutines: FIFO order and no loss,
+// and under -race it proves the publication edges.
+func TestSPSCConcurrent(t *testing.T) {
+	q := NewSPSC[int](16)
+	const n = 100000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		next := 0
+		for next < n {
+			v, ok := q.TryPop()
+			if !ok {
+				runtime.Gosched() // single-core boxes: let the producer run
+				continue
+			}
+			if v != next {
+				t.Errorf("pop = %d, want %d", v, next)
+				return
+			}
+			next++
+		}
+	}()
+	for i := 0; i < n; {
+		if q.TryPush(i) {
+			i++
+		} else {
+			runtime.Gosched()
+		}
+	}
+	<-done
+}
+
+// TestMPSCConcurrent runs several producers against one consumer and
+// checks per-producer FIFO and exact totals — the contract the lane
+// inboxes rely on.
+func TestMPSCConcurrent(t *testing.T) {
+	const (
+		producers = 4
+		perProd   = 50000
+	)
+	type item struct{ prod, seq int }
+	q := NewMPSC[item](64)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProd; {
+				if q.TryPush(item{prod: p, seq: i}) {
+					i++
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+	next := make([]int, producers)
+	got := 0
+	for got < producers*perProd {
+		v, ok := q.TryPop()
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		if v.seq != next[v.prod] {
+			t.Fatalf("producer %d out of order: got seq %d, want %d", v.prod, v.seq, next[v.prod])
+		}
+		next[v.prod]++
+		got++
+	}
+	wg.Wait()
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("ring not empty after all items consumed")
+	}
+}
+
+func BenchmarkMPSCPushPop(b *testing.B) {
+	q := NewMPSC[int](4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.TryPush(i)
+		q.TryPop()
+	}
+}
+
+func BenchmarkChanPushPop(b *testing.B) {
+	ch := make(chan int, 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ch <- i
+		<-ch
+	}
+}

@@ -1,0 +1,215 @@
+// Group commit: the cross-lane fsync batcher behind the parallel
+// ordering runtime.
+//
+// With per-group lanes, every lane hits its own durability barriers
+// (Promise and Accept records must be fsynced before their replies).
+// Issuing those fsyncs inline would serialise the lanes on the disk;
+// instead each Log flushes its appends on its own lane and stages the
+// barrier's continuation into a per-log SPSC ring, and ONE syncer
+// goroutine per process drains every ring, issues one fsync per distinct
+// dirty store for the whole window, and posts the parked continuations
+// back to their owning lanes.
+//
+// Batching is natural, not timed: a window is simply everything staged
+// while the previous fsync ran. An idle system pays no added latency (a
+// lone barrier syncs immediately); a busy one amortises — eight lanes'
+// promises in one window cost one fsync, not eight. The fsync-before-
+// reply invariant is preserved by construction: a continuation is only
+// posted after a Sync call that started after its records were flushed.
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"wanamcast/internal/ring"
+)
+
+// GroupCommitStats counts the syncer's work: Barriers staged, fsync
+// Windows executed, and Syncs issued (one per distinct dirty store per
+// window; ≤ Windows × stores, and Barriers/Windows is the batching
+// factor).
+type GroupCommitStats struct {
+	Barriers uint64
+	Windows  uint64
+	Syncs    uint64
+}
+
+// GroupCommit is one process's cross-lane fsync batcher. Construct with
+// NewGroupCommit, attach logs via Log.AttachGroupCommit, and Close after
+// the lanes have stopped (and before their stores close: Close waits for
+// the syncer, whose Sync calls must not race a store's Close).
+type GroupCommit struct {
+	mu     sync.Mutex
+	queues []*gcQueue
+
+	wake chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+
+	barriers atomic.Uint64
+	windows  atomic.Uint64
+	syncs    atomic.Uint64
+}
+
+// NewGroupCommit starts a syncer and returns its handle.
+func NewGroupCommit() *GroupCommit {
+	g := &GroupCommit{
+		wake: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	g.wg.Add(1)
+	go g.run()
+	return g
+}
+
+// gcQueue is one log's staging queue: barriers are staged from the log's
+// owning lane only (single producer) and drained by the syncer (single
+// consumer), so a lock-free SPSC ring carries the steady state; when it
+// fills, barriers park in an unbounded spill list — a durability barrier
+// can never be dropped, and stage must never block the lane.
+type gcQueue struct {
+	g     *GroupCommit
+	store SyncStore
+	post  func(func())
+
+	ring *ring.SPSC[func()]
+	ovMu sync.Mutex
+	ov   []func()
+	ovOn atomic.Bool
+}
+
+// register adds a staging queue for store; continuations are handed back
+// through post. Called by Log.AttachGroupCommit.
+func (g *GroupCommit) register(store SyncStore, post func(func())) *gcQueue {
+	q := &gcQueue{g: g, store: store, post: post, ring: ring.NewSPSC[func()](256)}
+	g.mu.Lock()
+	g.queues = append(g.queues, q)
+	g.mu.Unlock()
+	return q
+}
+
+// stage parks then until the next covering fsync. The caller must have
+// flushed the records the barrier guards. Never blocks, never drops:
+// once the ring is full (or a spill is already pending, to keep FIFO)
+// barriers go to the spill list the syncer drains after the ring.
+func (q *gcQueue) stage(then func()) {
+	if q.ovOn.Load() || !q.ring.TryPush(then) {
+		q.ovMu.Lock()
+		q.ovOn.Store(true)
+		q.ov = append(q.ov, then)
+		q.ovMu.Unlock()
+	}
+	q.g.barriers.Add(1)
+	select {
+	case q.g.wake <- struct{}{}:
+	default: // a wake is already pending
+	}
+}
+
+// drain empties the queue in stage order. Syncer only.
+func (q *gcQueue) drain(into []func()) []func() {
+	for {
+		fn, ok := q.ring.TryPop()
+		if !ok {
+			break
+		}
+		into = append(into, fn)
+	}
+	if q.ovOn.Load() {
+		q.ovMu.Lock()
+		batch := q.ov
+		q.ov = nil
+		if len(batch) == 0 {
+			q.ovOn.Store(false) // spill empty: ring resumes carrying new stages
+		}
+		q.ovMu.Unlock()
+		into = append(into, batch...)
+	}
+	return into
+}
+
+func (g *GroupCommit) run() {
+	defer g.wg.Done()
+	for {
+		select {
+		case <-g.wake:
+		case <-g.done:
+			g.round() // final sweep: no staged barrier may be lost
+			return
+		}
+		for g.round() {
+			// Keep sweeping until a round finds nothing: stages that raced
+			// the previous round's fsync are the next window.
+		}
+	}
+}
+
+// round is one group-commit window: drain every queue, fsync each
+// distinct dirty store once, then post the parked continuations (with
+// the store's lane-side maintenance ahead of them). It reports whether
+// any barrier was found.
+func (g *GroupCommit) round() bool {
+	g.mu.Lock()
+	queues := g.queues
+	g.mu.Unlock()
+	type job struct {
+		q     *gcQueue
+		thens []func()
+	}
+	var jobs []job
+	for _, q := range queues {
+		if thens := q.drain(nil); len(thens) > 0 {
+			jobs = append(jobs, job{q: q, thens: thens})
+		}
+	}
+	if len(jobs) == 0 {
+		return false
+	}
+	g.windows.Add(1)
+	synced := make(map[SyncStore]bool, len(jobs))
+	for _, j := range jobs {
+		if synced[j.q.store] {
+			continue
+		}
+		synced[j.q.store] = true
+		if err := j.q.store.Sync(); err != nil {
+			panic(fmt.Sprintf("storage: group-commit fsync failed, cannot continue without durability: %v", err))
+		}
+		g.syncs.Add(1)
+	}
+	for _, j := range jobs {
+		store, thens := j.q.store, j.thens
+		j.q.post(func() {
+			// Rotation (and any other file juggling) stays on the owning
+			// lane, where it cannot race the lane's appends.
+			if err := store.Maintain(); err != nil {
+				panic(fmt.Sprintf("storage: post-sync maintenance failed: %v", err))
+			}
+			for _, fn := range thens {
+				if fn != nil {
+					fn()
+				}
+			}
+		})
+	}
+	return true
+}
+
+// Stats returns the syncer's counters so far.
+func (g *GroupCommit) Stats() GroupCommitStats {
+	return GroupCommitStats{
+		Barriers: g.barriers.Load(),
+		Windows:  g.windows.Load(),
+		Syncs:    g.syncs.Load(),
+	}
+}
+
+// Close performs a final sweep and stops the syncer. Idempotent. Call
+// after the producing lanes have stopped and before the stores close.
+func (g *GroupCommit) Close() {
+	g.once.Do(func() { close(g.done) })
+	g.wg.Wait()
+}

@@ -26,6 +26,7 @@ package storage
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"wanamcast/internal/wire"
 )
@@ -53,6 +54,26 @@ type Store interface {
 	Close() error
 }
 
+// SyncStore is the optional Store extension group commit needs: the
+// Commit durability barrier split into its two halves, so many lanes'
+// barriers can share one fsync. Flush and Maintain run on the store's
+// owning lane; Sync is the one method called from the group-commit
+// syncer goroutine, concurrently with lane-side appends.
+type SyncStore interface {
+	Store
+	// Flush pushes buffered appends to the OS. No durability yet.
+	Flush() error
+	// Sync makes everything previously flushed durable (fsync unless the
+	// store runs fsync-off). Safe to call concurrently with Append/Flush.
+	Sync() error
+	// Maintain runs post-sync maintenance (segment rotation) that must
+	// stay confined to the owning lane.
+	Maintain() error
+	// Fsyncs returns how many fsyncs the store has issued so far — the
+	// observable behind the fsyncs-per-decided-batch metric.
+	Fsyncs() uint64
+}
+
 // Log is the nil-safe append handle layers hold. A nil *Log discards
 // everything, so protocols need no durability branches on their hot
 // paths. Append and Commit panic on store errors: a process that cannot
@@ -60,6 +81,10 @@ type Store interface {
 // crash-stop model), not carry on with amnesia.
 type Log struct {
 	store Store
+	// Group-commit attachment (nil = synchronous barriers): CommitThen
+	// stages its continuation here instead of fsyncing inline.
+	sync SyncStore
+	q    *gcQueue
 }
 
 // NewLog wraps store; a nil store yields a nil (discard-everything) Log.
@@ -93,6 +118,57 @@ func (l *Log) Commit() {
 // Enabled reports whether records appended here are actually retained.
 func (l *Log) Enabled() bool { return l != nil }
 
+// AttachGroupCommit routes this log's CommitThen barriers through gc:
+// the barrier's continuation is parked until the syncer's next fsync of
+// this store completes, and one fsync covers every barrier staged across
+// all lanes in the window. post must run its argument on the store's
+// owning lane, as its own event (e.g. tcp.Runtime.Async) — parked
+// continuations touch loop-confined protocol state.
+//
+// A nil log, a nil gc, or a store that cannot split its barrier (no
+// SyncStore) leave the log synchronous: CommitThen then degrades to
+// Commit-then-call, which is the exact historical behavior.
+func (l *Log) AttachGroupCommit(gc *GroupCommit, post func(func())) {
+	if l == nil || gc == nil {
+		return
+	}
+	ss, ok := l.store.(SyncStore)
+	if !ok {
+		return
+	}
+	l.sync = ss
+	l.q = gc.register(ss, post)
+}
+
+// CommitThen is the asynchronous durability barrier: then runs strictly
+// after every record appended so far is durable. Without a group-commit
+// attachment it is Commit() followed by then() — synchronous, today's
+// behavior to the byte. With one, the appends are flushed to the OS on
+// the calling lane and then is parked until the group-commit syncer's
+// covering fsync completes; it then runs on the owning lane via the
+// attachment's post hook. Either way the caller must not touch
+// loop-confined state between CommitThen and then running — the reply a
+// barrier guards belongs inside then.
+func (l *Log) CommitThen(then func()) {
+	if l == nil {
+		if then != nil {
+			then()
+		}
+		return
+	}
+	if l.q == nil {
+		l.Commit()
+		if then != nil {
+			then()
+		}
+		return
+	}
+	if err := l.sync.Flush(); err != nil {
+		panic(fmt.Sprintf("storage: flush failed, cannot continue without durability: %v", err))
+	}
+	l.q.stage(then)
+}
+
 // --- in-memory store ------------------------------------------------------
 
 // Mem is an in-memory Store: records and snapshot survive as long as the
@@ -105,9 +181,11 @@ type Mem struct {
 	snap     []byte
 	snapFrom uint64
 	closed   bool
+	syncs    atomic.Uint64
 }
 
 var _ Store = (*Mem)(nil)
+var _ SyncStore = (*Mem)(nil)
 
 // NewMem returns an empty in-memory store.
 func NewMem() *Mem { return &Mem{} }
@@ -123,6 +201,25 @@ func (m *Mem) Append(rec Record) error {
 
 // Commit implements Store (memory is always "durable").
 func (m *Mem) Commit() error { return nil }
+
+// Flush implements SyncStore: memory has nothing to flush.
+func (m *Mem) Flush() error { return nil }
+
+// Sync implements SyncStore. It only counts: memory is always durable,
+// but the counter lets tests observe how group commit batches barriers.
+// Unlike the rest of Mem it is safe to call concurrently (the
+// group-commit syncer calls it from its own goroutine).
+func (m *Mem) Sync() error {
+	m.syncs.Add(1)
+	return nil
+}
+
+// Maintain implements SyncStore: nothing to rotate.
+func (m *Mem) Maintain() error { return nil }
+
+// Fsyncs implements SyncStore: for Mem it reports the number of Sync
+// barriers observed (no real fsyncs ever happen).
+func (m *Mem) Fsyncs() uint64 { return m.syncs.Load() }
 
 // SaveSnapshot implements Store.
 func (m *Mem) SaveSnapshot(data []byte) error {

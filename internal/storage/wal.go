@@ -23,6 +23,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 var (
@@ -48,20 +50,29 @@ type DiskOptions struct {
 	NoFsync bool
 }
 
-// Disk is the file-backed Store.
+// Disk is the file-backed Store. Under group commit it is shared
+// between its owning lane (Append/Flush/Commit/Maintain) and the syncer
+// goroutine (Sync): fmu guards the segment file handle against a
+// rotation or Close racing an in-flight fsync, and the dirty flag and
+// fsync counter are atomic. All other methods stay lane-confined.
 type Disk struct {
 	dir     string
 	opts    DiskOptions
+	fmu     sync.RWMutex // guards f (and closed) against Sync vs rotate/Close
 	f       *os.File
 	wbuf    []byte // pending (unflushed) encoded frames
 	scratch []byte // per-record encode scratch
 	next    uint64 // index of the next record to append
 	segLen  int64  // bytes written to the current segment
-	dirty   bool   // bytes not yet fsynced
+	dirty   atomic.Bool
+	fsyncs  atomic.Uint64
 	closed  bool
 }
 
-var _ Store = (*Disk)(nil)
+var (
+	_ Store     = (*Disk)(nil)
+	_ SyncStore = (*Disk)(nil)
+)
 
 // OpenDisk opens (creating if needed) the store in dir. Existing segments
 // are scanned to find the next record index; appends continue in a fresh
@@ -150,7 +161,7 @@ func (d *Disk) openSegment() error {
 	}
 	d.f = f
 	d.segLen = int64(len(segMagic))
-	d.dirty = true
+	d.dirty.Store(true)
 	return nil
 }
 
@@ -211,9 +222,52 @@ func (d *Disk) flush() error {
 	}
 	d.segLen += int64(len(d.wbuf))
 	d.wbuf = d.wbuf[:0]
-	d.dirty = true
+	d.dirty.Store(true)
 	return nil
 }
+
+// Flush implements SyncStore: push buffered appends to the OS without a
+// durability barrier. Lane-side (same goroutine as Append).
+func (d *Disk) Flush() error {
+	if d.closed {
+		return fmt.Errorf("storage: flush on closed store")
+	}
+	return d.flush()
+}
+
+// Sync implements SyncStore: fsync everything flushed so far. This is
+// the one method the group-commit syncer calls from its own goroutine;
+// it holds the file-handle lock so a concurrent rotation or Close cannot
+// pull the file out from under the fsync. Flushes that complete before a
+// barrier is staged are covered by construction (flush happens-before
+// stage happens-before the syncer's drain happens-before this call).
+func (d *Disk) Sync() error {
+	d.fmu.RLock()
+	defer d.fmu.RUnlock()
+	if d.closed || !d.dirty.Swap(false) {
+		return nil
+	}
+	if d.opts.NoFsync {
+		return nil
+	}
+	if err := d.f.Sync(); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	d.fsyncs.Add(1)
+	return nil
+}
+
+// Maintain implements SyncStore: rotate the segment if it outgrew the
+// threshold. Lane-side, so rotation cannot race the lane's appends.
+func (d *Disk) Maintain() error {
+	if d.closed || d.segLen < d.opts.SegmentSize {
+		return nil
+	}
+	return d.rotate()
+}
+
+// Fsyncs implements SyncStore.
+func (d *Disk) Fsyncs() uint64 { return d.fsyncs.Load() }
 
 // Commit implements Store: flush and (unless NoFsync) fsync, then rotate
 // the segment if it outgrew the threshold.
@@ -224,12 +278,13 @@ func (d *Disk) Commit() error {
 	if err := d.flush(); err != nil {
 		return err
 	}
-	if d.dirty && !d.opts.NoFsync {
+	if d.dirty.Load() && !d.opts.NoFsync {
 		if err := d.f.Sync(); err != nil {
 			return fmt.Errorf("storage: %w", err)
 		}
+		d.fsyncs.Add(1)
 	}
-	d.dirty = false
+	d.dirty.Store(false)
 	if d.segLen >= d.opts.SegmentSize {
 		if err := d.rotate(); err != nil {
 			return err
@@ -239,10 +294,16 @@ func (d *Disk) Commit() error {
 }
 
 func (d *Disk) rotate() error {
+	// The whole swap runs under the file-handle lock: a group-commit Sync
+	// in flight must finish against the old segment before it closes, and
+	// must see the new handle afterwards.
+	d.fmu.Lock()
+	defer d.fmu.Unlock()
 	if !d.opts.NoFsync {
 		if err := d.f.Sync(); err != nil {
 			return fmt.Errorf("storage: %w", err)
 		}
+		d.fsyncs.Add(1)
 	}
 	if err := d.f.Close(); err != nil {
 		return fmt.Errorf("storage: %w", err)
@@ -451,10 +512,12 @@ func (d *Disk) Close() error {
 		return nil
 	}
 	err := d.Commit()
+	d.fmu.Lock()
 	d.closed = true
 	if cerr := d.f.Close(); err == nil {
 		err = cerr
 	}
+	d.fmu.Unlock()
 	return err
 }
 

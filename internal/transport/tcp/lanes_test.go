@@ -1,0 +1,162 @@
+package tcp
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"wanamcast/internal/abcast"
+	"wanamcast/internal/types"
+)
+
+// TestLaneLayout pins the lane-assignment contract: Lanes=0 keeps the
+// historical one-lane-per-process layout, Lanes=N shards by group mod N,
+// and Lanes=1 serialises everything onto a single goroutine.
+func TestLaneLayout(t *testing.T) {
+	topo := types.NewTopology(4, 2) // groups {0,1},{2,3},{4,5},{6,7}
+
+	legacy := New(Config{Topo: topo, BasePort: 22000})
+	if got := legacy.LaneCount(); got != topo.N() {
+		t.Fatalf("Lanes=0: %d lanes, want %d (one per process)", got, topo.N())
+	}
+	if legacy.SameLane(0, 1) {
+		t.Fatal("Lanes=0: group peers must not share a lane")
+	}
+
+	two := New(Config{Topo: topo, BasePort: 22000, Lanes: 2})
+	if got := two.LaneCount(); got != 2 {
+		t.Fatalf("Lanes=2: %d lanes, want 2", got)
+	}
+	for _, id := range topo.AllProcesses() {
+		// Same group ⇒ same lane, always.
+		for _, peer := range topo.Members(topo.GroupOf(id)) {
+			if !two.SameLane(id, peer) {
+				t.Fatalf("Lanes=2: %v and %v share group %v but not a lane", id, peer, topo.GroupOf(id))
+			}
+		}
+	}
+	// group mod 2: groups 0,2 on one lane; 1,3 on the other.
+	if !two.SameLane(0, 4) || !two.SameLane(2, 6) {
+		t.Fatal("Lanes=2: groups with equal index mod 2 must share a lane")
+	}
+	if two.SameLane(0, 2) {
+		t.Fatal("Lanes=2: groups 0 and 1 must be on different lanes")
+	}
+
+	one := New(Config{Topo: topo, BasePort: 22000, Lanes: 1})
+	if got := one.LaneCount(); got != 1 {
+		t.Fatalf("Lanes=1: %d lanes, want 1", got)
+	}
+	if !one.SameLane(0, 7) {
+		t.Fatal("Lanes=1: every process must share the single lane")
+	}
+}
+
+// TestLaneInboxOverflowParks drives a deliberately tiny inbox ring far
+// past capacity from several concurrent producers and checks the
+// back-pressure contract: every event executes, in per-producer order —
+// parked, never dropped.
+func TestLaneInboxOverflowParks(t *testing.T) {
+	topo := types.NewTopology(1, 2)
+	rt := New(Config{Topo: topo, BasePort: 22010, Lanes: 1, InboxSize: 8})
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+
+	const producers = 4
+	const perProducer = 2000
+	var mu sync.Mutex
+	got := make([][]int, producers)
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				i := i
+				rt.Async(types.ProcessID(p%topo.N()), func() {
+					mu.Lock()
+					got[p] = append(got[p], i)
+					mu.Unlock()
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	waitFor(t, 10*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		for p := 0; p < producers; p++ {
+			if len(got[p]) != perProducer {
+				return false
+			}
+		}
+		return true
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	for p := 0; p < producers; p++ {
+		for i, v := range got[p] {
+			if v != i {
+				t.Fatalf("producer %d: event %d executed at position %d — per-producer FIFO broken", p, v, i)
+			}
+		}
+	}
+}
+
+// TestLiveBroadcastLanesShared runs the total-order broadcast check with
+// four processes multiplexed onto two lanes over real sockets: sharing a
+// lane must be invisible to the protocols.
+func TestLiveBroadcastLanesShared(t *testing.T) {
+	RegisterWireTypes()
+	topo := types.NewTopology(2, 2)
+	rt := New(Config{
+		Topo:     topo,
+		BasePort: 22020,
+		WANDelay: 5 * time.Millisecond,
+		Lanes:    2,
+	})
+	log := newLog()
+	eps := make([]*abcast.Bcast, topo.N())
+	for _, id := range topo.AllProcesses() {
+		id := id
+		eps[id] = abcast.New(abcast.Config{
+			Host:     rt.Proc(id),
+			Detector: rt.Detector(id),
+			OnDeliver: func(mid types.MessageID, _ any) {
+				log.add(id, mid)
+			},
+		})
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+
+	const casts = 8
+	for i := 0; i < casts; i++ {
+		i := i
+		from := types.ProcessID(i % topo.N())
+		rt.Run(from, func() { eps[from].ABCast(i) })
+	}
+	waitFor(t, 15*time.Second, func() bool {
+		for _, id := range topo.AllProcesses() {
+			if len(log.seq(id)) < casts {
+				return false
+			}
+		}
+		return true
+	})
+	ref := log.seq(0)
+	for _, id := range topo.AllProcesses()[1:] {
+		seq := log.seq(id)
+		for i := range ref {
+			if seq[i] != ref[i] {
+				t.Fatalf("process %v delivery %d = %v, want %v (total order broken across shared lanes)", id, i, seq[i], ref[i])
+			}
+		}
+	}
+}

@@ -3,10 +3,29 @@
 // an injected one-way WAN delay for inter-group links and a heartbeat
 // failure detector in place of the simulation oracle.
 //
-// Every process is a goroutine-confined event loop: incoming frames,
-// timers, and local hand-offs are funneled through a per-process inbox, so
-// protocol code keeps the paper's "each line executes atomically"
-// semantics without internal locking.
+// Every process is confined to exactly one ordering lane: incoming
+// frames, timers, and local hand-offs are funneled through the lane's
+// lock-free inbox ring and executed by the lane goroutine, so protocol
+// code keeps the paper's "each line executes atomically" semantics
+// without internal locking. By default each hosted process gets its own
+// lane (the historical one-goroutine-per-process layout); Config.Lanes
+// shards processes across exactly N lane goroutines by group
+// (lane = group mod Lanes), so a replica hosting many groups can pin its
+// parallelism — the paper's genuine multicast coordinates groups only
+// through messages, which cross lanes as ordinary inbox events. The
+// receive path demultiplexes decoded frames straight into the
+// destination process's lane ring (no intermediate closure, no global
+// inbox hop), and the decoded wire body is handed to the protocol
+// as-is — zero-copy from the codec to the deliver hook.
+//
+// Lane back-pressure is explicit: the inbox ring (Config.InboxSize) is
+// bounded and lock-free, but when it fills, events PARK in an unbounded
+// overflow list — they are never dropped and never block the producer.
+// The inbox carries consensus replies, timer callbacks, and delivery
+// events, none of which have a retransmission to fall back on; the only
+// place this transport drops is the per-connection SEND queue, whose
+// drops are protocol-retry-safe (rmcast data and consensus rounds both
+// retransmit toward live peers).
 //
 // The transport is asynchronous and buffered. Transmit runs on the
 // sender's process loop and does nothing but enqueue the frame onto a
@@ -36,6 +55,7 @@ import (
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wanamcast/internal/abcast"
@@ -45,6 +65,7 @@ import (
 	"wanamcast/internal/fd"
 	"wanamcast/internal/network"
 	"wanamcast/internal/node"
+	"wanamcast/internal/ring"
 	"wanamcast/internal/rmcast"
 	"wanamcast/internal/types"
 	"wanamcast/internal/wire"
@@ -122,6 +143,7 @@ func (c Codec) String() string {
 // Default values for the transport knobs (see Config).
 const (
 	DefaultSendQueue   = 4096
+	DefaultInboxSize   = 4096
 	DefaultFlushEvery  = 200 * time.Microsecond
 	DefaultDialTimeout = time.Second
 )
@@ -145,6 +167,20 @@ type Config struct {
 	// (defaults 50 ms and 250 ms).
 	HeartbeatEvery time.Duration
 	SuspectAfter   time.Duration
+	// Lanes shards the hosted processes across exactly this many ordering
+	// lane goroutines, by group: process p runs on lane
+	// group(p) mod Lanes, so a group's whole protocol state stays
+	// confined to one lane while different groups order in parallel on
+	// different cores. 0 (the default) keeps the historical layout — one
+	// lane per hosted process. Lanes=1 serialises every hosted process
+	// onto a single goroutine (the single-core baseline the lane-scaling
+	// benchmark measures against).
+	Lanes int
+	// InboxSize bounds each lane's lock-free inbox ring (default 4096).
+	// A full ring PARKS further events in an unbounded overflow list —
+	// inbox events (consensus replies, timers, deliveries) are never
+	// dropped, unlike SendQueue's frames, whose loss is retry-safe.
+	InboxSize int
 	// SendQueue bounds each connection's outbound frame queue (default
 	// 4096). A full queue drops the frame instead of blocking the sender's
 	// process loop; protocol retry timers recover drops toward live peers.
@@ -196,10 +232,11 @@ type Runtime struct {
 	rngMu sync.Mutex
 	jrng  *rand.Rand // feeds fabric jitter overrides; dispatch goroutines share it
 
-	procs   []*node.Proc
-	inboxes []chan func()
-	fds     []*heartbeatFD
-	local   []types.ProcessID
+	procs  []*node.Proc
+	lanes  []*lane // every lane goroutine, in creation order
+	laneOf []*lane // indexed by ProcessID; nil for processes not hosted here
+	fds    []*heartbeatFD
+	local  []types.ProcessID
 
 	listeners []net.Listener
 	connMu    sync.Mutex
@@ -239,6 +276,9 @@ func New(cfg Config) *Runtime {
 	}
 	if cfg.SendQueue <= 0 {
 		cfg.SendQueue = DefaultSendQueue
+	}
+	if cfg.InboxSize <= 0 {
+		cfg.InboxSize = DefaultInboxSize
 	}
 	if cfg.FlushEvery <= 0 {
 		cfg.FlushEvery = DefaultFlushEvery
@@ -291,20 +331,54 @@ func New(cfg Config) *Runtime {
 	})
 	n := cfg.Topo.N()
 	rt.procs = make([]*node.Proc, n)
-	rt.inboxes = make([]chan func(), n)
+	rt.laneOf = make([]*lane, n)
 	rt.fds = make([]*heartbeatFD, n)
 	local := cfg.Local
 	if local == nil {
 		local = cfg.Topo.AllProcesses()
 	}
 	rt.local = local
+	// Lane layout: one lane per hosted process by default; with
+	// Config.Lanes > 0, lane index group(p) mod Lanes — every member of a
+	// group a runtime hosts shares that group's lane, and groups spread
+	// round-robin across the N goroutines.
+	byIdx := make(map[int]*lane)
 	for _, id := range local {
+		var ln *lane
+		if cfg.Lanes <= 0 {
+			ln = rt.newLane()
+		} else {
+			idx := int(cfg.Topo.GroupOf(id)) % cfg.Lanes
+			ln = byIdx[idx]
+			if ln == nil {
+				ln = rt.newLane()
+				byIdx[idx] = ln
+			}
+		}
+		rt.laneOf[id] = ln
 		rt.procs[id] = node.NewProc(id, cfg.Topo, rt)
-		rt.inboxes[id] = make(chan func(), 4096)
 		rt.fds[id] = newHeartbeatFD(rt.procs[id], cfg.HeartbeatEvery, cfg.SuspectAfter, rt.rec)
 		rt.procs[id].Register(rt.fds[id])
 	}
 	return rt
+}
+
+func (rt *Runtime) newLane() *lane {
+	ln := &lane{
+		rt:   rt,
+		in:   ring.NewMPSC[laneEvent](rt.cfg.InboxSize),
+		wake: make(chan struct{}, 1),
+	}
+	rt.lanes = append(rt.lanes, ln)
+	return ln
+}
+
+// LaneCount returns how many lane goroutines this runtime runs.
+func (rt *Runtime) LaneCount() int { return len(rt.lanes) }
+
+// SameLane reports whether two hosted processes share a lane (tests).
+func (rt *Runtime) SameLane(p, q types.ProcessID) bool {
+	return rt.laneOf[p] != nil && rt.laneOf[p] == rt.laneOf[q]
 }
 
 // Proc returns process id's node for protocol registration (before Start).
@@ -342,10 +416,9 @@ func (rt *Runtime) Start() error {
 		rt.wg.Add(1)
 		go rt.acceptLoop(id, ln)
 	}
-	for _, id := range rt.local {
-		id := id
+	for _, ln := range rt.lanes {
 		rt.wg.Add(1)
-		go rt.procLoop(id)
+		go ln.loop()
 	}
 	var startWG sync.WaitGroup
 	for _, id := range rt.local {
@@ -465,21 +538,99 @@ func (rt *Runtime) addr(id types.ProcessID) string {
 }
 
 func (rt *Runtime) enqueue(id types.ProcessID, fn func()) {
+	rt.laneOf[id].post(laneEvent{fn: fn, to: id})
+}
+
+// laneEvent is one unit of lane work. The receive path posts deliveries
+// as plain field sets (fn == nil) so the hot path allocates no closure;
+// timers and Run/Async hand-offs carry an explicit fn.
+type laneEvent struct {
+	fn    func()
+	from  types.ProcessID
+	to    types.ProcessID
+	proto string
+	ts    int64
+	body  any
+}
+
+// lane is one ordering goroutine: a bounded MPSC inbox ring fed by read
+// loops, timers, and other lanes, drained by a single loop that executes
+// events in post order (per producer). A full ring parks events in the
+// overflow list — see the package doc's back-pressure contract.
+type lane struct {
+	rt   *Runtime
+	in   *ring.MPSC[laneEvent]
+	wake chan struct{} // capacity 1; coalesced wake-up signal
+
+	ovMu sync.Mutex
+	ov   []laneEvent
+	ovOn atomic.Bool
+}
+
+// post hands an event to the lane. It never blocks and never drops:
+// ring first; once the ring is full (or an overflow is already pending,
+// which keeps per-producer FIFO) the event parks in the overflow list.
+// Posts racing Stop are inert — the lane drains what it can and exits.
+func (ln *lane) post(ev laneEvent) {
+	if ln.ovOn.Load() || !ln.in.TryPush(ev) {
+		ln.ovMu.Lock()
+		ln.ovOn.Store(true)
+		ln.ov = append(ln.ov, ev)
+		ln.ovMu.Unlock()
+	}
 	select {
-	case rt.inboxes[id] <- fn:
-	case <-rt.done:
+	case ln.wake <- struct{}{}:
+	default: // a wake is already pending
 	}
 }
 
-func (rt *Runtime) procLoop(id types.ProcessID) {
+func (ln *lane) loop() {
+	rt := ln.rt
 	defer rt.wg.Done()
 	for {
+		n := 0
+		for {
+			ev, ok := ln.in.TryPop()
+			if !ok {
+				break
+			}
+			rt.exec(ev)
+			n++
+		}
+		if ln.ovOn.Load() {
+			ln.ovMu.Lock()
+			batch := ln.ov
+			ln.ov = nil
+			if len(batch) == 0 {
+				ln.ovOn.Store(false) // overflow drained: ring carries new posts again
+			}
+			ln.ovMu.Unlock()
+			for _, ev := range batch {
+				rt.exec(ev)
+			}
+			n += len(batch)
+		}
+		if n > 0 {
+			continue // more may have arrived while we executed
+		}
 		select {
-		case fn := <-rt.inboxes[id]:
-			fn()
+		case <-ln.wake:
 		case <-rt.done:
 			return
 		}
+	}
+}
+
+// exec runs one lane event on the lane goroutine. rt.procs[id] is only
+// read and written on id's lane after Start (Restart swaps it via Run),
+// so the slot needs no synchronisation here.
+func (rt *Runtime) exec(ev laneEvent) {
+	if ev.fn != nil {
+		ev.fn()
+		return
+	}
+	if p := rt.procs[ev.to]; p != nil {
+		p.Deliver(ev.from, ev.proto, ev.body, ev.ts)
 	}
 }
 
@@ -598,17 +749,16 @@ func (rt *Runtime) dispatch(to types.ProcessID, f wire.Frame) {
 	if rt.trace != nil && f.Proto != "fd" {
 		rt.Tracef("%v recv %v->%v %s %+v", time.Since(rt.start).Round(time.Millisecond), f.From, to, f.Proto, f.Body)
 	}
-	deliver := func() {
-		rt.enqueue(to, func() {
-			if rt.procs[to] != nil {
-				rt.procs[to].Deliver(f.From, f.Proto, f.Body, f.TS)
-			}
-		})
-	}
+	// Demultiplex straight into the destination lane: the decoded frame
+	// becomes the lane event field-for-field (body handed over as-is —
+	// zero-copy from the codec), with no per-frame closure on the
+	// zero-delay path.
+	ev := laneEvent{from: f.From, to: to, proto: f.Proto, ts: f.TS, body: f.Body}
 	if delay > 0 {
-		time.AfterFunc(delay, deliver)
+		ln := rt.laneOf[to]
+		time.AfterFunc(delay, func() { ln.post(ev) })
 	} else {
-		deliver()
+		rt.laneOf[to].post(ev)
 	}
 }
 
@@ -656,7 +806,7 @@ func (rt *Runtime) Later(owner *node.Proc, d time.Duration, fn func()) {
 // queue is full).
 func (rt *Runtime) Transmit(from, to types.ProcessID, proto string, body any, sendTS int64) {
 	if from == to {
-		rt.enqueue(to, func() { rt.procs[to].Deliver(from, proto, body, sendTS) })
+		rt.laneOf[to].post(laneEvent{from: from, to: to, proto: proto, ts: sendTS, body: body})
 		return
 	}
 	l := rt.link(from, to)

@@ -48,6 +48,19 @@ type LiveConfig struct {
 	// MaxBatch caps how many messages one consensus instance may order,
 	// for both A1 and A2 (default 0: unbounded, the paper's rule).
 	MaxBatch int
+	// Lanes shards the cluster's processes across exactly this many
+	// ordering lane goroutines, by group (lane = group mod Lanes): each
+	// group's protocol state stays confined to one lane while different
+	// groups order in parallel on different cores. Lanes > 0 also routes
+	// every durable store's fsync barriers through a single group-commit
+	// syncer, so one fsync covers every lane's promises in a window. 0
+	// (the default) keeps the historical layout — one goroutine per
+	// process, synchronous Commit barriers.
+	Lanes int
+	// InboxSize bounds each lane's lock-free inbox ring (default 4096).
+	// A full ring parks further events in an unbounded overflow list —
+	// lane events are never dropped.
+	InboxSize int
 	// SendQueue bounds each TCP connection's outbound frame queue
 	// (default 4096); a full queue drops frames instead of blocking a
 	// process loop, and protocol retries recover the drops.
@@ -110,8 +123,9 @@ type LiveCluster struct {
 	a1   []*amcast.Mcast
 	a2   []*abcast.Bcast
 
-	stores   []storage.Store // per process; nil = no persistence
-	castSeqs []uint64        // per-process cast allocators (loop-confined)
+	stores   []storage.Store      // per process; nil = no persistence
+	gc       *storage.GroupCommit // cross-lane fsync batcher; nil when Lanes == 0
+	castSeqs []uint64             // per-process cast allocators (loop-confined)
 
 	mu         sync.Mutex
 	onDeliver  func(p ProcessID, id MessageID, payload any)
@@ -170,6 +184,8 @@ func NewLiveCluster(cfg LiveConfig) *LiveCluster {
 		LANDelay:       cfg.LANDelay,
 		HeartbeatEvery: cfg.HeartbeatEvery,
 		SuspectAfter:   cfg.SuspectAfter,
+		Lanes:          cfg.Lanes,
+		InboxSize:      cfg.InboxSize,
 		SendQueue:      cfg.SendQueue,
 		FlushEvery:     cfg.FlushEvery,
 		Codec:          codec,
@@ -197,6 +213,20 @@ func NewLiveCluster(cfg LiveConfig) *LiveCluster {
 	}
 	for _, id := range topo.AllProcesses() {
 		l.stores[id] = l.openStore(id)
+	}
+	// With lanes sharing goroutines, Commit barriers batch through one
+	// group-commit syncer instead of fsyncing inline (see
+	// storage.GroupCommit). Only worth starting when some store can
+	// actually split its barrier.
+	if cfg.Lanes > 0 {
+		for _, s := range l.stores {
+			if _, ok := s.(storage.SyncStore); ok {
+				l.gc = storage.NewGroupCommit()
+				break
+			}
+		}
+	}
+	for _, id := range topo.AllProcesses() {
 		l.buildEndpoints(id, rt.Proc(id), rt.Detector(id))
 	}
 	return l
@@ -231,6 +261,12 @@ func (l *LiveCluster) buildEndpoints(id ProcessID, proc *node.Proc, det fd.Detec
 		return MessageID{Origin: id, Seq: l.castSeqs[id]}
 	}
 	log := storage.NewLog(l.stores[id])
+	if l.gc != nil {
+		// Barrier continuations (the parked Promise/Accepted replies) run
+		// back on the process's own lane, where protocol state is safe to
+		// touch.
+		log.AttachGroupCommit(l.gc, func(fn func()) { l.rt.Async(id, fn) })
+	}
 	var onSynced func()
 	if l.stores[id] != nil {
 		// A completed state transfer is the natural snapshot point: the
@@ -385,8 +421,14 @@ func (l *LiveCluster) Stop() {
 	l.stopped = true
 	l.mu.Unlock()
 	l.rt.Stop()
-	// Loops are drained: flush and release the durable stores exactly once.
+	// Loops are drained: stop the group-commit syncer (its final sweep
+	// must precede the store closes below — a Sync racing Close would
+	// hit a closed file), then flush and release the durable stores
+	// exactly once.
 	l.closeOnce.Do(func() {
+		if l.gc != nil {
+			l.gc.Close()
+		}
 		for _, s := range l.stores {
 			if s != nil {
 				_ = s.Close()
@@ -497,6 +539,33 @@ func (l *LiveCluster) Crash(p ProcessID) {
 // window of recent casts (8×RetainDeliveries, or 65536 when the delivery
 // log is unbounded), so a long-running cluster's memory stays flat.
 func (l *LiveCluster) Stats() Stats { return l.col.Snapshot() }
+
+// FsyncStats reports the cluster's durability-barrier accounting:
+// Fsyncs is the total fsyncs issued across every durable store, and the
+// group-commit counters (zero when Lanes == 0) show the batching — with
+// B barriers amortised over W windows, B/W lane barriers shared each
+// fsync.
+type FsyncStats struct {
+	Fsyncs   uint64 // fsyncs issued across all stores (inline + group commit)
+	Barriers uint64 // durability barriers staged through the group-commit syncer
+	Windows  uint64 // group-commit windows executed
+	Syncs    uint64 // fsyncs issued by the syncer (subset of Fsyncs)
+}
+
+// FsyncStats returns the durability-barrier counters of the run so far.
+func (l *LiveCluster) FsyncStats() FsyncStats {
+	var st FsyncStats
+	for _, s := range l.stores {
+		if ss, ok := s.(storage.SyncStore); ok {
+			st.Fsyncs += ss.Fsyncs()
+		}
+	}
+	if l.gc != nil {
+		g := l.gc.Stats()
+		st.Barriers, st.Windows, st.Syncs = g.Barriers, g.Windows, g.Syncs
+	}
+	return st
+}
 
 // Fabric exposes the live network's mutable link table: severing a
 // (from, to) pair kills its TCP connection, rejects dials, and parks
