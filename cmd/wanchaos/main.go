@@ -11,7 +11,13 @@
 // no disk):
 //
 //	wanchaos -scenario partition-recovery -groups 2 -d 3 -wan 5ms -clients 100
-//	wanchaos -scenario suite -clients 100        # all five scenarios
+//	wanchaos -scenario suite -clients 100        # all six scenarios
+//
+// The lease-partition scenario additionally enables leader leases, serves
+// half the load as lease-consistent reads, and pins the read tier's safety
+// hand-off: the severed holder's lease must lapse strictly before the
+// successor's activates, so no read served under the old lease can be
+// stale.
 //
 // Sim mode replays the same scenarios deterministically on the virtual
 // cluster under a Poisson workload:
@@ -33,6 +39,7 @@ import (
 	"time"
 
 	"wanamcast"
+	"wanamcast/internal/fd"
 	"wanamcast/internal/harness"
 	"wanamcast/internal/metrics"
 	"wanamcast/internal/scenario"
@@ -47,7 +54,7 @@ func main() { os.Exit(run()) }
 func run() int {
 	var (
 		mode     = flag.String("mode", "live", "live (real TCP + KV service under load) or sim (deterministic virtual time)")
-		scn      = flag.String("scenario", "suite", "scenario name (partition-heal, asym-partition, leader-flap, delay-spike, partition-recovery) or \"suite\" for all")
+		scn      = flag.String("scenario", "suite", "scenario name (partition-heal, asym-partition, leader-flap, delay-spike, partition-recovery, lease-partition) or \"suite\" for all")
 		groups   = flag.Int("groups", 2, "number of groups/shards")
 		d        = flag.Int("d", 3, "processes per group")
 		basePort = flag.Int("port", 27000, "cluster base port (live)")
@@ -197,11 +204,16 @@ func runLive(sc scenario.Scenario, groups, d, basePort, svcPort int, wan, lan,
 	hbEvery, suspAft time.Duration, maxBatch, pipeline, lanes, inbox, clients, ops int,
 	timeout time.Duration, seed int64, verbose bool) bool {
 
-	stores := make([]storage.Store, groups*d)
-	for i := range stores {
-		stores[i] = storage.NewMem()
+	// Scenarios that isolate a process exercise the lease hand-off: enable
+	// leader leases and serve part of the load as lease-consistent reads so
+	// the fenced window is actually crossed by read traffic.
+	leasing := false
+	for _, e := range sc.Events {
+		if e.Kind == scenario.Isolate {
+			leasing = true
+		}
 	}
-	cluster := wanamcast.NewLiveCluster(wanamcast.LiveConfig{
+	cfg := wanamcast.LiveConfig{
 		Groups:         groups,
 		PerGroup:       d,
 		BasePort:       basePort,
@@ -214,8 +226,16 @@ func runLive(sc scenario.Scenario, groups, d, basePort, svcPort int, wan, lan,
 		Lanes:          lanes,
 		InboxSize:      inbox,
 		Check:          true,
-		StoreFor:       func(p wanamcast.ProcessID) storage.Store { return stores[p] },
-	})
+	}
+	if leasing {
+		cfg.LeaseDuration = suspAft
+	}
+	stores := make([]storage.Store, groups*d)
+	for i := range stores {
+		stores[i] = storage.NewMem()
+	}
+	cfg.StoreFor = func(p wanamcast.ProcessID) storage.Store { return stores[p] }
+	cluster := wanamcast.NewLiveCluster(cfg)
 	if err := cluster.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "wanchaos:", err)
 		return false
@@ -225,13 +245,17 @@ func runLive(sc scenario.Scenario, groups, d, basePort, svcPort int, wan, lan,
 	topo := cluster.Topology()
 	route := svc.PrefixRoute(groups)
 	stats := &metrics.Service{}
-	service, err := svc.ServeCluster(cluster, topo, svc.ServiceConfig{
+	svcCfg := svc.ServiceConfig{
 		BasePort: svcPort,
 		NewMachine: func(p types.ProcessID, g types.GroupID) svc.StateMachine {
 			return svc.NewKVMachine(g, route)
 		},
 		Stats: stats,
-	})
+	}
+	if leasing {
+		svcCfg.LeaseFor = func(p types.ProcessID) *fd.Lease { return cluster.ReadLease(p) }
+	}
+	service, err := svc.ServeCluster(cluster, topo, svcCfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wanchaos:", err)
 		return false
@@ -257,14 +281,19 @@ func runLive(sc scenario.Scenario, groups, d, basePort, svcPort int, wan, lan,
 	begin := time.Now()
 	totalOps, totalErrs, waves := 0, 0, 0
 	for {
-		res := svc.RunKVLoad(topo, service.Addrs(), svc.LoadSpec{
+		spec := svc.LoadSpec{
 			Clients:     clients,
 			Ops:         ops,
 			Mix:         workload.DefaultMix(),
 			Timeout:     timeout,
 			Seed:        seed + int64(waves),
 			SessionBase: uint64(waves * (clients + 1)),
-		}, stats)
+		}
+		if leasing {
+			spec.ReadFraction = 0.5
+			spec.Consistency = svc.ConsistencyLease
+		}
+		res := svc.RunKVLoad(topo, service.Addrs(), spec, stats)
 		totalOps += res.Ops
 		totalErrs += res.Errors
 		waves++
@@ -306,6 +335,37 @@ func runLive(sc scenario.Scenario, groups, d, basePort, svcPort int, wan, lan,
 		good = false
 	} else {
 		fmt.Println("  properties: uniform integrity, validity, uniform agreement, uniform prefix order: OK")
+	}
+	// Lease-safety pin: the isolated holder's lease must have lapsed
+	// strictly before the successor's activated, so no read the old holder
+	// served could land after the successor started serving — the fenced
+	// window never overlaps.
+	if leasing {
+		victim := topo.Members(0)[0]
+		succ := topo.Members(0)[1]
+		succLease := cluster.ReadLease(succ)
+		if succLease.Activations() == 0 {
+			fmt.Println("  FAIL: successor never earned a lease — the failover path was not exercised")
+			good = false
+		} else {
+			old := cluster.ReadLease(victim)
+			// ExpiredAt is frozen lazily (on the next extend/revoke); if the
+			// victim has not re-earned its lease yet, its still-frozen
+			// ValidUntil IS the old incarnation's end.
+			oldEnd := old.ExpiredAt()
+			if oldEnd.IsZero() {
+				oldEnd = old.ValidUntil()
+			}
+			gap := succLease.ActivatedAt().Sub(oldEnd)
+			if gap <= 0 {
+				fmt.Printf("  FAIL: lease overlap — old holder valid until %v, successor active from %v\n",
+					oldEnd, succLease.ActivatedAt())
+				good = false
+			} else {
+				fmt.Printf("  lease hand-off: old holder lapsed %v before the successor activated (stale-reads rejected: %d, lease reads denied: %d)\n",
+					gap.Round(time.Millisecond), stats.Snapshot().StaleReads, stats.Snapshot().LeaseDenied)
+			}
+		}
 	}
 	st := cluster.Stats()
 	fmt.Printf("  fd: suspicions=%d trust-restored=%d leader-changes=%d\n",

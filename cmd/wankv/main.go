@@ -15,6 +15,14 @@
 // or failed operation:
 //
 //	wankv -groups 3 -d 3 -clients 100 -ops 5 -check
+//
+// The read tier serves a read-heavy mix without a WAN round trip per
+// read: -reads sets the read fraction and -consistency picks the mode —
+// ordered (a full total-order round), lease (linearizable at the leader
+// under a leader lease, enabled by -leasems and guarded by -skewms), or
+// watermark (monotonic session reads at any replica):
+//
+//	wankv -groups 4 -d 3 -clients 64 -ops 50 -reads 0.95 -consistency lease -leasems 250
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"time"
 
 	"wanamcast"
+	"wanamcast/internal/fd"
 	"wanamcast/internal/harness"
 	"wanamcast/internal/metrics"
 	"wanamcast/internal/scenario"
@@ -57,7 +66,11 @@ func run() int {
 		dataDir  = flag.String("datadir", "", "persist each replica's WAL+snapshots under this directory (empty = volatile)")
 		noFsync  = flag.Bool("nofsync", false, "with -datadir: write WALs without fsync barriers (benchmark knob)")
 		snapEvry = flag.Int("snapevery", 0, "with -datadir: snapshot every N deliveries per replica (0 = default 512)")
-		scn      = flag.String("scenario", "", "chaos scenario to run under the load (partition-heal, asym-partition, leader-flap, delay-spike, partition-recovery); load mode only")
+		reads    = flag.Float64("reads", 0, "read fraction of the load in [0,1] (load mode; 0 = write-only)")
+		consist  = flag.String("consistency", "ordered", "read consistency: ordered (full total-order round), lease (leader-local linearizable), watermark (any-replica monotonic)")
+		leaseMS  = flag.Int("leasems", 0, "leader lease duration in milliseconds (0 = leases off; required for -consistency lease)")
+		skewMS   = flag.Int("skewms", 0, "max clock-rate drift per lease window in milliseconds (0 = default 10ms when leases are on)")
+		scn      = flag.String("scenario", "", "chaos scenario to run under the load (partition-heal, asym-partition, leader-flap, delay-spike, partition-recovery, lease-partition); load mode only")
 		scnUnit  = flag.Duration("unit", 500*time.Millisecond, "chaos scenario time step (with -scenario)")
 		lanes    = flag.Int("lanes", 0, "shard replicas across this many ordering lane goroutines by group (0 = one per replica)")
 		inbox    = flag.Int("inbox", 0, "per-lane inbox ring size (0 = default 4096)")
@@ -99,6 +112,23 @@ func run() int {
 	if *lanes < 0 || *inbox < 0 {
 		fail("-lanes and -inbox must be non-negative")
 	}
+	if *leaseMS < 0 || *skewMS < 0 {
+		fail("-leasems and -skewms must be non-negative")
+	}
+	// The read-tier flags share the harness validation with every command.
+	readOpts := harness.Options{
+		ReadFraction:  *reads,
+		Consistency:   *consist,
+		LeaseDuration: time.Duration(*leaseMS) * time.Millisecond,
+		MaxClockSkew:  time.Duration(*skewMS) * time.Millisecond,
+	}
+	if err := readOpts.Validate(); err != nil {
+		fail("%v", err)
+	}
+	mode, err := svc.ParseConsistency(*consist)
+	if err != nil {
+		fail("-consistency: %v", err)
+	}
 	if *benchOut != "" && *clients < 1 {
 		fail("-benchjson records load-mode runs only (-clients >= 1)")
 	}
@@ -138,6 +168,8 @@ func run() int {
 		DataDir:       *dataDir,
 		NoFsync:       *noFsync,
 		SnapshotEvery: *snapEvry,
+		LeaseDuration: readOpts.LeaseDuration,
+		MaxClockSkew:  readOpts.MaxClockSkew,
 	}
 	if *scn != "" && *dataDir == "" {
 		// Crash/restart scenarios need a durable store per replica; without
@@ -159,13 +191,17 @@ func run() int {
 	topo := cluster.Topology()
 	route := svc.PrefixRoute(*groups)
 	stats := &metrics.Service{}
-	service, err := svc.ServeCluster(cluster, topo, svc.ServiceConfig{
+	svcCfg := svc.ServiceConfig{
 		BasePort: *svcPort,
 		NewMachine: func(p types.ProcessID, g types.GroupID) svc.StateMachine {
 			return svc.NewKVMachine(g, route)
 		},
 		Stats: stats,
-	})
+	}
+	if readOpts.LeaseDuration > 0 {
+		svcCfg.LeaseFor = func(p types.ProcessID) *fd.Lease { return cluster.ReadLease(p) }
+	}
+	service, err := svc.ServeCluster(cluster, topo, svcCfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wankv:", err)
 		return 1
@@ -211,18 +247,29 @@ func run() int {
 		fmt.Printf("chaos: scenario %s armed (unit %v, horizon %v)\n", sc.Name, *scnUnit, sc.Horizon())
 	}
 
-	fmt.Printf("load: %d closed-loop clients x %d ops (seed %d, timeout %v)\n", *clients, *ops, *seed, *timeout)
+	if *reads > 0 {
+		fmt.Printf("load: %d closed-loop clients x %d ops, %.0f%% reads at %s consistency (seed %d, timeout %v)\n",
+			*clients, *ops, *reads*100, *consist, *seed, *timeout)
+	} else {
+		fmt.Printf("load: %d closed-loop clients x %d ops (seed %d, timeout %v)\n", *clients, *ops, *seed, *timeout)
+	}
 	res := svc.RunKVLoad(topo, service.Addrs(), svc.LoadSpec{
-		Clients: *clients,
-		Ops:     *ops,
-		Mix:     workload.DefaultMix(),
-		Timeout: *timeout,
-		Seed:    *seed,
+		Clients:      *clients,
+		Ops:          *ops,
+		Mix:          workload.DefaultMix(),
+		Timeout:      *timeout,
+		Seed:         *seed,
+		ReadFraction: *reads,
+		Consistency:  mode,
 	}, stats)
 
 	fmt.Printf("\nops            %d ok, %d failed in %v (%.1f ops/s)\n",
 		res.Ops, res.Errors, res.Elapsed.Round(time.Millisecond),
 		float64(res.Ops)/res.Elapsed.Seconds())
+	if res.Reads > 0 {
+		fmt.Printf("read tier      %d reads, %d writes (%.1f reads/s at %s consistency)\n",
+			res.Reads, res.Writes, float64(res.Reads)/res.Elapsed.Seconds(), *consist)
+	}
 	fmt.Printf("service        %v\n", res.Stats)
 	if st := cluster.Stats(); st.Suspicions > 0 || st.TrustRestorations > 0 || st.LeaderChanges > 0 {
 		fmt.Printf("fd             suspicions=%d trust-restored=%d leader-changes=%d\n",
@@ -252,6 +299,22 @@ func run() int {
 		}
 		if r.BatchesDecided > 0 {
 			r.FsyncsPerBatch = float64(r.Fsyncs) / float64(r.BatchesDecided)
+		}
+		if res.Reads > 0 {
+			ss := stats.Snapshot()
+			r.ReadFraction = *reads
+			r.Consistency = *consist
+			r.Reads = res.Reads
+			r.ReadsPerSec = float64(res.Reads) / res.Elapsed.Seconds()
+			r.StaleReads = ss.StaleReads
+			r.LeaseDenied = ss.LeaseDenied
+			r.ByClass = make(map[string]map[string]float64, len(ss.ByClass))
+			for class, sum := range ss.ByClass {
+				r.ByClass[class] = map[string]float64{
+					"p50": float64(sum.P50) / float64(time.Millisecond),
+					"p99": float64(sum.P99) / float64(time.Millisecond),
+				}
+			}
 		}
 		if err := harness.AppendBenchJSON(*benchOut, r); err != nil {
 			fmt.Fprintln(os.Stderr, "wankv: benchjson:", err)

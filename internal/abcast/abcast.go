@@ -29,6 +29,7 @@ package abcast
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"wanamcast/internal/consensus"
@@ -125,6 +126,10 @@ type Bcast struct {
 
 	rm     *rmcast.RMcast
 	engine *consensus.Batcher[Record]
+
+	// wm counts this endpoint's A-Deliveries, readable lock-free off the
+	// event loop (the read tier's delivery watermark).
+	wm atomic.Uint64
 
 	k          uint64 // current delivery round (line 2's K)
 	rdelivered map[types.MessageID]Record
@@ -413,6 +418,7 @@ func (b *Bcast) tryCompleteRound() {
 			continue
 		}
 		b.adelivered[rec.ID] = true
+		b.wm.Add(1)
 		b.api.RecordDeliver(rec.ID)
 		b.api.Tracef("a2: A-Deliver %v in round %d", rec.ID, b.k)
 		if b.onDeliver != nil {

@@ -274,6 +274,11 @@ func (b *Bcast) Syncing() bool { return b.syncing }
 // SyncFailed reports an abandoned state transfer (see amcast.SyncFailed).
 func (b *Bcast) SyncFailed() bool { return b.syncFailed }
 
+// Watermark returns how many messages this endpoint has A-Delivered,
+// readable lock-free from any goroutine (the read tier's delivery
+// watermark).
+func (b *Bcast) Watermark() uint64 { return b.wm.Load() }
+
 // StartSync begins catch-up from the same-group peers after a restart.
 func (b *Bcast) StartSync() {
 	if len(b.api.Topo().Members(b.api.Group())) <= 1 {
@@ -435,6 +440,7 @@ func (b *Bcast) applySyncRound(round uint64, union []Record, replay bool) {
 			continue
 		}
 		b.adelivered[rec.ID] = true
+		b.wm.Add(1)
 		b.api.RecordDeliver(rec.ID)
 		b.api.Tracef("a2: A-Deliver %v in round %d (state transfer)", rec.ID, round)
 		if b.onDeliver != nil {

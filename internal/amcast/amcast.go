@@ -33,6 +33,7 @@ package amcast
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"wanamcast/internal/consensus"
@@ -157,6 +158,10 @@ type Mcast struct {
 
 	rm     *rmcast.RMcast
 	engine *consensus.Batcher[Descriptor]
+
+	// wm mirrors delivered atomically: the endpoint's delivery watermark,
+	// readable lock-free off the event loop (the read tier samples it).
+	wm atomic.Uint64
 
 	k          uint64 // the group clock copy K (line 2)
 	pending    map[types.MessageID]*pend
@@ -539,6 +544,7 @@ func (a *Mcast) adeliveryTest() {
 // that serves restarted peers' state transfers.
 func (a *Mcast) recordDelivered(dr DeliverRec) {
 	a.delivered++
+	a.wm.Store(a.delivered)
 	if a.archCap <= 0 {
 		return
 	}

@@ -154,6 +154,7 @@ func (a *Mcast) RestoreSnapshot(data []byte) error {
 	if a.delivered, data, err = wire.Uvarint(data); err != nil {
 		return err
 	}
+	a.wm.Store(a.delivered)
 	var n int
 	if n, data, err = wire.SliceLen(data); err != nil {
 		return err
@@ -276,8 +277,14 @@ func (a *Mcast) Syncing() bool { return a.syncing }
 // shipping (delivery stays gated).
 func (a *Mcast) SyncFailed() bool { return a.syncFailed }
 
-// Delivered returns the process's total A-Delivery count.
+// Delivered returns the process's total A-Delivery count. It runs on the
+// event loop; off-loop readers use Watermark.
 func (a *Mcast) Delivered() uint64 { return a.delivered }
+
+// Watermark returns the endpoint's delivery watermark — the same count as
+// Delivered, but readable lock-free from any goroutine (the read tier
+// samples it to decide whether a replica can serve a session's read).
+func (a *Mcast) Watermark() uint64 { return a.wm.Load() }
 
 // StartSync begins catch-up from the same-group peers after a restart:
 // organic delivery is gated until a peer confirms this process has seen

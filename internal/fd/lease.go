@@ -1,0 +1,118 @@
+package fd
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Lease is the published state of a leader lease: a wall-clock instant
+// before which the holding replica may serve linearizable single-shard
+// reads locally, with zero WAN hops. The heartbeat detector extends it
+// while a majority of the group keeps granting (see the tcp package for
+// the grant protocol and its fencing argument) and revokes it the moment
+// the holder stops leading in its own view.
+//
+// The hot-path check Valid() is a single atomic load against time.Now(),
+// so read dispatch can consult the lease on every request without taking
+// a lock. The mutex guards only the activation bookkeeping that the
+// lease-partition chaos test uses to pin "old holder fenced before the
+// successor activated": each invalid→valid transition counts as an
+// activation and freezes the previous incarnation's expiry instant.
+//
+// One Lease object per process outlives detector restarts: the service
+// layer holds the pointer across crash/recovery, and a restarting
+// process starts fenced (the restart revokes) until it re-earns a
+// majority of fresh grants.
+type Lease struct {
+	until atomic.Int64 // wall unix nanos; 0 = never held
+
+	mu          sync.Mutex
+	activations int
+	activatedAt time.Time // when the current incarnation became valid
+	expiredAt   time.Time // frozen ValidUntil of the previous incarnation
+}
+
+// Valid reports whether the lease is held right now.
+func (l *Lease) Valid() bool {
+	u := l.until.Load()
+	return u != 0 && time.Now().UnixNano() < u
+}
+
+// ValidUntil returns the current expiry instant (zero time if the lease
+// was never extended).
+func (l *Lease) ValidUntil() time.Time {
+	u := l.until.Load()
+	if u == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, u)
+}
+
+// Extend moves the expiry to until if that is later than the current
+// expiry; a quorum of grants never shortens a held lease. An extension
+// of an expired (or revoked) lease is a fresh activation.
+func (l *Lease) Extend(until time.Time) {
+	if until.IsZero() {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := time.Now()
+	cur := l.until.Load()
+	if cur == 0 || now.UnixNano() >= cur {
+		// Invalid → valid: record the hand-off for the overlap check.
+		if cur != 0 {
+			l.expiredAt = time.Unix(0, cur)
+		}
+		l.activations++
+		l.activatedAt = now
+	}
+	if until.UnixNano() > cur {
+		l.until.Store(until.UnixNano())
+	}
+}
+
+// Revoke drops the lease immediately. Called when the holder's own
+// leader view moves off it (conservative: suspicion fences first, the
+// wall-clock guard in the grant protocol covers the partitioned case
+// where no revocation runs at all).
+func (l *Lease) Revoke() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if cur := l.until.Load(); cur != 0 {
+		now := time.Now().UnixNano()
+		if now < cur {
+			// Revoked while still valid: the incarnation ends now.
+			l.expiredAt = time.Unix(0, now)
+		} else {
+			l.expiredAt = time.Unix(0, cur)
+		}
+		l.until.Store(0)
+	}
+}
+
+// Activations returns how many times the lease went invalid → valid.
+func (l *Lease) Activations() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.activations
+}
+
+// ActivatedAt returns when the current (or most recent) incarnation
+// became valid.
+func (l *Lease) ActivatedAt() time.Time {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.activatedAt
+}
+
+// ExpiredAt returns the frozen expiry instant of the previous
+// incarnation: the wall-clock bound after which no read served under it
+// can still be in flight. The lease-partition chaos scenario asserts
+// oldHolder.ExpiredAt() < successor.ActivatedAt().
+func (l *Lease) ExpiredAt() time.Time {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.expiredAt
+}

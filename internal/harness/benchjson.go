@@ -21,6 +21,18 @@ type BenchResult struct {
 	P50Ms         float64 `json:"p50_ms"`          // wall cast→deliver latency
 	P99Ms         float64 `json:"p99_ms"`
 
+	// Read-tier accounting (zero on write-only runs).
+	ReadFraction float64 `json:"read_fraction,omitempty"` // offered read share in [0,1]
+	Consistency  string  `json:"consistency,omitempty"`   // read mode: ordered, lease, or watermark
+	Reads        int     `json:"reads,omitempty"`         // reads completed
+	ReadsPerSec  float64 `json:"reads_per_sec,omitempty"`
+	StaleReads   uint64  `json:"stale_reads,omitempty"`  // follower replies rejected by the watermark barrier
+	LeaseDenied  uint64  `json:"lease_denied,omitempty"` // lease reads refused (no valid lease at the replica)
+	// ByClass carries per-class latency percentiles in milliseconds, keyed
+	// "read-lease" / "read-watermark" / "read-ordered" / "write", each as
+	// {"p50": ..., "p99": ...}.
+	ByClass map[string]map[string]float64 `json:"by_class,omitempty"`
+
 	// Durability accounting (zero without a durable store).
 	Fsyncs         uint64  `json:"fsyncs"`           // total fsyncs across stores
 	GCBarriers     uint64  `json:"gc_barriers"`      // barriers staged through group commit

@@ -160,6 +160,18 @@ type Options struct {
 	// BenchJSON, when set, appends a machine-readable BenchResult record
 	// to this file after a live benchmark run (see AppendBenchJSON).
 	BenchJSON string
+	// ReadFraction is the read share of a KV load in [0,1] (0 = the
+	// historical write-only load). Only live KV commands consume it.
+	ReadFraction float64
+	// Consistency names the read mode of a KV load: "ordered" (full
+	// total-order round), "lease" (leader-local linearizable), or
+	// "watermark" (any-replica monotonic). Empty means ordered.
+	Consistency string
+	// LeaseDuration enables leader leases on a live cluster (0 disables);
+	// MaxClockSkew is the drift guard subtracted from every lease window
+	// (default 10 ms when leases are on).
+	LeaseDuration time.Duration
+	MaxClockSkew  time.Duration
 	// Trace receives debug lines if non-nil.
 	Trace func(format string, args ...any)
 }
@@ -194,6 +206,22 @@ func (o Options) Validate() error {
 		return fmt.Errorf("fsync=off is meaningless without a data dir")
 	case o.SnapshotEvery != 0 && o.DataDir == "":
 		return fmt.Errorf("snapshot cadence is meaningless without a data dir")
+	case o.ReadFraction < 0 || o.ReadFraction > 1:
+		return fmt.Errorf("read fraction must be within [0,1]: %v", o.ReadFraction)
+	case o.LeaseDuration < 0 || o.MaxClockSkew < 0:
+		return fmt.Errorf("lease duration and clock skew must be non-negative: %v, %v", o.LeaseDuration, o.MaxClockSkew)
+	case o.MaxClockSkew > 0 && o.LeaseDuration == 0:
+		return fmt.Errorf("a clock-skew guard is meaningless without leases (set a lease duration)")
+	case o.LeaseDuration > 0 && o.MaxClockSkew >= o.LeaseDuration:
+		return fmt.Errorf("the clock-skew guard %v consumes the whole lease window %v", o.MaxClockSkew, o.LeaseDuration)
+	}
+	switch o.Consistency {
+	case "", "ordered", "lease", "watermark":
+	default:
+		return fmt.Errorf("consistency must be ordered, lease, or watermark: %q", o.Consistency)
+	}
+	if o.Consistency == "lease" && o.LeaseDuration == 0 {
+		return fmt.Errorf("lease-consistent reads need leader leases enabled (set a lease duration)")
 	}
 	return nil
 }

@@ -459,15 +459,21 @@ func (l *LockedCollector) Snapshot() Stats {
 // ready to use; share one instance between the servers and the clients of
 // a run to see both sides in a single snapshot.
 type Service struct {
-	mu         sync.Mutex
-	requests   uint64
-	replies    uint64
-	redirects  uint64
-	retries    uint64
-	duplicates uint64
-	failures   uint64
-	ops        uint64
-	lat        map[int][]time.Duration
+	mu          sync.Mutex
+	requests    uint64
+	replies     uint64
+	redirects   uint64
+	retries     uint64
+	duplicates  uint64
+	failures    uint64
+	ops         uint64
+	lat         map[int][]time.Duration
+	classLat    map[string][]time.Duration
+	classFails  map[string]uint64
+	staleReads  uint64
+	leaseDenied uint64
+	certOK      uint64
+	certBad     uint64
 }
 
 // RecordRequest counts one request received by a server.
@@ -510,6 +516,44 @@ func (s *Service) RecordOutcome(fanout int, latency time.Duration, ok bool) {
 	s.lat[fanout] = append(s.lat[fanout], latency)
 }
 
+// RecordClassOutcome records one completed operation under a named class
+// — the read tier's buckets ("read-lease", "read-watermark",
+// "read-ordered", "write"). Classes are a separate axis from the fan-out
+// buckets of RecordOutcome: they do not touch the global ops/failures
+// counters, so wiring both into one Service double-counts nothing.
+func (s *Service) RecordClassOutcome(class string, latency time.Duration, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !ok {
+		if s.classFails == nil {
+			s.classFails = make(map[string]uint64)
+		}
+		s.classFails[class]++
+		return
+	}
+	if s.classLat == nil {
+		s.classLat = make(map[string][]time.Duration)
+	}
+	s.classLat[class] = append(s.classLat[class], latency)
+}
+
+// RecordStaleRead counts one read response a client rejected because the
+// replica answered below the session's tracked watermark.
+func (s *Service) RecordStaleRead() { s.bump(&s.staleReads) }
+
+// RecordLeaseDenied counts one lease read a replica refused because it
+// did not hold (or lost mid-read) its group's leader lease.
+func (s *Service) RecordLeaseDenied() { s.bump(&s.leaseDenied) }
+
+// RecordCertVerify counts one client-side certificate verification.
+func (s *Service) RecordCertVerify(ok bool) {
+	if ok {
+		s.bump(&s.certOK)
+	} else {
+		s.bump(&s.certBad)
+	}
+}
+
 // LatencySummary condenses one fan-out bucket's latency distribution.
 type LatencySummary struct {
 	Count int
@@ -532,6 +576,17 @@ type ServiceStats struct {
 	// ByFanout holds client-observed latency summaries keyed by how many
 	// shards the command touched.
 	ByFanout map[int]LatencySummary
+	// ByClass holds latency summaries keyed by operation class
+	// ("read-lease", "read-watermark", "read-ordered", "write");
+	// ClassFailures counts the failed operations per class.
+	ByClass       map[string]LatencySummary
+	ClassFailures map[string]uint64
+	// Read-tier counters: stale responses clients rejected, lease reads
+	// replicas refused, and client-side certificate verifications.
+	StaleReads    uint64
+	LeaseDenied   uint64
+	CertVerifies  uint64
+	CertFailures  uint64
 }
 
 // Snapshot computes a ServiceStats from everything recorded so far.
@@ -539,32 +594,54 @@ func (s *Service) Snapshot() ServiceStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := ServiceStats{
-		Requests:   s.requests,
-		Replies:    s.replies,
-		Redirects:  s.redirects,
-		Retries:    s.retries,
-		Duplicates: s.duplicates,
-		Failures:   s.failures,
-		Ops:        s.ops,
-		ByFanout:   make(map[int]LatencySummary, len(s.lat)),
+		Requests:     s.requests,
+		Replies:      s.replies,
+		Redirects:    s.redirects,
+		Retries:      s.retries,
+		Duplicates:   s.duplicates,
+		Failures:     s.failures,
+		Ops:          s.ops,
+		ByFanout:     make(map[int]LatencySummary, len(s.lat)),
+		ByClass:      make(map[string]LatencySummary, len(s.classLat)),
+		StaleReads:   s.staleReads,
+		LeaseDenied:  s.leaseDenied,
+		CertVerifies: s.certOK,
+		CertFailures: s.certBad,
 	}
 	for fanout, samples := range s.lat {
-		sorted := append([]time.Duration(nil), samples...)
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-		var sum time.Duration
-		for _, d := range sorted {
-			sum += d
-		}
-		st.ByFanout[fanout] = LatencySummary{
-			Count: len(sorted),
-			Mean:  sum / time.Duration(len(sorted)),
-			P50:   percentile(sorted, 50),
-			P95:   percentile(sorted, 95),
-			P99:   percentile(sorted, 99),
-			Max:   sorted[len(sorted)-1],
+		st.ByFanout[fanout] = summarize(samples)
+	}
+	for class, samples := range s.classLat {
+		st.ByClass[class] = summarize(samples)
+	}
+	if len(s.classFails) > 0 {
+		st.ClassFailures = make(map[string]uint64, len(s.classFails))
+		for class, n := range s.classFails {
+			st.ClassFailures[class] = n
 		}
 	}
 	return st
+}
+
+// summarize condenses one latency sample set (leaves the input intact).
+func summarize(samples []time.Duration) LatencySummary {
+	if len(samples) == 0 {
+		return LatencySummary{}
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	return LatencySummary{
+		Count: len(sorted),
+		Mean:  sum / time.Duration(len(sorted)),
+		P50:   percentile(sorted, 50),
+		P95:   percentile(sorted, 95),
+		P99:   percentile(sorted, 99),
+		Max:   sorted[len(sorted)-1],
+	}
 }
 
 // String renders the snapshot with one latency row per fan-out.
@@ -572,6 +649,10 @@ func (st ServiceStats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "requests=%d replies=%d redirects=%d retries=%d duplicates=%d failures=%d",
 		st.Requests, st.Replies, st.Redirects, st.Retries, st.Duplicates, st.Failures)
+	if st.StaleReads > 0 || st.LeaseDenied > 0 || st.CertVerifies > 0 || st.CertFailures > 0 {
+		fmt.Fprintf(&b, "\n  read tier: stale-reads=%d lease-denied=%d cert-ok=%d cert-bad=%d",
+			st.StaleReads, st.LeaseDenied, st.CertVerifies, st.CertFailures)
+	}
 	fanouts := make([]int, 0, len(st.ByFanout))
 	for f := range st.ByFanout {
 		fanouts = append(fanouts, f)
@@ -582,6 +663,18 @@ func (st ServiceStats) String() string {
 		fmt.Fprintf(&b, "\n  fan-out %d: n=%-5d mean=%-10v p50=%-10v p95=%-10v p99=%-10v max=%v",
 			f, ls.Count, ls.Mean.Round(time.Microsecond), ls.P50.Round(time.Microsecond),
 			ls.P95.Round(time.Microsecond), ls.P99.Round(time.Microsecond), ls.Max.Round(time.Microsecond))
+	}
+	classes := make([]string, 0, len(st.ByClass))
+	for c := range st.ByClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		ls := st.ByClass[c]
+		fmt.Fprintf(&b, "\n  %-14s n=%-6d mean=%-10v p50=%-10v p95=%-10v p99=%-10v max=%v (failed %d)",
+			c+":", ls.Count, ls.Mean.Round(time.Microsecond), ls.P50.Round(time.Microsecond),
+			ls.P95.Round(time.Microsecond), ls.P99.Round(time.Microsecond), ls.Max.Round(time.Microsecond),
+			st.ClassFailures[c])
 	}
 	return b.String()
 }

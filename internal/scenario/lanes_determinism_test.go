@@ -50,7 +50,7 @@ func runLanedScenario(t *testing.T, sc scenario.Scenario, seed int64, lanes int)
 	return s
 }
 
-// TestLanesDeterministicTrace: the five-scenario suite at Lanes=4 yields
+// TestLanesDeterministicTrace: the six-scenario suite at Lanes=4 yields
 // byte-identical delivery traces across two same-seed runs, and the
 // laned trace matches the unsharded (Lanes=0) trace exactly — sharding
 // the runtime onto lanes must not perturb simulated time.

@@ -58,6 +58,14 @@ const (
 	// runtime resumed heartbeats restore trust on their own; the event
 	// makes the schedule explicit and deterministic on the simulator.
 	Unsuspect
+	// Isolate severs every link between each process in Procs and the rest
+	// of its group, both directions — the "node dropped off the LAN" fault.
+	// Against a lease-holding leader this is the canonical lease-safety
+	// test: the victim keeps believing it leads while its peers' grants age
+	// out, so its lease must lapse before any successor's activates.
+	Isolate
+	// HealIsolate restores the links Isolate severed.
+	HealIsolate
 )
 
 // String implements fmt.Stringer.
@@ -81,6 +89,10 @@ func (k Kind) String() string {
 		return "suspect"
 	case Unsuspect:
 		return "unsuspect"
+	case Isolate:
+		return "isolate"
+	case HealIsolate:
+		return "heal-isolate"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -254,6 +266,16 @@ func applyEvent(t Funcs, name string, e Event) {
 			logf("%s t=%v: unsuspect %v", name, e.At, p)
 			t.UnsuspectFn(p)
 		}
+	case Isolate:
+		for _, p := range e.Procs {
+			logf("%s t=%v: isolate %v from its group", name, e.At, p)
+			t.Net.Isolate(p)
+		}
+	case HealIsolate:
+		for _, p := range e.Procs {
+			logf("%s t=%v: heal isolation of %v", name, e.At, p)
+			t.Net.HealIsolate(p)
+		}
 	default:
 		panic(fmt.Sprintf("scenario: unknown event kind %v", e.Kind))
 	}
@@ -281,9 +303,10 @@ func (c *SuiteConfig) fill() {
 
 // Suite returns the acceptance scenario suite over topo: symmetric
 // partition+heal, asymmetric partition, leader flap ×3, inter-group delay
-// spike, and partition during crash-recovery. It panics on fewer than two
-// groups (nothing to partition). The crash-recovery scenario assumes
-// groups of at least three (a crashed minority must leave a majority).
+// spike, partition during crash-recovery, and lease-holder isolation. It
+// panics on fewer than two groups (nothing to partition). The
+// crash-recovery and lease-partition scenarios assume groups of at least
+// three (the victim's group must keep a majority).
 func Suite(topo *types.Topology, cfg SuiteConfig) []Scenario {
 	cfg.fill()
 	if topo.NumGroups() < 2 {
@@ -341,6 +364,17 @@ func Suite(topo *types.Topology, cfg SuiteConfig) []Scenario {
 				{At: 3 * u, Kind: HealAll},
 			},
 		},
+		{
+			// Sever the initial lease holder from its own group mid-run: its
+			// peers' grants age out, their promises expire, and the Ω
+			// successor assembles a fresh lease — which must not activate
+			// until the victim's lapses (the read tier's no-stale-read pin).
+			Name: "lease-partition",
+			Events: []Event{
+				{At: 1 * u, Kind: Isolate, Procs: []types.ProcessID{leader0}},
+				{At: 3 * u, Kind: HealIsolate, Procs: []types.ProcessID{leader0}},
+			},
+		},
 	}
 }
 
@@ -356,5 +390,5 @@ func ByName(topo *types.Topology, cfg SuiteConfig, name string) (Scenario, bool)
 
 // Names lists the suite's scenario names in order.
 func Names() []string {
-	return []string{"partition-heal", "asym-partition", "leader-flap", "delay-spike", "partition-recovery"}
+	return []string{"partition-heal", "asym-partition", "leader-flap", "delay-spike", "partition-recovery", "lease-partition"}
 }

@@ -67,7 +67,8 @@ func crashSet(sc scenario.Scenario) map[types.ProcessID]bool {
 
 // TestSuiteOnSimulator: every suite scenario — symmetric partition+heal,
 // asymmetric partition, leader flap ×3, delay spike, partition during
-// crash-recovery — satisfies §2.2 under load on the simulated runtime,
+// crash-recovery, lease-holder isolation — satisfies §2.2 under load on
+// the simulated runtime,
 // and the post-heal probe is delivered everywhere (liveness resumed).
 func TestSuiteOnSimulator(t *testing.T) {
 	topo := types.NewTopology(3, 3)
@@ -146,8 +147,8 @@ func TestApplyRequiresWiring(t *testing.T) {
 	scenario.Apply(scenario.Funcs{}, scenario.Scenario{})
 }
 
-// TestSuiteShape sanity-checks the preset suite: five scenarios, the
-// advertised names, and every partition eventually healed.
+// TestSuiteShape sanity-checks the preset suite: six scenarios, the
+// advertised names, and every partition or isolation eventually healed.
 func TestSuiteShape(t *testing.T) {
 	topo := types.NewTopology(2, 3)
 	suite := scenario.Suite(topo, scenario.SuiteConfig{})
@@ -158,17 +159,24 @@ func TestSuiteShape(t *testing.T) {
 		if sc.Name != scenario.Names()[i] {
 			t.Fatalf("suite[%d] = %q, want %q", i, sc.Name, scenario.Names()[i])
 		}
-		partitions, heals := 0, 0
+		partitions, heals, isolates, deisolates := 0, 0, 0, 0
 		for _, e := range sc.Events {
 			switch e.Kind {
 			case scenario.Partition:
 				partitions++
 			case scenario.Heal, scenario.HealAll:
 				heals++
+			case scenario.Isolate:
+				isolates++
+			case scenario.HealIsolate:
+				deisolates++
 			}
 		}
 		if partitions > 0 && heals == 0 {
 			t.Fatalf("scenario %q partitions without healing", sc.Name)
+		}
+		if isolates > 0 && deisolates == 0 {
+			t.Fatalf("scenario %q isolates without healing", sc.Name)
 		}
 	}
 }

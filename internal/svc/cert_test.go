@@ -1,0 +1,146 @@
+package svc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wanamcast/internal/types"
+)
+
+func testReceipt() (types.MessageID, types.GroupID, uint64, []byte) {
+	return types.MessageID{Origin: 3, Seq: 41}, types.GroupID(1), uint64(17), []byte("statehash-32-bytes-aaaaaaaaaaaaa")
+}
+
+// TestKeyRingSignVerify: per-process keys are distinct, MACs verify only
+// under the signing process's key and only over the signed bytes.
+func TestKeyRingSignVerify(t *testing.T) {
+	ring := NewKeyRing([]byte("secret"))
+	id, g, order, hash := testReceipt()
+	msg := receiptBytes(id, g, order, hash)
+
+	m2 := ring.Sign(2, msg)
+	m3 := ring.Sign(3, msg)
+	if bytes.Equal(m2, m3) {
+		t.Fatal("distinct processes produced identical MACs — keys are not per-process")
+	}
+	if !ring.Verify(2, msg, m2) || !ring.Verify(3, msg, m3) {
+		t.Fatal("valid MAC failed to verify")
+	}
+	if ring.Verify(3, msg, m2) {
+		t.Fatal("process 3 accepted process 2's MAC")
+	}
+	other := receiptBytes(id, g, order+1, hash)
+	if ring.Verify(2, other, m2) {
+		t.Fatal("MAC verified over different receipt bytes")
+	}
+	// A different deployment secret must not cross-verify.
+	if NewKeyRing([]byte("other-secret")).Verify(2, msg, m2) {
+		t.Fatal("MAC verified under a different deployment secret")
+	}
+}
+
+// TestKeyRingForgedMAC is the bit-flip negative control: flipping ANY bit
+// of a MAC (or of the receipt it covers) must fail verification.
+func TestKeyRingForgedMAC(t *testing.T) {
+	ring := NewKeyRing([]byte("secret"))
+	id, g, order, hash := testReceipt()
+	msg := receiptBytes(id, g, order, hash)
+	mac := ring.Sign(5, msg)
+	for i := range mac {
+		forged := append([]byte(nil), mac...)
+		forged[i] ^= 0x01
+		if ring.Verify(5, msg, forged) {
+			t.Fatalf("forged MAC (bit flip at byte %d) verified", i)
+		}
+	}
+	for i := range msg {
+		tampered := append([]byte(nil), msg...)
+		tampered[i] ^= 0x01
+		if ring.Verify(5, tampered, mac) {
+			t.Fatalf("MAC verified over tampered receipt (bit flip at byte %d)", i)
+		}
+	}
+}
+
+// TestVerifyCertificate: quorum, membership, and MAC validity are each
+// enforced, and tampering with any attested field kills the certificate.
+func TestVerifyCertificate(t *testing.T) {
+	ring := NewKeyRing([]byte("secret"))
+	members := []types.ProcessID{3, 4, 5}
+	id, g, order, hash := testReceipt()
+	msg := receiptBytes(id, g, order, hash)
+	cert := Certificate{
+		ID: id, Group: g, Order: order,
+		Hash:   append([]byte(nil), hash...),
+		Shares: map[types.ProcessID][]byte{3: ring.Sign(3, msg), 5: ring.Sign(5, msg)},
+	}
+	if err := ring.VerifyCertificate(cert, members); err != nil {
+		t.Fatalf("2-of-3 certificate rejected: %v", err)
+	}
+
+	under := cert
+	under.Shares = map[types.ProcessID][]byte{3: ring.Sign(3, msg)}
+	if err := ring.VerifyCertificate(under, members); err == nil || !strings.Contains(err.Error(), "quorum") {
+		t.Fatalf("1-of-3 certificate accepted (err=%v)", err)
+	}
+
+	outsider := cert
+	outsider.Shares = map[types.ProcessID][]byte{3: ring.Sign(3, msg), 9: ring.Sign(9, msg)}
+	if err := ring.VerifyCertificate(outsider, members); err == nil || !strings.Contains(err.Error(), "not a member") {
+		t.Fatalf("certificate with a non-member share accepted (err=%v)", err)
+	}
+
+	forged := cert
+	badMAC := append([]byte(nil), cert.Shares[5]...)
+	badMAC[0] ^= 0x80
+	forged.Shares = map[types.ProcessID][]byte{3: cert.Shares[3], 5: badMAC}
+	if err := ring.VerifyCertificate(forged, members); err == nil || !strings.Contains(err.Error(), "invalid MAC") {
+		t.Fatalf("certificate with a forged MAC accepted (err=%v)", err)
+	}
+
+	// Equivocation: genuine MACs cannot be replayed under a different
+	// claimed order or state hash.
+	lied := cert
+	lied.Order = order + 1
+	if err := ring.VerifyCertificate(lied, members); err == nil {
+		t.Fatal("certificate with a rewritten order accepted")
+	}
+	lied = cert
+	lied.Hash = append([]byte(nil), hash...)
+	lied.Hash[3] ^= 0x01
+	if err := ring.VerifyCertificate(lied, members); err == nil {
+		t.Fatal("certificate with a rewritten state hash accepted")
+	}
+}
+
+// BenchmarkVerifyCertificate prices the offline audit path: one 2-of-3
+// certificate check, membership and quorum included.
+func BenchmarkVerifyCertificate(b *testing.B) {
+	ring := NewKeyRing([]byte("secret"))
+	members := []types.ProcessID{3, 4, 5}
+	id, g, order, hash := testReceipt()
+	msg := receiptBytes(id, g, order, hash)
+	cert := Certificate{
+		ID: id, Group: g, Order: order,
+		Hash:   append([]byte(nil), hash...),
+		Shares: map[types.ProcessID][]byte{3: ring.Sign(3, msg), 5: ring.Sign(5, msg)},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := ring.VerifyCertificate(cert, members); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestNewKeyRingRejectsEmptySecret: an empty deployment secret would make
+// every key derivable by anyone; constructing such a ring is a wiring bug.
+func TestNewKeyRingRejectsEmptySecret(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewKeyRing(nil) did not panic")
+		}
+	}()
+	NewKeyRing(nil)
+}

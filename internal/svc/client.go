@@ -33,6 +33,52 @@ type ClientConfig struct {
 	Stats *metrics.Service
 }
 
+// Consistency selects how a Client.Read is served.
+type Consistency int
+
+const (
+	// ConsistencyOrdered routes the read through the ordering layer like a
+	// write: linearizable, at full WAN cost.
+	ConsistencyOrdered Consistency = iota
+	// ConsistencyLease serves the read locally at the shard's lease
+	// holder: zero WAN round trips, linearizable as long as writes route
+	// through the lease holder (the client's default rank-first routing).
+	ConsistencyLease
+	// ConsistencyWatermark serves the read at ANY replica of the shard, at
+	// that replica's delivery watermark: zero WAN round trips,
+	// read-your-writes and monotonic per session (the client carries its
+	// watermark into every read), not linearizable across sessions.
+	ConsistencyWatermark
+)
+
+// String names the consistency mode (flag values of cmd/wankv).
+func (c Consistency) String() string {
+	switch c {
+	case ConsistencyOrdered:
+		return "ordered"
+	case ConsistencyLease:
+		return "lease"
+	case ConsistencyWatermark:
+		return "watermark"
+	default:
+		return fmt.Sprintf("Consistency(%d)", int(c))
+	}
+}
+
+// ParseConsistency parses a -consistency flag value.
+func ParseConsistency(s string) (Consistency, error) {
+	switch s {
+	case "ordered":
+		return ConsistencyOrdered, nil
+	case "lease":
+		return ConsistencyLease, nil
+	case "watermark":
+		return ConsistencyWatermark, nil
+	default:
+		return 0, fmt.Errorf("svc: unknown consistency %q (want ordered, lease, or watermark)", s)
+	}
+}
+
 // Client is a shard-aware service client: it routes each command to a
 // server of one of its destination shards, retries with the same sequence
 // number on timeout, and follows redirects. One Client is one session;
@@ -45,6 +91,19 @@ type Client struct {
 	connAddr   string
 	candidates []string // current coordinator candidates, rotated on failure
 	next       int
+
+	// Read-tier state. readConns caches one connection per replica
+	// address (reads fan out across replicas; the write conn stays
+	// dedicated to the ordered path). wm tracks, per shard, the highest
+	// watermark this session has observed — from write replies (Order)
+	// and read responses — and rides into every ReadReq as the barrier
+	// that makes reads read-your-writes and monotonic. groupOf inverts
+	// the address book for attributing write replies to shards.
+	readConns map[string]*tcp.SvcConn
+	readSeq   uint64
+	readNext  map[types.GroupID]int // watermark-mode rotation cursor
+	wm        map[types.GroupID]uint64
+	groupOf   map[string]types.GroupID
 }
 
 // NewClient builds a client.
@@ -61,18 +120,42 @@ func NewClient(cfg ClientConfig) *Client {
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = time.Second
 	}
-	return &Client{cfg: cfg}
+	c := &Client{
+		cfg:       cfg,
+		readConns: make(map[string]*tcp.SvcConn),
+		readNext:  make(map[types.GroupID]int),
+		wm:        make(map[types.GroupID]uint64),
+		groupOf:   make(map[string]types.GroupID),
+	}
+	for g, addrs := range cfg.Addrs {
+		for _, a := range addrs {
+			c.groupOf[a] = g
+		}
+	}
+	return c
 }
 
 // Session returns the session identifier.
 func (c *Client) Session() uint64 { return c.cfg.Session }
 
-// Close drops the connection. The session's dedup state lives on at the
+// Seq returns the sequence number of the most recent Invoke (0 before the
+// first): the handle Certify takes to name a write.
+func (c *Client) Seq() uint64 { return c.seq }
+
+// Close drops the connections. The session's dedup state lives on at the
 // servers, so a future client reusing the session id and a higher sequence
 // continues it.
 func (c *Client) Close() {
 	c.dropConn()
+	for addr, conn := range c.readConns {
+		_ = conn.Close()
+		delete(c.readConns, addr)
+	}
 }
+
+// Watermark returns the highest delivery watermark this session has
+// observed for shard g (0 before the first write or read there).
+func (c *Client) Watermark(g types.GroupID) uint64 { return c.wm[g] }
 
 // Invoke executes op exactly once on the shards in dest and returns the
 // coordinator shard's result. It blocks until a reply or until every
@@ -158,6 +241,14 @@ func (c *Client) awaitReply(conn *tcp.SvcConn, req Request, deadline time.Time) 
 			if !m.OK {
 				return nil, false, fmt.Errorf("svc: %s", m.Err)
 			}
+			if m.Order > 0 {
+				// The coordinator's watermark after our command applied:
+				// fold it into the session watermark so a follower read
+				// that follows this write is parked until it sees it.
+				if g, ok := c.groupOf[c.connAddr]; ok && m.Order > c.wm[g] {
+					c.wm[g] = m.Order
+				}
+			}
 			return m.Result, false, nil
 		case Redirect:
 			if m.Session != req.Session || m.Seq != req.Seq {
@@ -213,5 +304,204 @@ func (c *Client) dropConn() {
 	if c.conn != nil {
 		_ = c.conn.Close()
 		c.conn, c.connAddr = nil, ""
+	}
+}
+
+// Read executes the read-only op against shard g under the given
+// consistency mode and returns the result.
+//
+// Lease mode tries the shard's replicas in rank order (rank 0 is the
+// expected lease holder); watermark mode rotates across them. Every
+// response is checked against the session's tracked watermark: a replica
+// answering below it — a restarted replica still catching up, or a
+// partitioned leftover — is rejected as stale and the next replica tried.
+// When every replica refuses (lease lapsed mid-failover, all behind), the
+// read falls back to the ordered path, which is always correct — the fast
+// modes are a performance tier, never a correctness gamble. Ordered mode
+// goes straight through Invoke.
+//
+// The latency is recorded under the REQUESTED class ("read-lease",
+// "read-watermark", "read-ordered") even when the read fell back, so the
+// histograms expose what each tier actually costs end to end.
+func (c *Client) Read(g types.GroupID, op []byte, mode Consistency) ([]byte, error) {
+	start := time.Now()
+	res, err := c.read(g, op, mode)
+	if c.cfg.Stats != nil {
+		c.cfg.Stats.RecordClassOutcome("read-"+mode.String(), time.Since(start), err == nil)
+	}
+	return res, err
+}
+
+func (c *Client) read(g types.GroupID, op []byte, mode Consistency) ([]byte, error) {
+	if mode == ConsistencyOrdered {
+		return c.Invoke(types.NewGroupSet(g), op)
+	}
+	addrs := c.cfg.Addrs[g]
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("svc: no known servers for group %v", g)
+	}
+	wireMode := readModeLease
+	rotate := 0
+	if mode == ConsistencyWatermark {
+		wireMode = readModeWatermark
+		rotate = c.readNext[g]
+		c.readNext[g]++
+	}
+	var lastErr error
+	for i := 0; i < len(addrs); i++ {
+		addr := addrs[(i+rotate)%len(addrs)]
+		res, err := c.readAt(addr, g, op, wireMode)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+	}
+	// Every replica refused or was unreachable: the ordered path is the
+	// always-correct fallback (and the latency stays billed to the
+	// requested class, where the cost belongs).
+	res, err := c.Invoke(types.NewGroupSet(g), op)
+	if err != nil {
+		return nil, fmt.Errorf("svc: %v read of group %v fell back to ordered and failed: %w (last fast-path error: %v)",
+			mode, g, err, lastErr)
+	}
+	return res, nil
+}
+
+// readAt performs one read attempt against one replica.
+func (c *Client) readAt(addr string, g types.GroupID, op []byte, wireMode byte) ([]byte, error) {
+	conn, err := c.readConn(addr)
+	if err != nil {
+		return nil, err
+	}
+	c.readSeq++
+	req := ReadReq{Session: c.cfg.Session, Seq: c.readSeq, Group: g,
+		Mode: wireMode, MinWatermark: c.wm[g], Op: op}
+	deadline := time.Now().Add(c.cfg.Timeout)
+	_ = conn.SetWriteDeadline(deadline)
+	if err := conn.WriteMsg(types.NoProcess, req); err != nil {
+		c.dropReadConn(addr)
+		return nil, err
+	}
+	for {
+		_ = conn.SetReadDeadline(deadline)
+		v, err := conn.ReadMsg()
+		if err != nil {
+			c.dropReadConn(addr)
+			return nil, err
+		}
+		resp, ok := v.(ReadResp)
+		if !ok || resp.Session != req.Session || resp.Seq != req.Seq {
+			continue // stale frame from an abandoned earlier read
+		}
+		if !resp.OK {
+			return nil, fmt.Errorf("svc: read at %s: %s", addr, resp.Err)
+		}
+		if resp.Watermark < c.wm[g] {
+			// The replica answered below what this session has already
+			// seen — its barrier cannot be trusted (restarted behind, or
+			// fenced leftovers). Reject rather than travel back in time.
+			if c.cfg.Stats != nil {
+				c.cfg.Stats.RecordStaleRead()
+			}
+			return nil, fmt.Errorf("svc: stale read at %s: watermark %d below session's %d",
+				addr, resp.Watermark, c.wm[g])
+		}
+		c.wm[g] = resp.Watermark
+		return resp.Result, nil
+	}
+}
+
+// Certify collects a delivery certificate for this session's write seq
+// against shard g: it asks every replica for a countersignature and
+// returns a certificate carrying a quorum of shares that agree on the
+// receipt (message ID, order, state hash). Verify it offline with
+// KeyRing.VerifyCertificate. The write must still be inside the session's
+// dedup window.
+func (c *Client) Certify(g types.GroupID, seq uint64) (Certificate, error) {
+	addrs := c.cfg.Addrs[g]
+	if len(addrs) == 0 {
+		return Certificate{}, fmt.Errorf("svc: no known servers for group %v", g)
+	}
+	quorum := len(addrs)/2 + 1
+	// Bucket shares by receipt: correct replicas agree, so the biggest
+	// bucket is the shard's answer; a diverging or lying replica lands in
+	// its own bucket and simply fails to contribute.
+	type bucket struct {
+		cert Certificate
+	}
+	buckets := make(map[string]*bucket)
+	var lastErr error
+	for _, addr := range addrs {
+		share, err := c.certShareAt(addr, seq)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		key := string(receiptBytes(share.ID, share.Group, share.Order, share.Hash))
+		b := buckets[key]
+		if b == nil {
+			b = &bucket{cert: Certificate{
+				ID: share.ID, Group: share.Group, Order: share.Order,
+				Hash:   append([]byte(nil), share.Hash...),
+				Shares: make(map[types.ProcessID][]byte),
+			}}
+			buckets[key] = b
+		}
+		b.cert.Shares[share.Proc] = append([]byte(nil), share.MAC...)
+		if len(b.cert.Shares) >= quorum {
+			return b.cert, nil
+		}
+	}
+	return Certificate{}, fmt.Errorf("svc: no quorum of matching certificate shares for (session %d, seq %d) on group %v (last error: %v)",
+		c.cfg.Session, seq, g, lastErr)
+}
+
+// certShareAt fetches one replica's countersignature for (session, seq).
+func (c *Client) certShareAt(addr string, seq uint64) (CertShare, error) {
+	conn, err := c.readConn(addr)
+	if err != nil {
+		return CertShare{}, err
+	}
+	req := CertReq{Session: c.cfg.Session, Seq: seq}
+	deadline := time.Now().Add(c.cfg.Timeout)
+	_ = conn.SetWriteDeadline(deadline)
+	if err := conn.WriteMsg(types.NoProcess, req); err != nil {
+		c.dropReadConn(addr)
+		return CertShare{}, err
+	}
+	for {
+		_ = conn.SetReadDeadline(deadline)
+		v, err := conn.ReadMsg()
+		if err != nil {
+			c.dropReadConn(addr)
+			return CertShare{}, err
+		}
+		share, ok := v.(CertShare)
+		if !ok || share.Session != req.Session || share.Seq != req.Seq {
+			continue
+		}
+		if !share.OK {
+			return CertShare{}, fmt.Errorf("svc: certificate share at %s: %s", addr, share.Err)
+		}
+		return share, nil
+	}
+}
+
+func (c *Client) readConn(addr string) (*tcp.SvcConn, error) {
+	if conn := c.readConns[addr]; conn != nil {
+		return conn, nil
+	}
+	conn, err := tcp.SvcDial(addr, c.cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("svc: dial %s: %w", addr, err)
+	}
+	c.readConns[addr] = conn
+	return conn, nil
+}
+
+func (c *Client) dropReadConn(addr string) {
+	if conn := c.readConns[addr]; conn != nil {
+		_ = conn.Close()
+		delete(c.readConns, addr)
 	}
 }

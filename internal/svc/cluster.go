@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"wanamcast/internal/fd"
 	"wanamcast/internal/metrics"
 	"wanamcast/internal/types"
 )
@@ -34,6 +35,15 @@ type ServiceConfig struct {
 	ReplyTimeout time.Duration
 	// MaxSessions bounds each replica's dedup table (see ServerConfig).
 	MaxSessions int
+	// LeaseFor, when non-nil, resolves replica p's leader lease (the live
+	// runtime's ReadLease). Nil disables lease reads on every replica.
+	LeaseFor func(p types.ProcessID) *fd.Lease
+	// CertSecret, when non-empty, enables delivery certificates: every
+	// server signs with a key derived from it, and clients verify with
+	// NewKeyRing(CertSecret).
+	CertSecret []byte
+	// ReadTimeout bounds each read's watermark wait (see ServerConfig).
+	ReadTimeout time.Duration
 }
 
 // Service is one Server per cluster process plus the address book that
@@ -43,11 +53,17 @@ type Service struct {
 	cfg     ServiceConfig
 	cluster Cluster
 
+	ring *KeyRing // nil unless CertSecret configured
+
 	mu       sync.Mutex
 	servers  []*Server
 	machines []StateMachine
 	addrs    map[types.GroupID][]string
 }
+
+// Ring returns the certificate key ring (nil when certificates are
+// disabled); clients verify certificates against it.
+func (s *Service) Ring() *KeyRing { return s.ring }
 
 // ServeCluster starts one client-facing Server per process of the cluster,
 // wired to the cluster's genuine multicast and delivery hooks. Call after
@@ -69,6 +85,9 @@ func ServeCluster(c Cluster, topo *types.Topology, cfg ServiceConfig) (*Service,
 		servers:  make([]*Server, topo.N()),
 		machines: make([]StateMachine, topo.N()),
 		addrs:    make(map[types.GroupID][]string, topo.NumGroups()),
+	}
+	if len(cfg.CertSecret) > 0 {
+		svc.ring = NewKeyRing(cfg.CertSecret)
 	}
 	// Phase 1: bind every listener (learning ephemeral ports) and fill the
 	// address book — accepting no connections and registering no delivery
@@ -112,7 +131,7 @@ func ServeCluster(c Cluster, topo *types.Topology, cfg ServiceConfig) (*Service,
 // buildServer constructs (without binding) replica p's server and machine.
 func (s *Service) buildServer(p types.ProcessID, g types.GroupID, addr string) (*Server, StateMachine) {
 	machine := s.cfg.NewMachine(p, g)
-	srv := NewServer(ServerConfig{
+	sc := ServerConfig{
 		Self:    p,
 		Group:   g,
 		Groups:  s.topo.NumGroups(),
@@ -125,7 +144,13 @@ func (s *Service) buildServer(p types.ProcessID, g types.GroupID, addr string) (
 		Stats:        s.cfg.Stats,
 		ReplyTimeout: s.cfg.ReplyTimeout,
 		MaxSessions:  s.cfg.MaxSessions,
-	})
+		Ring:         s.ring,
+		ReadTimeout:  s.cfg.ReadTimeout,
+	}
+	if s.cfg.LeaseFor != nil {
+		sc.Lease = s.cfg.LeaseFor(p)
+	}
+	srv := NewServer(sc)
 	return srv, machine
 }
 

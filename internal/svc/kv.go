@@ -158,6 +158,29 @@ func (m *KVMachine) Apply(op []byte) ([]byte, error) {
 	}
 }
 
+// Query implements QueryMachine: it evaluates a READ-ONLY op against the
+// current shard state without the ordering layer — the read tier's entry
+// point. Only gets are read-only; anything else is refused (a mutation
+// smuggled around the ordered path would diverge the replicas). The
+// result encoding matches Apply's, so DecodeGetResult works on both.
+func (m *KVMachine) Query(op []byte) ([]byte, error) {
+	if len(op) == 0 || op[0] != kvOpGet {
+		return nil, fmt.Errorf("kv: not a read-only op")
+	}
+	k, _, err := wire.String(op[1:])
+	if err != nil {
+		return nil, fmt.Errorf("kv: corrupt get: %w", err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, found := m.data[k]
+	res := []byte{0}
+	if found {
+		res[0] = 1
+	}
+	return wire.AppendString(res, v), nil
+}
+
 // Snapshot implements StateMachine: a deterministic encoding of the shard
 // state (including the exactly-once apply counter), byte-identical across
 // in-sync replicas.
@@ -266,6 +289,18 @@ func (kv *KV) Put(sets map[string]string) (int, error) {
 // Get reads a key through the ordered path (linearizable).
 func (kv *KV) Get(key string) (string, bool, error) {
 	res, err := kv.Client.Invoke(kv.DestOf(key), EncodeGet(key))
+	if err != nil {
+		return "", false, err
+	}
+	return DecodeGetResult(res)
+}
+
+// GetAt reads a key under the given consistency mode: ordered rides the
+// write path, lease and watermark take the read tier (zero WAN round
+// trips, falling back to ordered when no replica will serve). All three
+// modes record their latency under the matching read class.
+func (kv *KV) GetAt(key string, mode Consistency) (string, bool, error) {
+	res, err := kv.Client.Read(kv.Route(key), EncodeGet(key), mode)
 	if err != nil {
 		return "", false, err
 	}

@@ -30,12 +30,20 @@ type LoadSpec struct {
 	// replicas still hold the first load's dedup windows.
 	SessionBase uint64
 	Seed        int64
+	// ReadFraction in [0, 1] is the share of ops that are reads of the
+	// client's home shard (default 0: the historical all-write load).
+	ReadFraction float64
+	// Consistency selects how reads are served (ordered, lease, or
+	// watermark); ignored when ReadFraction is 0.
+	Consistency Consistency
 }
 
 // LoadResult aggregates one load run.
 type LoadResult struct {
 	Ops     int // replies received (success)
 	Errors  int // ops that exhausted retries or failed
+	Reads   int // successful ops that were reads
+	Writes  int // successful ops that were writes
 	Elapsed time.Duration
 	Stats   metrics.ServiceStats
 }
@@ -62,6 +70,7 @@ func RunKVLoad(topo *types.Topology, addrs map[types.GroupID][]string, spec Load
 	}
 	plans := workload.ClientPlans(topo, workload.ClientSpec{
 		Clients: spec.Clients, Ops: spec.Ops, Mix: spec.Mix, Seed: spec.Seed,
+		ReadFraction: spec.ReadFraction,
 	})
 	route := PrefixRoute(topo.NumGroups())
 
@@ -70,6 +79,8 @@ func RunKVLoad(topo *types.Topology, addrs map[types.GroupID][]string, spec Load
 		mu     sync.Mutex
 		ok     int
 		failed int
+		reads  int
+		writes int
 	)
 	begin := time.Now()
 	for i := 0; i < spec.Clients; i++ {
@@ -86,25 +97,43 @@ func RunKVLoad(topo *types.Topology, addrs map[types.GroupID][]string, spec Load
 			})
 			defer client.Close()
 			kv := &KV{Client: client, Route: route}
-			var good, bad int
+			var good, bad, r, w int
 			for op, plan := range plans[i] {
+				if plan.Read {
+					g := plan.Dest.Groups()[0]
+					key := fmt.Sprintf("g%d/c%d-k%d", g, i, rng.Intn(spec.KeysPerShard))
+					if _, _, err := kv.GetAt(key, spec.Consistency); err != nil {
+						bad++
+						continue
+					}
+					good++
+					r++
+					continue
+				}
 				sets := make(map[string]string, plan.Dest.Size())
 				for _, g := range plan.Dest.Groups() {
 					key := fmt.Sprintf("g%d/c%d-k%d", g, i, rng.Intn(spec.KeysPerShard))
 					sets[key] = fmt.Sprintf("c%d-op%d", i, op)
 				}
-				if _, err := kv.Put(sets); err != nil {
+				t0 := time.Now()
+				_, err := kv.Put(sets)
+				stats.RecordClassOutcome("write", time.Since(t0), err == nil)
+				if err != nil {
 					bad++
 					continue
 				}
 				good++
+				w++
 			}
 			mu.Lock()
 			ok += good
 			failed += bad
+			reads += r
+			writes += w
 			mu.Unlock()
 		}()
 	}
 	wg.Wait()
-	return LoadResult{Ops: ok, Errors: failed, Elapsed: time.Since(begin), Stats: stats.Snapshot()}
+	return LoadResult{Ops: ok, Errors: failed, Reads: reads, Writes: writes,
+		Elapsed: time.Since(begin), Stats: stats.Snapshot()}
 }

@@ -27,6 +27,7 @@ func (s *Server) SaveSnapshot() ([]byte, error) {
 	}
 	buf := wire.AppendBytes(nil, machine)
 	buf = wire.AppendUvarint(buf, s.tick)
+	buf = wire.AppendBytes(buf, s.stateHash[:])
 	ids := make([]uint64, 0, len(s.sessions))
 	for id := range s.sessions {
 		ids = append(ids, id)
@@ -49,6 +50,9 @@ func (s *Server) SaveSnapshot() ([]byte, error) {
 			buf = wire.AppendUvarint(buf, q)
 			buf = wire.AppendBytes(buf, ac.result)
 			buf = wire.AppendString(buf, ac.err)
+			buf = wire.AppendUvarint(buf, ac.order)
+			buf = ac.id.AppendTo(buf)
+			buf = wire.AppendBytes(buf, ac.hash[:])
 		}
 	}
 	return buf, nil
@@ -69,6 +73,15 @@ func (s *Server) RestoreSnapshot(data []byte) error {
 	if s.tick, data, err = wire.Uvarint(data); err != nil {
 		return err
 	}
+	s.wm.Store(s.tick)
+	var hash []byte
+	if hash, data, err = wire.Bytes(data); err != nil {
+		return err
+	}
+	if len(hash) != len(s.stateHash) {
+		return fmt.Errorf("svc: snapshot state hash is %d bytes, want %d", len(hash), len(s.stateHash))
+	}
+	copy(s.stateHash[:], hash)
 	var n int
 	if n, data, err = wire.SliceLen(data); err != nil {
 		return err
@@ -104,6 +117,20 @@ func (s *Server) RestoreSnapshot(data []byte) error {
 			if ac.err, data, err = wire.String(data); err != nil {
 				return err
 			}
+			if ac.order, data, err = wire.Uvarint(data); err != nil {
+				return err
+			}
+			if ac.id, data, err = types.DecodeMessageID(data); err != nil {
+				return err
+			}
+			var h []byte
+			if h, data, err = wire.Bytes(data); err != nil {
+				return err
+			}
+			if len(h) != len(ac.hash) {
+				return fmt.Errorf("svc: snapshot receipt hash is %d bytes, want %d", len(h), len(ac.hash))
+			}
+			copy(ac.hash[:], h)
 			sess.applied[q] = ac
 		}
 		s.sessions[id] = sess

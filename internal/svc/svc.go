@@ -60,10 +60,13 @@
 package svc
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"wanamcast/internal/fd"
 	"wanamcast/internal/metrics"
 	"wanamcast/internal/transport/tcp"
 	"wanamcast/internal/types"
@@ -82,6 +85,15 @@ type StateMachine interface {
 	Apply(op []byte) ([]byte, error)
 	Snapshot() ([]byte, error)
 	Restore(snapshot []byte) error
+}
+
+// QueryMachine is the optional read-only surface of a StateMachine. Query
+// evaluates a read-only operation against the current state WITHOUT going
+// through the ordering layer — the read tier (lease and watermark reads)
+// requires it. Unlike Apply, Query may run concurrently with Apply and
+// with other Queries; implementations must synchronise internally.
+type QueryMachine interface {
+	Query(op []byte) ([]byte, error)
 }
 
 // ServerConfig configures one replica's client-facing server.
@@ -118,6 +130,21 @@ type ServerConfig struct {
 	// client idle long enough to be evicted loses exactly-once for its
 	// in-flight command and must open a fresh session.
 	MaxSessions int
+	// Lease, when non-nil, is this replica's leader lease (the transport's
+	// per-process lease object). Lease-mode reads are served only while it
+	// is valid — checked before AND after the query, so a lease that
+	// lapses mid-read can never leak a stale result. Nil refuses lease
+	// reads outright.
+	Lease *fd.Lease
+	// Ring, when non-nil, enables delivery certificates: the server
+	// answers CertReq with an HMAC countersignature under its own derived
+	// key. Nil refuses certificate requests.
+	Ring *KeyRing
+	// ReadTimeout bounds how long a read parks waiting for the replica's
+	// watermark to reach the client's MinWatermark (default 2s). A read
+	// that far behind answers an error and lets the client retry
+	// elsewhere.
+	ReadTimeout time.Duration
 }
 
 // sessionWindow bounds the per-session dedup window: how many recent
@@ -127,10 +154,18 @@ type ServerConfig struct {
 // margin; anything older answers "expired" rather than re-executing.
 const sessionWindow = 128
 
-// appliedCmd is one executed command's cached outcome.
+// appliedCmd is one executed command's cached outcome, plus the receipt a
+// delivery certificate attests: the shard-local delivery order (the
+// server's tick at first apply), the message ID that carried the command,
+// and the shard's rolling state hash after the apply. All three are
+// deterministic functions of the A-Delivery sequence, so every replica of
+// the shard countersigns the same receipt.
 type appliedCmd struct {
 	result []byte
 	err    string
+	order  uint64
+	id     types.MessageID
+	hash   [sha256.Size]byte
 }
 
 // session is one client session's replicated dedup state. It is identical
@@ -162,17 +197,36 @@ type pendingReq struct {
 	seq     uint64
 }
 
+// readWaiter is one parked read: the replica's watermark has not yet
+// reached the client's MinWatermark, so the read waits (bounded by
+// ReadTimeout) for the deliveries to catch up instead of failing. done
+// flips (under Server.mu) when exactly one of Deliver or the timeout
+// claims the waiter.
+type readWaiter struct {
+	conn  *tcp.SvcConn
+	req   ReadReq
+	timer *time.Timer
+	done  bool
+}
+
 // Server serves one replica's clients. Create with NewServer, then Start.
 type Server struct {
 	cfg ServerConfig
 	ln  *tcp.SvcListener
 
-	mu       sync.Mutex
-	sessions map[uint64]*session
-	tick     uint64 // delivery counter driving deterministic session LRU
-	pending  map[types.MessageID]pendingReq
-	conns    map[*tcp.SvcConn]bool
-	closed   bool
+	// wm mirrors tick for lock-free reads: the replica's delivery
+	// watermark, the highest contiguous prefix of the shard's A-Delivery
+	// order this replica has applied.
+	wm atomic.Uint64
+
+	mu        sync.Mutex
+	sessions  map[uint64]*session
+	tick      uint64 // delivery counter driving deterministic session LRU
+	stateHash [sha256.Size]byte
+	pending   map[types.MessageID]pendingReq
+	waiters   []*readWaiter
+	conns     map[*tcp.SvcConn]bool
+	closed    bool
 
 	wg sync.WaitGroup
 }
@@ -190,6 +244,9 @@ func NewServer(cfg ServerConfig) *Server {
 	}
 	if cfg.MaxSessions <= 0 {
 		cfg.MaxSessions = 65536
+	}
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = 2 * time.Second
 	}
 	return &Server{
 		cfg:      cfg,
@@ -288,12 +345,169 @@ func (s *Server) serveConn(conn *tcp.SvcConn) {
 		if err != nil {
 			return // client hung up or sent garbage
 		}
-		req, ok := v.(Request)
-		if !ok {
+		switch req := v.(type) {
+		case Request:
+			s.handle(conn, req)
+		case ReadReq:
+			s.handleRead(conn, req)
+		case CertReq:
+			s.handleCert(conn, req)
+		default:
 			return // protocol violation: cost the connection
 		}
-		s.handle(conn, req)
 	}
+}
+
+// Watermark returns the replica's delivery watermark: how many commands
+// of its shard's A-Delivery sequence it has applied. Reads serve at this
+// watermark; a client comparing watermarks across replicas sees which one
+// is ahead.
+func (s *Server) Watermark() uint64 { return s.wm.Load() }
+
+// handleRead serves one read-tier request on the connection's goroutine.
+// Reads never touch the ordering layer: a lease read costs a local
+// lease-validity check plus the query, a watermark read just the query —
+// zero WAN round trips either way. If the replica's watermark has not
+// reached the client's MinWatermark, the read parks until a delivery
+// catches it up (bounded by ReadTimeout); that barrier is what makes
+// follower reads read-your-writes and monotonic per session.
+func (s *Server) handleRead(conn *tcp.SvcConn, req ReadReq) {
+	if s.cfg.Stats != nil {
+		s.cfg.Stats.RecordRequest()
+	}
+	fail := func(err string) {
+		_ = s.writeMsg(conn, ReadResp{Session: req.Session, Seq: req.Seq, Err: err})
+	}
+	if req.Group != s.cfg.Group {
+		fail(fmt.Sprintf("read for group %v at a member of group %v", req.Group, s.cfg.Group))
+		return
+	}
+	if _, ok := s.cfg.Machine.(QueryMachine); !ok {
+		fail("state machine does not support local reads")
+		return
+	}
+	switch req.Mode {
+	case readModeLease:
+		if s.cfg.Lease == nil || !s.cfg.Lease.Valid() {
+			if s.cfg.Stats != nil {
+				s.cfg.Stats.RecordLeaseDenied()
+			}
+			fail("no lease")
+			return
+		}
+	case readModeWatermark:
+		// any replica serves
+	default:
+		fail(fmt.Sprintf("unknown read mode %d", req.Mode))
+		return
+	}
+	w := &readWaiter{conn: conn, req: req}
+	if s.wm.Load() >= req.MinWatermark {
+		s.finishRead(w)
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	// Re-check under the lock: a delivery between the fast check and the
+	// park would otherwise strand the waiter until the timeout.
+	if s.wm.Load() >= req.MinWatermark {
+		s.mu.Unlock()
+		s.finishRead(w)
+		return
+	}
+	w.timer = time.AfterFunc(s.cfg.ReadTimeout, func() { s.expireRead(w) })
+	s.waiters = append(s.waiters, w)
+	s.mu.Unlock()
+}
+
+// finishRead runs the query and answers the read. The published watermark
+// is read BEFORE the query — the result reflects at least that much of
+// the delivery sequence, possibly more, so the client's tracked watermark
+// stays a sound lower bound. Lease validity is re-checked AFTER the
+// query: a lease that lapsed mid-read (suspicion, partition fencing)
+// conservatively turns the answer into a refusal rather than risk serving
+// a value a new holder may already have superseded.
+func (s *Server) finishRead(w *readWaiter) {
+	resp := ReadResp{Session: w.req.Session, Seq: w.req.Seq, Watermark: s.wm.Load()}
+	res, err := s.cfg.Machine.(QueryMachine).Query(w.req.Op)
+	if w.req.Mode == readModeLease && (s.cfg.Lease == nil || !s.cfg.Lease.Valid()) {
+		if s.cfg.Stats != nil {
+			s.cfg.Stats.RecordLeaseDenied()
+		}
+		resp.Err = "no lease"
+		_ = s.writeMsg(w.conn, resp)
+		return
+	}
+	if err != nil {
+		resp.Err = err.Error()
+	} else {
+		resp.OK = true
+		resp.Result = res
+		if s.cfg.Stats != nil {
+			s.cfg.Stats.RecordReply()
+		}
+	}
+	_ = s.writeMsg(w.conn, resp)
+}
+
+// expireRead fails a parked read whose watermark barrier never cleared.
+func (s *Server) expireRead(w *readWaiter) {
+	s.mu.Lock()
+	if w.done {
+		s.mu.Unlock()
+		return
+	}
+	w.done = true
+	for i, q := range s.waiters {
+		if q == w {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			break
+		}
+	}
+	wm := s.wm.Load()
+	s.mu.Unlock()
+	_ = s.writeMsg(w.conn, ReadResp{Session: w.req.Session, Seq: w.req.Seq, Watermark: wm,
+		Err: fmt.Sprintf("replica at watermark %d, behind requested %d", wm, w.req.MinWatermark)})
+}
+
+// handleCert answers one certificate request with this replica's HMAC
+// countersignature over the command's receipt. The command must still be
+// inside the session's dedup window; the receipt (order, message ID,
+// rolling state hash) was recorded at first apply and is identical at
+// every replica of the shard.
+func (s *Server) handleCert(conn *tcp.SvcConn, req CertReq) {
+	if s.cfg.Stats != nil {
+		s.cfg.Stats.RecordRequest()
+	}
+	share := CertShare{Session: req.Session, Seq: req.Seq, Proc: s.cfg.Self, Group: s.cfg.Group}
+	if s.cfg.Ring == nil {
+		share.Err = "certificates disabled (no secret configured)"
+		_ = s.writeMsg(conn, share)
+		return
+	}
+	s.mu.Lock()
+	var (
+		ac appliedCmd
+		ok bool
+	)
+	if sess := s.sessions[req.Session]; sess != nil {
+		ac, ok = sess.applied[req.Seq]
+	}
+	s.mu.Unlock()
+	if !ok {
+		share.Err = fmt.Sprintf("(session %d, seq %d) not in the dedup window", req.Session, req.Seq)
+		_ = s.writeMsg(conn, share)
+		return
+	}
+	share.OK = true
+	share.ID = ac.id
+	share.Order = ac.order
+	share.Hash = append([]byte(nil), ac.hash[:]...)
+	share.MAC = s.cfg.Ring.Sign(s.cfg.Self, receiptBytes(share.ID, share.Group, share.Order, share.Hash))
+	_ = s.writeMsg(conn, share)
 }
 
 // handle processes one request on the connection's goroutine. It never
@@ -393,6 +607,7 @@ func appliedReply(sessionID, seq uint64, ac appliedCmd) Reply {
 	r := Reply{Session: sessionID, Seq: seq, OK: ac.err == "", Err: ac.err}
 	if r.OK {
 		r.Result = ac.result
+		r.Order = ac.order
 	}
 	return r
 }
@@ -417,6 +632,7 @@ func (s *Server) Deliver(id types.MessageID, payload any) {
 		return
 	}
 	s.tick++
+	s.wm.Store(s.tick)
 	sess := s.sessions[cmd.Session]
 	if sess == nil {
 		// touched is set before the eviction sweep so the newcomer can
@@ -431,11 +647,19 @@ func (s *Server) Deliver(id types.MessageID, payload any) {
 	if _, done := sess.applied[cmd.Seq]; !done && cmd.Seq+sessionWindow > sess.maxSeq {
 		// First delivery of this (session, seq): the one and only state
 		// mutation, identical at every replica of every destination shard.
+		// The receipt (order, id, rolling hash) is recorded here and only
+		// here, so duplicates certify the original's receipt.
 		res, err := s.cfg.Machine.Apply(cmd.Op)
-		ac := appliedCmd{result: res}
+		ac := appliedCmd{result: res, order: s.tick, id: id}
 		if err != nil {
 			ac.err = err.Error()
 		}
+		chain := make([]byte, 0, 2*sha256.Size+len(cmd.Op))
+		chain = append(chain, s.stateHash[:]...)
+		chain = id.AppendTo(chain)
+		chain = append(chain, cmd.Op...)
+		s.stateHash = sha256.Sum256(chain)
+		ac.hash = s.stateHash
 		sess.applied[cmd.Seq] = ac
 		if cmd.Seq > sess.maxSeq {
 			sess.maxSeq = cmd.Seq
@@ -464,7 +688,28 @@ func (s *Server) Deliver(id types.MessageID, payload any) {
 				Err: fmt.Sprintf("sequence %d expired (session window past %d)", pr.seq, sess.maxSeq)}
 		}
 	}
+	// Claim every parked read whose watermark barrier this delivery
+	// cleared; the queries run off-loop so a read can never stall the
+	// delivery sequence.
+	var ready []*readWaiter
+	if len(s.waiters) > 0 {
+		kept := s.waiters[:0]
+		for _, w := range s.waiters {
+			if !w.done && w.req.MinWatermark <= s.tick {
+				w.done = true
+				w.timer.Stop()
+				ready = append(ready, w)
+			} else {
+				kept = append(kept, w)
+			}
+		}
+		s.waiters = kept
+	}
 	s.mu.Unlock()
+	for _, w := range ready {
+		// Untracked for the same reason as the reply goroutine below.
+		go s.finishRead(w)
+	}
 	if waiting {
 		// Off-loop: a slow client must never stall the replica's
 		// deliveries. The goroutine is deliberately not wg-tracked — it

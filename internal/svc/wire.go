@@ -30,13 +30,16 @@ type Request struct {
 
 // Reply answers a Request. Result is the replica-local result of the
 // contacted server's shard. OK false carries an application or protocol
-// error in Err.
+// error in Err. Order is the coordinator shard's delivery watermark after
+// the command applied (0 for error replies): the client folds it into its
+// per-shard watermark so follower reads are read-your-writes.
 type Reply struct {
 	Session uint64
 	Seq     uint64
 	OK      bool
 	Err     string
 	Result  []byte
+	Order   uint64
 }
 
 // Redirect tells a client it asked the wrong shard: the contacted server's
@@ -122,7 +125,8 @@ func appendReply(buf []byte, r Reply) []byte {
 	}
 	buf = append(buf, ok)
 	buf = wire.AppendString(buf, r.Err)
-	return wire.AppendBytes(buf, r.Result)
+	buf = wire.AppendBytes(buf, r.Result)
+	return wire.AppendUvarint(buf, r.Order)
 }
 
 func decodeReply(data []byte) (Reply, []byte, error) {
@@ -146,6 +150,9 @@ func decodeReply(data []byte) (Reply, []byte, error) {
 		return r, nil, err
 	}
 	r.Result = append([]byte(nil), res...)
+	if r.Order, data, err = wire.Uvarint(data); err != nil {
+		return r, nil, err
+	}
 	return r, data, nil
 }
 

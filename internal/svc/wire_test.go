@@ -22,6 +22,22 @@ func TestServiceWireRoundTrip(t *testing.T) {
 		"redirect": Redirect{Session: 4, Seq: 1, Groups: types.NewGroupSet(1),
 			Addrs: []string{"127.0.0.1:9", "127.0.0.1:10"}},
 		"redirect-no-addrs": Redirect{Session: 4, Seq: 2, Groups: types.NewGroupSet(0)},
+		"reply-ordered": Reply{Session: 9, Seq: 13, OK: true, Result: []byte("r"),
+			Order: 512},
+		"read-req": ReadReq{Session: 9, Seq: 4, Group: 2, Mode: readModeLease,
+			MinWatermark: 88, Op: []byte{2, 1}},
+		"read-req-watermark": ReadReq{Session: 1, Seq: 1, Group: 0,
+			Mode: readModeWatermark, Op: []byte{2}},
+		"read-resp-ok": ReadResp{Session: 9, Seq: 4, OK: true,
+			Result: []byte{1, 0, 3}, Watermark: 91},
+		"read-resp-err": ReadResp{Session: 9, Seq: 5, Err: "no lease",
+			Watermark: 91},
+		"cert-req": CertReq{Session: 9, Seq: 12},
+		"cert-share-ok": CertShare{Session: 9, Seq: 12, OK: true,
+			ID: types.MessageID{Origin: 4, Seq: 7}, Group: 1, Order: 33,
+			Hash: []byte("hhhh"), Proc: 5, MAC: []byte("mmmm")},
+		"cert-share-err": CertShare{Session: 9, Seq: 13,
+			Err: "not in the dedup window"},
 	}
 	for name, v := range values {
 		buf := wire.AppendValue(nil, v)
@@ -44,16 +60,21 @@ func TestServiceWireCorrupt(t *testing.T) {
 	values := []any{
 		Command{Session: 7, Seq: 3, Op: []byte{1, 2, 3}},
 		Request{Session: 9, Seq: 12, Dest: types.NewGroupSet(0, 2), Op: []byte("put")},
-		Reply{Session: 9, Seq: 12, OK: true, Result: []byte("r")},
+		Reply{Session: 9, Seq: 12, OK: true, Result: []byte("r"), Order: 300},
 		Redirect{Session: 4, Seq: 1, Groups: types.NewGroupSet(1), Addrs: []string{"a", "b"}},
+		ReadReq{Session: 9, Seq: 4, Group: 2, Mode: readModeLease, MinWatermark: 88, Op: []byte{2, 1}},
+		ReadResp{Session: 9, Seq: 4, OK: true, Result: []byte{1, 0, 3}, Watermark: 300},
+		CertReq{Session: 9, Seq: 300},
+		CertShare{Session: 9, Seq: 12, OK: true, ID: types.MessageID{Origin: 4, Seq: 7},
+			Group: 1, Order: 300, Hash: []byte("hhhh"), Proc: 5, MAC: []byte("mmmm")},
 	}
 	for _, v := range values {
 		full := wire.AppendValue(nil, v)
 		for cut := 0; cut < len(full); cut++ {
-			// Every strict prefix must decode to an error (all four types
-			// end with a length-delimited field, so no prefix is a valid
-			// complete encoding) — and, per the transport contract, must
-			// never panic.
+			// Every strict prefix must decode to an error — each type either
+			// ends with a length-delimited field or with a multi-byte
+			// uvarint (the 300s above), so no prefix is a valid complete
+			// encoding — and, per the transport contract, must never panic.
 			if _, _, err := wire.DecodeValue(full[:cut]); err == nil {
 				t.Errorf("%T truncated to %d/%d bytes decoded without error", v, cut, len(full))
 			}

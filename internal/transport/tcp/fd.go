@@ -9,8 +9,29 @@ import (
 	"wanamcast/internal/types"
 )
 
-// heartbeatMsg is the failure detector's intra-group beat.
-type heartbeatMsg struct{}
+// heartbeatMsg is the failure detector's intra-group beat. Beat is the
+// sender's clock (api.Now() nanos) at send time; when leader leases are
+// enabled it doubles as the lease timestamp a follower countersigns.
+type heartbeatMsg struct {
+	Beat int64
+}
+
+// leaseGrantMsg is a follower's lease vote: by echoing beat b back to the
+// leader, the follower promises not to grant any OTHER candidate a lease
+// until (local receipt time of b) + LeaseDuration + MaxClockSkew. The
+// leader that collects a majority of grants for beat b (counting its own)
+// holds the lease until b + LeaseDuration − MaxClockSkew on its own clock.
+//
+// Safety is clock-OFFSET-free: a grant's promise window starts at the
+// follower's receipt of the beat, which is physically no earlier than the
+// leader's send, so promise end ≥ claim end + 2×MaxClockSkew in real time
+// regardless of how the two clocks are offset — only clock RATE drift over
+// one lease window must stay under MaxClockSkew. Any majority a successor
+// assembles intersects the holder's majority in a replica whose promise
+// still fences, so two valid leases never overlap.
+type leaseGrantMsg struct {
+	Beat int64
+}
 
 // heartbeatFD is the live Ω: every process beats to its group peers; a
 // peer silent for SuspectAfter is suspected; the leader is the lowest
@@ -33,12 +54,23 @@ type heartbeatFD struct {
 	suspected map[types.ProcessID]bool
 	leader    types.ProcessID
 	subs      []func(types.GroupID, types.ProcessID)
+
+	// Leader-lease state (inert when leaseDur == 0). lease is owned by the
+	// Runtime and outlives detector restarts; grants holds, per group
+	// member, the newest beat that member countersigned for us (leader
+	// side); promiseEnd holds, per candidate, the local time until which we
+	// have promised that candidate our vote (follower side — the fence).
+	lease      *fd.Lease
+	leaseDur   time.Duration
+	skew       time.Duration
+	grants     map[types.ProcessID]int64
+	promiseEnd map[types.ProcessID]time.Duration
 }
 
 var _ fd.Detector = (*heartbeatFD)(nil)
 var _ node.Protocol = (*heartbeatFD)(nil)
 
-func newHeartbeatFD(api node.API, every, suspectAfter time.Duration, obs fd.Observer) *heartbeatFD {
+func newHeartbeatFD(api node.API, every, suspectAfter time.Duration, obs fd.Observer, lease *fd.Lease, leaseDur, skew time.Duration) *heartbeatFD {
 	h := &heartbeatFD{
 		api:          api,
 		obs:          obs,
@@ -46,6 +78,11 @@ func newHeartbeatFD(api node.API, every, suspectAfter time.Duration, obs fd.Obse
 		suspectAfter: suspectAfter,
 		lastSeen:     make(map[types.ProcessID]time.Duration),
 		suspected:    make(map[types.ProcessID]bool),
+		lease:        lease,
+		leaseDur:     leaseDur,
+		skew:         skew,
+		grants:       make(map[types.ProcessID]int64),
+		promiseEnd:   make(map[types.ProcessID]time.Duration),
 	}
 	h.group = append(h.group, api.Topo().Members(api.Group())...)
 	sort.Slice(h.group, func(i, j int) bool { return h.group[i] < h.group[j] })
@@ -67,25 +104,112 @@ func (h *heartbeatFD) Start() {
 
 func (h *heartbeatFD) tick() {
 	self := h.api.Self()
+	now := h.api.Now()
 	var tos []types.ProcessID
 	for _, q := range h.group {
 		if q != self {
 			tos = append(tos, q)
 		}
 	}
-	h.api.Multicast(tos, "fd", heartbeatMsg{})
+	h.api.Multicast(tos, "fd", heartbeatMsg{Beat: int64(now)})
+	if h.leaseDur > 0 && h.leader == self && h.canGrantTo(self, now) {
+		// Self-grant through the same fencing path followers use: our own
+		// vote counts toward the majority only while no other candidate
+		// holds our promise.
+		h.promiseEnd[self] = now + h.leaseDur + h.skew
+		h.grants[self] = int64(now)
+		h.recomputeLease(now)
+	}
 	h.checkSuspicions()
 	h.api.After(h.every, h.tick)
 }
 
 // Receive implements node.Protocol.
-func (h *heartbeatFD) Receive(from types.ProcessID, _ any) {
+func (h *heartbeatFD) Receive(from types.ProcessID, body any) {
 	h.lastSeen[from] = h.api.Now()
 	if h.suspected[from] {
 		// The suspicion was a mistake (crash-stop processes never beat
 		// again): the fresh beat restores trust, Ω taking its mistake back.
 		h.restore(from)
 	}
+	if h.leaseDur <= 0 {
+		return
+	}
+	switch m := body.(type) {
+	case heartbeatMsg:
+		h.maybeGrant(from, m.Beat)
+	case leaseGrantMsg:
+		h.acceptGrant(from, m.Beat)
+	}
+}
+
+// maybeGrant is the follower side of the lease protocol: countersign the
+// beat of the replica we currently believe leads — unless an earlier
+// promise to a DIFFERENT candidate still fences us.
+func (h *heartbeatFD) maybeGrant(from types.ProcessID, beat int64) {
+	if from != h.leader {
+		return
+	}
+	now := h.api.Now()
+	if !h.canGrantTo(from, now) {
+		return
+	}
+	h.promiseEnd[from] = now + h.leaseDur + h.skew
+	h.api.Send(from, "fd", leaseGrantMsg{Beat: beat})
+}
+
+// canGrantTo reports whether every outstanding promise to a candidate
+// other than to has expired. Promises are honored in local time even
+// across suspicion changes: that persistence IS the fence that keeps an
+// old holder's lease and a successor's from overlapping.
+func (h *heartbeatFD) canGrantTo(to types.ProcessID, now time.Duration) bool {
+	for q, end := range h.promiseEnd {
+		if q != to && now < end {
+			return false
+		}
+	}
+	return true
+}
+
+// acceptGrant is the leader side: record the follower's newest vote and
+// extend the published lease if a majority of the group (including self)
+// still countersigns a recent enough beat.
+func (h *heartbeatFD) acceptGrant(from types.ProcessID, beat int64) {
+	if h.leader != h.api.Self() {
+		return // demoted since the beat went out; grants were cleared
+	}
+	now := h.api.Now()
+	if beat > int64(now) || beat <= h.grants[from] {
+		return // from the future (not our beat) or stale
+	}
+	h.grants[from] = beat
+	h.recomputeLease(now)
+}
+
+// recomputeLease extends the lease to (majority-th newest granted beat)
+// + LeaseDuration − MaxClockSkew if at least a majority of grants are
+// still inside their window. Expiry is passive: when grants age out the
+// published deadline simply passes.
+func (h *heartbeatFD) recomputeLease(now time.Duration) {
+	if h.lease == nil {
+		return
+	}
+	valid := make([]time.Duration, 0, len(h.group))
+	for _, q := range h.group {
+		b, ok := h.grants[q]
+		if ok && time.Duration(b)+h.leaseDur-h.skew > now {
+			valid = append(valid, time.Duration(b))
+		}
+	}
+	maj := len(h.group)/2 + 1
+	if len(valid) < maj {
+		return
+	}
+	sort.Slice(valid, func(i, j int) bool { return valid[i] > valid[j] })
+	untilRel := valid[maj-1] + h.leaseDur - h.skew
+	// Translate the api-relative deadline to the wall clock the lease
+	// publishes (read dispatch checks against time.Now()).
+	h.lease.Extend(time.Now().Add(untilRel - now))
 }
 
 // Suspect forces a (false) suspicion of q, as a chaos scenario does to flap
@@ -156,6 +280,15 @@ func (h *heartbeatFD) recomputeLeader() {
 		return
 	}
 	h.leader = leader
+	if leader != h.api.Self() && h.lease != nil {
+		// Conservative revocation: the moment our own view stops leading —
+		// a suspicion of us propagating, or us suspecting a lower rank back
+		// to life — we stop serving lease reads, without waiting for the
+		// grants to age out. (A partitioned holder never runs this; the
+		// wall-clock window in the grant protocol fences it instead.)
+		h.lease.Revoke()
+		clear(h.grants)
+	}
 	if h.obs != nil {
 		h.obs.OnLeaderChange(h.api.Group(), leader)
 	}

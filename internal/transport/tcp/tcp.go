@@ -100,12 +100,22 @@ func RegisterWireTypes() {
 	gob.Register(baseline.SkeenData{})
 	gob.Register(baseline.SkeenProp{})
 	gob.Register(heartbeatMsg{})
+	gob.Register(leaseGrantMsg{})
 }
 
 func init() {
 	wire.Register(wire.KindHeartbeat,
-		func(buf []byte, _ heartbeatMsg) []byte { return buf },
-		func(data []byte) (heartbeatMsg, []byte, error) { return heartbeatMsg{}, data, nil })
+		func(buf []byte, m heartbeatMsg) []byte { return wire.AppendVarint(buf, m.Beat) },
+		func(data []byte) (heartbeatMsg, []byte, error) {
+			b, rest, err := wire.Varint(data)
+			return heartbeatMsg{Beat: b}, rest, err
+		})
+	wire.Register(wire.KindLeaseGrant,
+		func(buf []byte, m leaseGrantMsg) []byte { return wire.AppendVarint(buf, m.Beat) },
+		func(data []byte) (leaseGrantMsg, []byte, error) {
+			b, rest, err := wire.Varint(data)
+			return leaseGrantMsg{Beat: b}, rest, err
+		})
 }
 
 // gobFrame is the legacy gob wire envelope (Config.Codec = CodecGob).
@@ -167,6 +177,20 @@ type Config struct {
 	// (defaults 50 ms and 250 ms).
 	HeartbeatEvery time.Duration
 	SuspectAfter   time.Duration
+	// LeaseDuration enables leader leases: each beat a group's leader
+	// sends doubles as a lease request its followers countersign, and a
+	// majority of countersignatures lets the leader serve linearizable
+	// reads locally until (beat + LeaseDuration − MaxClockSkew). 0 (the
+	// default) disables leases; Lease(id) then stays permanently invalid.
+	// Must comfortably exceed HeartbeatEvery so grants renew the lease
+	// before it expires.
+	LeaseDuration time.Duration
+	// MaxClockSkew is the lease safety margin: the holder shortens its
+	// claim by it while granters lengthen their fencing promise by it, so
+	// clock RATE drift up to MaxClockSkew per lease window cannot overlap
+	// an old holder with a successor (offsets cancel — see leaseGrantMsg).
+	// Defaults to 10 ms when leases are enabled.
+	MaxClockSkew time.Duration
 	// Lanes shards the hosted processes across exactly this many ordering
 	// lane goroutines, by group: process p runs on lane
 	// group(p) mod Lanes, so a group's whole protocol state stays
@@ -236,6 +260,7 @@ type Runtime struct {
 	lanes  []*lane // every lane goroutine, in creation order
 	laneOf []*lane // indexed by ProcessID; nil for processes not hosted here
 	fds    []*heartbeatFD
+	leases []*fd.Lease // indexed by ProcessID; outlive detector restarts
 	local  []types.ProcessID
 
 	listeners []net.Listener
@@ -273,6 +298,9 @@ func New(cfg Config) *Runtime {
 	}
 	if cfg.SuspectAfter == 0 {
 		cfg.SuspectAfter = 250 * time.Millisecond
+	}
+	if cfg.LeaseDuration > 0 && cfg.MaxClockSkew == 0 {
+		cfg.MaxClockSkew = 10 * time.Millisecond
 	}
 	if cfg.SendQueue <= 0 {
 		cfg.SendQueue = DefaultSendQueue
@@ -333,6 +361,7 @@ func New(cfg Config) *Runtime {
 	rt.procs = make([]*node.Proc, n)
 	rt.laneOf = make([]*lane, n)
 	rt.fds = make([]*heartbeatFD, n)
+	rt.leases = make([]*fd.Lease, n)
 	local := cfg.Local
 	if local == nil {
 		local = cfg.Topo.AllProcesses()
@@ -357,7 +386,9 @@ func New(cfg Config) *Runtime {
 		}
 		rt.laneOf[id] = ln
 		rt.procs[id] = node.NewProc(id, cfg.Topo, rt)
-		rt.fds[id] = newHeartbeatFD(rt.procs[id], cfg.HeartbeatEvery, cfg.SuspectAfter, rt.rec)
+		rt.leases[id] = new(fd.Lease)
+		rt.fds[id] = newHeartbeatFD(rt.procs[id], cfg.HeartbeatEvery, cfg.SuspectAfter, rt.rec,
+			rt.leases[id], cfg.LeaseDuration, cfg.MaxClockSkew)
 		rt.procs[id].Register(rt.fds[id])
 	}
 	return rt
@@ -392,6 +423,11 @@ func (rt *Runtime) Proc(id types.ProcessID) *node.Proc {
 
 // Detector returns process id's failure detector.
 func (rt *Runtime) Detector(id types.ProcessID) *heartbeatFD { return rt.fds[id] }
+
+// Lease returns process id's leader lease. The object is stable across
+// Restart (the service layer holds it for the lifetime of the deployment);
+// with Config.LeaseDuration == 0 it simply never becomes valid.
+func (rt *Runtime) Lease(id types.ProcessID) *fd.Lease { return rt.leases[id] }
 
 // Fabric returns the runtime's link fabric — the chaos control surface.
 // It is safe to mutate from any goroutine while the runtime runs.
@@ -521,7 +557,12 @@ func (rt *Runtime) Restart(id types.ProcessID, rebuild func(proc *node.Proc, det
 			return
 		}
 		proc := node.NewProc(id, rt.topo, rt)
-		hfd := newHeartbeatFD(proc, rt.cfg.HeartbeatEvery, rt.cfg.SuspectAfter, rt.rec)
+		// The lease object persists across incarnations (svc servers hold
+		// the pointer), but the new incarnation starts fenced: it re-earns
+		// a majority of fresh grants before serving lease reads again.
+		rt.leases[id].Revoke()
+		hfd := newHeartbeatFD(proc, rt.cfg.HeartbeatEvery, rt.cfg.SuspectAfter, rt.rec,
+			rt.leases[id], rt.cfg.LeaseDuration, rt.cfg.MaxClockSkew)
 		proc.Register(hfd)
 		proc.SetRecovering(true)
 		rebuild(proc, hfd)

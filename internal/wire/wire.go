@@ -82,7 +82,7 @@ const (
 	KindABcastRecords     Kind = 33 // []abcast.Record (consensus value)
 	KindSkeenData         Kind = 36 // baseline.SkeenData
 	KindSkeenProp         Kind = 37 // baseline.SkeenProp
-	KindHeartbeat         Kind = 40 // tcp heartbeatMsg (empty body)
+	KindHeartbeat         Kind = 40 // tcp heartbeatMsg (sender send-time beat)
 	KindSvcRequest        Kind = 44 // svc.Request (client → server)
 	KindSvcReply          Kind = 45 // svc.Reply (server → client)
 	KindSvcRedirect       Kind = 46 // svc.Redirect (server → client)
@@ -91,6 +91,11 @@ const (
 	KindA1SyncResp        Kind = 51 // amcast.SyncResp
 	KindA2SyncReq         Kind = 52 // abcast.SyncReq (restart state transfer)
 	KindA2SyncResp        Kind = 53 // abcast.SyncResp
+	KindLeaseGrant        Kind = 54 // tcp leaseGrantMsg (follower → leader lease vote)
+	KindSvcReadReq        Kind = 55 // svc.ReadReq (client → server, read tier)
+	KindSvcReadResp       Kind = 56 // svc.ReadResp (server → client)
+	KindSvcCertReq        Kind = 57 // svc.CertReq (client → server, delivery certificate)
+	KindSvcCertShare      Kind = 58 // svc.CertShare (server → client, one HMAC countersignature)
 )
 
 // MaxFrame bounds one frame on the wire. A larger length prefix is treated

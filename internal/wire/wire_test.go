@@ -12,6 +12,7 @@ import (
 	"wanamcast/internal/baseline"
 	"wanamcast/internal/consensus"
 	"wanamcast/internal/rmcast"
+	"wanamcast/internal/svc"
 	"wanamcast/internal/types"
 	"wanamcast/internal/wire"
 )
@@ -70,6 +71,14 @@ func roundTripValues() map[string]any {
 		"abcast.Records":        recs,
 		"baseline.SkeenData":    baseline.SkeenData{M: msg},
 		"baseline.SkeenProp":    baseline.SkeenProp{ID: msg.ID, TS: 77},
+		"svc.ReadReq": svc.ReadReq{Session: 9, Seq: 4, Group: 2, Mode: 1,
+			MinWatermark: 88, Op: []byte{2, 1}},
+		"svc.ReadResp": svc.ReadResp{Session: 9, Seq: 4, OK: true,
+			Result: []byte{1, 0, 3}, Watermark: 91},
+		"svc.CertReq": svc.CertReq{Session: 9, Seq: 12},
+		"svc.CertShare": svc.CertShare{Session: 9, Seq: 12, OK: true,
+			ID: types.MessageID{Origin: 4, Seq: 7}, Group: 1, Order: 33,
+			Hash: []byte("hhhh"), Proc: 5, MAC: []byte("mmmm")},
 	}
 }
 

@@ -102,20 +102,28 @@ type ClientSpec struct {
 	// Mix is the destination-set distribution; nil means DefaultMix.
 	Mix  []MixEntry
 	Seed int64
+	// ReadFraction in [0, 1] is the share of ops that are reads (0 = the
+	// historical all-write workload). Reads are single-shard and homed on
+	// the client's home group — the partial-replication scenario's
+	// read-mostly serving pattern, and the shape the read tier serves
+	// without WAN hops.
+	ReadFraction float64
 }
 
 // ClientOp is one closed-loop operation: the exact set of shards it
-// touches. The caller maps it onto application commands (e.g. one key per
-// destination shard).
+// touches, and whether it is a read (single-shard, served by the read
+// tier) or a write (ordered). The caller maps it onto application
+// commands (e.g. one key per destination shard).
 type ClientOp struct {
 	Dest types.GroupSet
+	Read bool
 }
 
 // ClientPlans produces one op sequence per client. Client i is homed on
 // group i mod |Γ| and every op's destination set includes its home shard
 // (locality, as in the open-loop generator). It panics on an invalid spec.
 func ClientPlans(topo *types.Topology, spec ClientSpec) [][]ClientOp {
-	if spec.Clients <= 0 || spec.Ops <= 0 {
+	if spec.Clients <= 0 || spec.Ops <= 0 || spec.ReadFraction < 0 || spec.ReadFraction > 1 {
 		panic(fmt.Sprintf("workload: invalid client spec %+v", spec))
 	}
 	mix := spec.Mix
@@ -139,6 +147,10 @@ func ClientPlans(topo *types.Topology, spec ClientSpec) [][]ClientOp {
 		from := topo.Members(home)[0]
 		ops := make([]ClientOp, spec.Ops)
 		for j := range ops {
+			if spec.ReadFraction > 0 && rng.Float64() < spec.ReadFraction {
+				ops[j] = ClientOp{Dest: types.NewGroupSet(home), Read: true}
+				continue
+			}
 			ops[j] = ClientOp{Dest: pickDest(topo, rng, mix, total, from)}
 		}
 		plans[i] = ops

@@ -39,6 +39,17 @@ type LiveConfig struct {
 	// suspected — and trusted again the moment its beats resume.
 	HeartbeatEvery time.Duration
 	SuspectAfter   time.Duration
+	// LeaseDuration enables leader leases: each group's rank-0 replica
+	// collects time-bounded grants over the heartbeat traffic and, while a
+	// majority's grants are live, publishes a lease (ReadLease) that lets
+	// it serve linearizable single-shard reads locally — zero WAN round
+	// trips. 0 (the default) disables leases. Safety holds as long as
+	// clock RATE drift over one lease window stays under MaxClockSkew;
+	// clock offsets don't matter (see the tcp lease protocol).
+	LeaseDuration time.Duration
+	// MaxClockSkew guards the lease windows against clock drift (default
+	// 10 ms when leases are enabled).
+	MaxClockSkew time.Duration
 	// KeepAliveRounds tunes A2's quiescence predictor (default 1, the
 	// paper's Algorithm A2).
 	KeepAliveRounds int
@@ -184,6 +195,8 @@ func NewLiveCluster(cfg LiveConfig) *LiveCluster {
 		LANDelay:       cfg.LANDelay,
 		HeartbeatEvery: cfg.HeartbeatEvery,
 		SuspectAfter:   cfg.SuspectAfter,
+		LeaseDuration:  cfg.LeaseDuration,
+		MaxClockSkew:   cfg.MaxClockSkew,
 		Lanes:          cfg.Lanes,
 		InboxSize:      cfg.InboxSize,
 		SendQueue:      cfg.SendQueue,
@@ -574,6 +587,13 @@ func (l *LiveCluster) FsyncStats() FsyncStats {
 // admissible runs. Safe to mutate from any goroutine while the cluster
 // runs.
 func (l *LiveCluster) Fabric() *network.Fabric { return l.rt.Fabric() }
+
+// ReadLease returns process p's leader lease — valid only while p holds a
+// majority of live grants from its group (nil when LeaseDuration is 0).
+// Pass it to the service layer (svc.ServiceConfig.LeaseFor) to let p serve
+// linearizable reads locally, and to chaos assertions that pin the
+// no-two-leases-overlap invariant across a partition.
+func (l *LiveCluster) ReadLease(p ProcessID) *fd.Lease { return l.rt.Lease(p) }
 
 // ForceSuspect injects a false suspicion of p into every group peer's
 // failure detector — a leader flap without any real fault. Trust restores
