@@ -79,6 +79,9 @@ func run() int {
 		memProf  = flag.String("memprofile", "", "write a heap profile (post-GC, live objects) to this file")
 		mtxProf  = flag.String("mutexprofile", "", "write a mutex-contention profile to this file")
 		verbose  = flag.Bool("v", false, "log every scenario event and delivery progress")
+		telem    = flag.String("telemetry", "", "live mode: serve the introspection plane (/metrics, /spans, /healthz) on this host:port; enables lifecycle tracing")
+		spanBuf  = flag.Int("spanbuf", 0, "per-lane lifecycle span ring size (0 = default 4096; >0 enables tracing)")
+		flightD  = flag.String("flightdump", "", "dump recent spans as JSONL here on a property violation, failed state transfer, or restart; enables tracing")
 	)
 	flag.Parse()
 
@@ -111,6 +114,14 @@ func run() int {
 	}
 	if *lanes < 0 || *inbox < 0 {
 		fail("-lanes and -inbox must be non-negative")
+	}
+	// The telemetry flags share the harness validation with every command.
+	tOpts := harness.Options{TelemetryAddr: *telem, SpanBuf: *spanBuf, FlightDump: *flightD}
+	if err := tOpts.Validate(); err != nil {
+		fail("%v", err)
+	}
+	if tOpts.TraceLifecycle() && *mode != "live" {
+		fail("-telemetry, -spanbuf, and -flightdump need live mode")
 	}
 	n := *groups * *d
 	// Each live scenario gets a disjoint port block so a fresh cluster
@@ -180,7 +191,7 @@ func run() int {
 			// are closed, but lingering TIME_WAIT sockets must not flake
 			// the next bind.
 			ok = runLive(sc, *groups, *d, *basePort+i*stride, *svcPort+i*stride, *wan, *lan,
-				*hbEvery, *suspAft, *maxBatch, *pipeline, *lanes, *inbox, *clients, *ops, *timeout, *seed, *verbose)
+				*hbEvery, *suspAft, *maxBatch, *pipeline, *lanes, *inbox, *clients, *ops, *timeout, *seed, *verbose, tOpts)
 		}
 		if ok {
 			fmt.Printf("=== %s: OK ===\n\n", sc.Name)
@@ -202,7 +213,7 @@ func run() int {
 // stores so crash/restart scenarios work without disk.
 func runLive(sc scenario.Scenario, groups, d, basePort, svcPort int, wan, lan,
 	hbEvery, suspAft time.Duration, maxBatch, pipeline, lanes, inbox, clients, ops int,
-	timeout time.Duration, seed int64, verbose bool) bool {
+	timeout time.Duration, seed int64, verbose bool, tOpts harness.Options) bool {
 
 	// Scenarios that isolate a process exercise the lease hand-off: enable
 	// leader leases and serve part of the load as lease-consistent reads so
@@ -226,6 +237,9 @@ func runLive(sc scenario.Scenario, groups, d, basePort, svcPort int, wan, lan,
 		Lanes:          lanes,
 		InboxSize:      inbox,
 		Check:          true,
+		TraceSpans:     tOpts.TraceLifecycle(),
+		SpanBuf:        tOpts.SpanBuf,
+		FlightDump:     tOpts.FlightDump,
 	}
 	if leasing {
 		cfg.LeaseDuration = suspAft
@@ -250,7 +264,8 @@ func runLive(sc scenario.Scenario, groups, d, basePort, svcPort int, wan, lan,
 		NewMachine: func(p types.ProcessID, g types.GroupID) svc.StateMachine {
 			return svc.NewKVMachine(g, route)
 		},
-		Stats: stats,
+		Stats:  stats,
+		Tracer: cluster.Tracer(),
 	}
 	if leasing {
 		svcCfg.LeaseFor = func(p types.ProcessID) *fd.Lease { return cluster.ReadLease(p) }
@@ -261,6 +276,16 @@ func runLive(sc scenario.Scenario, groups, d, basePort, svcPort int, wan, lan,
 		return false
 	}
 	defer service.Stop()
+
+	if tOpts.TelemetryAddr != "" {
+		tsrv, err := harness.ServeTelemetry(tOpts.TelemetryAddr, cluster.TelemetrySource("wanchaos", stats))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wanchaos:", err)
+			return false
+		}
+		defer tsrv.Close()
+		fmt.Printf("  telemetry: http://%s/metrics\n", tsrv.Addr())
+	}
 
 	funcs := cluster.Chaos()
 	funcs.RestartFn = service.RestartReplica // reincarnate the replica's server too

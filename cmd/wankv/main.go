@@ -78,6 +78,9 @@ func run() int {
 		memProf  = flag.String("memprofile", "", "write a heap profile (post-GC, live objects) to this file")
 		mtxProf  = flag.String("mutexprofile", "", "write a mutex-contention profile to this file")
 		benchOut = flag.String("benchjson", "", "load mode: append a machine-readable result record to this JSON file")
+		telem    = flag.String("telemetry", "", "serve the introspection plane (/metrics, /spans, /healthz) on this host:port; enables lifecycle tracing")
+		spanBuf  = flag.Int("spanbuf", 0, "per-lane lifecycle span ring size (0 = default 4096; >0 enables tracing)")
+		flightD  = flag.String("flightdump", "", "dump recent spans as JSONL here on a property violation, failed state transfer, or restart; enables tracing")
 	)
 	flag.Parse()
 
@@ -121,6 +124,9 @@ func run() int {
 		Consistency:   *consist,
 		LeaseDuration: time.Duration(*leaseMS) * time.Millisecond,
 		MaxClockSkew:  time.Duration(*skewMS) * time.Millisecond,
+		TelemetryAddr: *telem,
+		SpanBuf:       *spanBuf,
+		FlightDump:    *flightD,
 	}
 	if err := readOpts.Validate(); err != nil {
 		fail("%v", err)
@@ -170,6 +176,9 @@ func run() int {
 		SnapshotEvery: *snapEvry,
 		LeaseDuration: readOpts.LeaseDuration,
 		MaxClockSkew:  readOpts.MaxClockSkew,
+		TraceSpans:    readOpts.TraceLifecycle(),
+		SpanBuf:       *spanBuf,
+		FlightDump:    *flightD,
 	}
 	if *scn != "" && *dataDir == "" {
 		// Crash/restart scenarios need a durable store per replica; without
@@ -196,7 +205,8 @@ func run() int {
 		NewMachine: func(p types.ProcessID, g types.GroupID) svc.StateMachine {
 			return svc.NewKVMachine(g, route)
 		},
-		Stats: stats,
+		Stats:  stats,
+		Tracer: cluster.Tracer(),
 	}
 	if readOpts.LeaseDuration > 0 {
 		svcCfg.LeaseFor = func(p types.ProcessID) *fd.Lease { return cluster.ReadLease(p) }
@@ -223,6 +233,15 @@ func run() int {
 	}
 	for g := 0; g < *groups; g++ {
 		fmt.Printf("  shard g%d: %v\n", g, service.Addrs()[types.GroupID(g)])
+	}
+	if *telem != "" {
+		tsrv, err := harness.ServeTelemetry(*telem, cluster.TelemetrySource("wankv", stats))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wankv:", err)
+			return 1
+		}
+		defer tsrv.Close()
+		fmt.Printf("  telemetry: http://%s/metrics\n", tsrv.Addr())
 	}
 
 	if *clients == 0 {
@@ -299,6 +318,10 @@ func run() int {
 		}
 		if r.BatchesDecided > 0 {
 			r.FsyncsPerBatch = float64(r.Fsyncs) / float64(r.BatchesDecided)
+		}
+		r.WanHops = harness.WanHopHist(st.DegreeHist)
+		if tr := cluster.Tracer(); tr != nil {
+			r.Stages = harness.StageBreakdown(tr.Stats().Snapshot())
 		}
 		if res.Reads > 0 {
 			ss := stats.Snapshot()

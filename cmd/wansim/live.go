@@ -36,6 +36,9 @@ func runLive(algo harness.Algo, opts harness.Options, basePort, casts int, rate 
 		SendQueue:  opts.SendQueue,
 		FlushEvery: opts.FlushEvery,
 		GobCodec:   opts.GobWire,
+		TraceSpans: opts.TraceLifecycle(),
+		SpanBuf:    opts.SpanBuf,
+		FlightDump: opts.FlightDump,
 	}
 	if algo == harness.AlgoA2 {
 		cfg.Pipeline = opts.A2Pipeline
@@ -46,6 +49,16 @@ func runLive(algo harness.Algo, opts harness.Options, basePort, casts int, rate 
 		os.Exit(1)
 	}
 	defer l.Stop()
+
+	if opts.TelemetryAddr != "" {
+		tsrv, err := harness.ServeTelemetry(opts.TelemetryAddr, l.TelemetrySource("wansim", nil))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wansim:", err)
+			os.Exit(1)
+		}
+		defer tsrv.Close()
+		fmt.Printf("telemetry: http://%s/metrics\n", tsrv.Addr())
+	}
 
 	codec := "wire"
 	if opts.GobWire {
@@ -134,6 +147,10 @@ func runLive(algo harness.Algo, opts harness.Options, basePort, casts int, rate 
 		}
 		if r.BatchesDecided > 0 {
 			r.FsyncsPerBatch = float64(r.Fsyncs) / float64(r.BatchesDecided)
+		}
+		r.WanHops = harness.WanHopHist(st.DegreeHist)
+		if tr := l.Tracer(); tr != nil {
+			r.Stages = harness.StageBreakdown(tr.Stats().Snapshot())
 		}
 		if err := harness.AppendBenchJSON(opts.BenchJSON, r); err != nil {
 			fmt.Fprintln(os.Stderr, "wansim: benchjson:", err)

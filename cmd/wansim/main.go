@@ -49,6 +49,9 @@ func main() {
 		memProf  = flag.String("memprofile", "", "write a heap profile (post-GC, live objects) to this file")
 		mtxProf  = flag.String("mutexprofile", "", "write a mutex-contention profile to this file")
 		benchOut = flag.String("benchjson", "", "with -live: append a machine-readable result record to this JSON file")
+		telem    = flag.String("telemetry", "", "with -live: serve /metrics, /spans, and /healthz on this host:port (empty = off)")
+		spanBuf  = flag.Int("spanbuf", 0, "with -live: per-lane span ring capacity for lifecycle tracing (0 = default)")
+		flightD  = flag.String("flightdump", "", "with -live: write a JSONL span dump here on a property violation or sync failure")
 		scn      = flag.String("scenario", "", "chaos scenario to run under the workload (partition-heal, asym-partition, leader-flap, delay-spike, partition-recovery); sim only")
 		scnUnit  = flag.Duration("scnunit", 500*time.Millisecond, "chaos scenario time step (with -scenario)")
 		verbose  = flag.Bool("v", false, "print every delivery")
@@ -115,10 +118,14 @@ func main() {
 		SendQueue: *sendq, FlushEvery: *flush, GobWire: *gobWire,
 		Lanes: *lanes, InboxSize: *inbox,
 		CPUProfile: *cpuProf, MemProfile: *memProf, MutexProfile: *mtxProf,
-		BenchJSON: *benchOut,
+		BenchJSON:     *benchOut,
+		TelemetryAddr: *telem, SpanBuf: *spanBuf, FlightDump: *flightD,
 	}
 	if err := opts.Validate(); err != nil {
 		fail("%v", err)
+	}
+	if opts.TraceLifecycle() && !*live {
+		fail("-telemetry, -spanbuf, and -flightdump instrument live runs only (add -live)")
 	}
 	stopProf, err := harness.StartProfiles(opts.CPUProfile, opts.MemProfile, opts.MutexProfile)
 	if err != nil {

@@ -37,6 +37,7 @@ import (
 	"wanamcast/internal/node"
 	"wanamcast/internal/rmcast"
 	"wanamcast/internal/storage"
+	"wanamcast/internal/trace"
 	"wanamcast/internal/types"
 )
 
@@ -114,6 +115,10 @@ type Config struct {
 	// OnSynced, when non-nil, fires once a StartSync state transfer has
 	// caught this endpoint up with its group.
 	OnSynced func()
+	// OnSyncFailed, when non-nil, fires the moment a state transfer is
+	// abandoned as unrecoverable (see SyncFailed). The host's flight
+	// recorder hangs its span dump here.
+	OnSyncFailed func()
 }
 
 // Bcast is the per-process Algorithm A2 endpoint.
@@ -141,6 +146,7 @@ type Bcast struct {
 	inDecided  map[types.MessageID]bool              // decided into a bundle, not yet delivered
 	castSeq    uint64
 	nextID     func() types.MessageID
+	rdAt       map[types.MessageID]time.Duration // R-Delivery times, kept only while tracing
 
 	// Durability & recovery state (see Config.Log).
 	log        *storage.Log
@@ -151,6 +157,7 @@ type Bcast struct {
 	syncFailed bool // transfer abandoned (peers' archives rotated past us)
 	syncHeard  map[types.ProcessID]syncPeerInfo
 	onSynced   func()
+	onFailed   func() // OnSyncFailed
 }
 
 // syncPeerInfo is the latest sync answer seen from one group peer.
@@ -203,6 +210,7 @@ func New(cfg Config) *Bcast {
 		archBase:   1,
 		archCap:    archCap,
 		onSynced:   cfg.OnSynced,
+		onFailed:   cfg.OnSyncFailed,
 	}
 	if b.nextID == nil {
 		b.nextID = func() types.MessageID {
@@ -271,6 +279,12 @@ func (b *Bcast) onRDeliver(m rmcast.Message) {
 	}
 	b.rdelivered[m.ID] = Record{ID: m.ID, Payload: m.Payload}
 	b.rdOrder = append(b.rdOrder, m.ID)
+	if b.api.Tracing() {
+		if b.rdAt == nil {
+			b.rdAt = make(map[types.MessageID]time.Duration)
+		}
+		b.rdAt[m.ID] = b.api.Now()
+	}
 	b.engine.Pump()
 }
 
@@ -415,10 +429,16 @@ func (b *Bcast) tryCompleteRound() {
 		delete(b.inDecided, rec.ID)
 		delete(b.rdelivered, rec.ID)
 		if b.adelivered[rec.ID] {
+			delete(b.rdAt, rec.ID)
 			continue
 		}
 		b.adelivered[rec.ID] = true
 		b.wm.Add(1)
+		if at, ok := b.rdAt[rec.ID]; ok {
+			// Ordering residency: R-Delivery → round completion.
+			b.api.Trace(trace.StageOrder, rec.ID, int64(b.api.Now()-at))
+			delete(b.rdAt, rec.ID)
+		}
 		b.api.RecordDeliver(rec.ID)
 		b.api.Tracef("a2: A-Deliver %v in round %d", rec.ID, b.k)
 		if b.onDeliver != nil {

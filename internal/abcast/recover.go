@@ -352,6 +352,9 @@ func (b *Bcast) onSyncResp(from types.ProcessID, m SyncResp) {
 		// Terminal; see the amcast counterpart.
 		b.api.Tracef("a2: peer archive no longer covers round %d; cannot catch up by log transfer (sync abandoned)", b.k)
 		b.syncFailed = true
+		if b.onFailed != nil {
+			b.onFailed()
+		}
 		return
 	}
 	progressed := false

@@ -41,6 +41,7 @@ import (
 	"wanamcast/internal/node"
 	"wanamcast/internal/rmcast"
 	"wanamcast/internal/storage"
+	"wanamcast/internal/trace"
 	"wanamcast/internal/types"
 )
 
@@ -129,6 +130,11 @@ type Config struct {
 	// caught this endpoint up with its group (the natural moment for the
 	// host to take a fresh snapshot).
 	OnSynced func()
+	// OnSyncFailed, when non-nil, fires the moment a state transfer is
+	// abandoned as unrecoverable (the group's archives no longer cover
+	// this process's position). The host's flight recorder hangs its
+	// span dump here.
+	OnSyncFailed func()
 }
 
 // pend is the local state of a message in PENDING.
@@ -138,7 +144,8 @@ type pend struct {
 	payload any
 	ts      uint64
 	stage   Stage
-	seq     uint64 // admission order, for FIFO-fair batch fills
+	seq     uint64        // admission order, for FIFO-fair batch fills
+	adm     time.Duration // admit time, recorded only while tracing (0 = untimed)
 }
 
 // less is the (m.ts, m.id) order of line 4.
@@ -181,6 +188,7 @@ type Mcast struct {
 	syncFailed bool // transfer abandoned (peers' archives rotated past us)
 	syncHeard  map[types.ProcessID]syncPeerInfo
 	onSynced   func()
+	onFailed   func() // OnSyncFailed
 }
 
 // syncPeerInfo is the latest sync answer seen from one group peer.
@@ -222,6 +230,7 @@ func New(cfg Config) *Mcast {
 		log:        cfg.Log,
 		archCap:    archCap,
 		onSynced:   cfg.OnSynced,
+		onFailed:   cfg.OnSyncFailed,
 	}
 	if a.nextID == nil {
 		a.nextID = func() types.MessageID {
@@ -345,7 +354,11 @@ func (a *Mcast) admit(id types.MessageID, dest types.GroupSet, payload any) {
 		return
 	}
 	a.admitSeq++
-	a.pending[id] = &pend{id: id, dest: dest, payload: payload, ts: a.k, stage: Stage0, seq: a.admitSeq}
+	p := &pend{id: id, dest: dest, payload: payload, ts: a.k, stage: Stage0, seq: a.admitSeq}
+	if a.api.Tracing() {
+		p.adm = a.api.Now()
+	}
+	a.pending[id] = p
 	a.engine.Pump()
 }
 
@@ -393,6 +406,9 @@ func (a *Mcast) processDecision(inst uint64, set []Descriptor) {
 			// Line 30: the decision introduces m to this process.
 			a.admitSeq++
 			p = &pend{id: d.ID, dest: d.Dest, payload: d.Payload, seq: a.admitSeq}
+			if a.api.Tracing() {
+				p.adm = a.api.Now()
+			}
 			a.pending[d.ID] = p
 		} else if (d.Stage == Stage0 && p.stage > Stage0) ||
 			(d.Stage == Stage2 && p.stage == Stage3) {
@@ -527,6 +543,10 @@ func (a *Mcast) adeliveryTest() {
 		}
 		if min == nil || min.stage != Stage3 {
 			return
+		}
+		if min.adm > 0 {
+			// Ordering residency: admit → deliverable-and-minimal.
+			a.api.Trace(trace.StageOrder, min.id, int64(a.api.Now()-min.adm))
 		}
 		a.api.RecordDeliver(min.id)
 		a.adelivered[min.id] = true

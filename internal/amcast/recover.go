@@ -377,6 +377,9 @@ func (a *Mcast) onSyncResp(from types.ProcessID, m SyncResp) {
 		// the visible symptom.
 		a.api.Tracef("a1: peer archive no longer covers delivery %d; cannot catch up by log transfer (sync abandoned)", a.delivered)
 		a.syncFailed = true
+		if a.onFailed != nil {
+			a.onFailed()
+		}
 		return
 	}
 	idx := m.Base

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"wanamcast/internal/trace"
 	"wanamcast/internal/types"
 )
 
@@ -43,12 +44,14 @@ func (f *fakeAPI) Multicast(tos []types.ProcessID, proto string, body any) {
 		f.Send(q, proto, body)
 	}
 }
-func (f *fakeAPI) After(d time.Duration, fn func()) { f.timers = append(f.timers, fn) }
-func (f *fakeAPI) RecordCast(types.MessageID)       {}
-func (f *fakeAPI) RecordDeliver(types.MessageID)    {}
-func (f *fakeAPI) RecordConsensus()                 {}
-func (f *fakeAPI) RecordBatch(size int)             { f.batches = append(f.batches, size) }
-func (f *fakeAPI) Tracef(string, ...any)            {}
+func (f *fakeAPI) After(d time.Duration, fn func())          { f.timers = append(f.timers, fn) }
+func (f *fakeAPI) RecordCast(types.MessageID)                {}
+func (f *fakeAPI) RecordDeliver(types.MessageID)             {}
+func (f *fakeAPI) RecordConsensus()                          {}
+func (f *fakeAPI) RecordBatch(size int)                      { f.batches = append(f.batches, size) }
+func (f *fakeAPI) Tracef(string, ...any)                     {}
+func (f *fakeAPI) Trace(trace.Stage, types.MessageID, int64) {}
+func (f *fakeAPI) Tracing() bool                             { return false }
 
 // fakeDet is an Ω stub whose leader never changes.
 type fakeDet struct{ leader types.ProcessID }

@@ -39,6 +39,7 @@ import (
 	"wanamcast/internal/fd"
 	"wanamcast/internal/node"
 	"wanamcast/internal/storage"
+	"wanamcast/internal/trace"
 	"wanamcast/internal/types"
 )
 
@@ -228,6 +229,7 @@ func (c *Consensus) Propose(inst uint64, value Value) {
 	in.proposal = value
 	in.hasProposal = true
 	c.pending[inst] = true
+	c.api.Trace(trace.StagePropose, types.MessageID{}, int64(inst))
 	c.drive(inst)
 	c.armTimer()
 }
@@ -382,6 +384,15 @@ func (c *Consensus) onPrepare(from types.ProcessID, m PrepareMsg) {
 	// promise time; a racing Accept at this same ballot is harmless (its
 	// leader has already closed phase 1).
 	reply := PromiseMsg{Instance: m.Instance, Ballot: m.Ballot, VBallot: in.accepted, VValue: in.aValue}
+	if c.api.Tracing() {
+		// Sub-span: how long the promise waited on its fsync barrier.
+		barrier := c.api.Now()
+		c.log.CommitThen(func() {
+			c.api.Trace(trace.StagePromise, types.MessageID{}, int64(c.api.Now()-barrier))
+			c.send(from, reply)
+		})
+		return
+	}
 	c.log.CommitThen(func() { c.send(from, reply) })
 }
 
@@ -437,6 +448,14 @@ func (c *Consensus) onAccept(from types.ProcessID, m AcceptMsg) {
 	// Promise reply in onPrepare — and a retransmission's reply shares
 	// the original's barrier ordering, so it cannot leak an unsynced vote.
 	reply := AcceptedMsg{Instance: m.Instance, Ballot: m.Ballot}
+	if c.api.Tracing() {
+		barrier := c.api.Now()
+		c.log.CommitThen(func() {
+			c.api.Trace(trace.StageAccept, types.MessageID{}, int64(c.api.Now()-barrier))
+			c.send(from, reply)
+		})
+		return
+	}
 	c.log.CommitThen(func() { c.send(from, reply) })
 }
 
@@ -472,6 +491,7 @@ func (c *Consensus) learn(k uint64, v Value) {
 		c.log.Append(storage.Record{Kind: storage.KindDecide, Proto: c.label, Inst: k, Value: v})
 	}
 	c.api.RecordConsensus()
+	c.api.Trace(trace.StageLearn, types.MessageID{}, int64(k))
 	c.onDec(k, v)
 }
 

@@ -4,6 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strconv"
+
+	"wanamcast/internal/metrics"
 )
 
 // BenchResult is one machine-readable benchmark record — the lane-scaling
@@ -33,6 +36,16 @@ type BenchResult struct {
 	// {"p50": ..., "p99": ...}.
 	ByClass map[string]map[string]float64 `json:"by_class,omitempty"`
 
+	// Stage-latency breakdown from the lifecycle tracer (omitted on
+	// untraced runs): per-stage percentiles in milliseconds, keyed by
+	// stage name ("enqueue", "promise", "order", "reply", ...), each as
+	// {"p50": ..., "p99": ...}.
+	Stages map[string]map[string]float64 `json:"stages,omitempty"`
+	// WanHops counts delivered messages by measured latency degree Δ
+	// (WAN hops), keyed by Δ as a decimal string: {"2": 1000} for a pure
+	// A1 run, {"1": ...} for warm A2 broadcasts.
+	WanHops map[string]int `json:"wan_hops,omitempty"`
+
 	// Durability accounting (zero without a durable store).
 	Fsyncs         uint64  `json:"fsyncs"`           // total fsyncs across stores
 	GCBarriers     uint64  `json:"gc_barriers"`      // barriers staged through group commit
@@ -41,6 +54,39 @@ type BenchResult struct {
 	FsyncsPerBatch float64 `json:"fsyncs_per_batch"` // Fsyncs / BatchesDecided
 
 	StartedAt string `json:"started_at"` // RFC 3339, informational
+}
+
+// StageBreakdown converts the tracer's per-stage summaries into the
+// BenchResult.Stages map (milliseconds). Stages with no samples are
+// dropped; an empty result returns nil so the JSON field is omitted.
+func StageBreakdown(sums []metrics.StageSummary) map[string]map[string]float64 {
+	var out map[string]map[string]float64
+	for _, s := range sums {
+		if s.Count == 0 {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]map[string]float64, len(sums))
+		}
+		out[s.Name] = map[string]float64{
+			"p50": float64(s.P50.Microseconds()) / 1e3,
+			"p99": float64(s.P99.Microseconds()) / 1e3,
+		}
+	}
+	return out
+}
+
+// WanHopHist converts a measured latency-degree histogram (metrics.Stats.
+// DegreeHist) into the BenchResult.WanHops map. Nil in, nil out.
+func WanHopHist(h map[int64]int) map[string]int {
+	if len(h) == 0 {
+		return nil
+	}
+	out := make(map[string]int, len(h))
+	for d, n := range h {
+		out[strconv.FormatInt(d, 10)] = n
+	}
+	return out
 }
 
 // AppendBenchJSON appends r to the JSON array in path, creating the file

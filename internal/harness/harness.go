@@ -172,8 +172,27 @@ type Options struct {
 	// (default 10 ms when leases are on).
 	LeaseDuration time.Duration
 	MaxClockSkew  time.Duration
+	// TelemetryAddr, when non-empty, serves the live introspection plane
+	// (Prometheus-text /metrics, recent spans on /spans, /healthz) on this
+	// host:port while the command runs. Setting it also enables lifecycle
+	// span tracing — see TraceLifecycle. Ignored by the pure simulator.
+	TelemetryAddr string
+	// SpanBuf bounds each ordering lane's lifecycle-span ring (0 =
+	// default 4096 events). A positive value enables span tracing.
+	SpanBuf int
+	// FlightDump arms the live cluster's flight recorder: the retained
+	// spans dump as JSONL to this path on a §2.2 checker violation, an
+	// abandoned state transfer, or a crash-restart. Enables span tracing.
+	FlightDump string
 	// Trace receives debug lines if non-nil.
 	Trace func(format string, args ...any)
+}
+
+// TraceLifecycle reports whether the options ask for lifecycle span
+// tracing: any of the telemetry plane, a span buffer size, or a flight
+// dump path implies it.
+func (o Options) TraceLifecycle() bool {
+	return o.TelemetryAddr != "" || o.SpanBuf > 0 || o.FlightDump != ""
 }
 
 // Validate rejects option values that would panic deep inside a run —
@@ -214,6 +233,13 @@ func (o Options) Validate() error {
 		return fmt.Errorf("a clock-skew guard is meaningless without leases (set a lease duration)")
 	case o.LeaseDuration > 0 && o.MaxClockSkew >= o.LeaseDuration:
 		return fmt.Errorf("the clock-skew guard %v consumes the whole lease window %v", o.MaxClockSkew, o.LeaseDuration)
+	case o.SpanBuf < 0:
+		return fmt.Errorf("span buffer size must be non-negative: %d", o.SpanBuf)
+	}
+	if o.TelemetryAddr != "" {
+		if err := ValidateTelemetryAddr(o.TelemetryAddr); err != nil {
+			return err
+		}
 	}
 	switch o.Consistency {
 	case "", "ordered", "lease", "watermark":

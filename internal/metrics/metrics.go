@@ -266,6 +266,11 @@ type Stats struct {
 	// Latency degree distribution.
 	MinDegree, MaxDegree int64
 	MeanDegree           float64
+	// DegreeHist counts messages by their measured latency degree Δ(m) —
+	// the paper's WAN-hop count per message (Δ=2 for A1, Δ=1 for warm A2
+	// broadcasts). Keyed by Δ, so a run's conformance to the latency-degree
+	// theorems is a histogram lookup, not an assumption.
+	DegreeHist map[int64]int
 	// Wall (virtual-time) latency of the last delivery of each message.
 	MeanWallLatency time.Duration
 	MaxWallLatency  time.Duration
@@ -345,6 +350,10 @@ func (c *Collector) Snapshot() Stats {
 			lastDel = end
 		}
 		walls = append(walls, wall)
+		if st.DegreeHist == nil {
+			st.DegreeHist = make(map[int64]int)
+		}
+		st.DegreeHist[deg]++
 		sumDeg += deg
 		sumWall += wall
 		if first {
@@ -583,10 +592,10 @@ type ServiceStats struct {
 	ClassFailures map[string]uint64
 	// Read-tier counters: stale responses clients rejected, lease reads
 	// replicas refused, and client-side certificate verifications.
-	StaleReads    uint64
-	LeaseDenied   uint64
-	CertVerifies  uint64
-	CertFailures  uint64
+	StaleReads   uint64
+	LeaseDenied  uint64
+	CertVerifies uint64
+	CertFailures uint64
 }
 
 // Snapshot computes a ServiceStats from everything recorded so far.

@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// StageStats accumulates per-stage latency distributions for the message
+// lifecycle tracer (internal/trace): each pipeline stage that has a
+// measurable duration — svc enqueue, consensus fsync barriers, group-commit
+// windows, lane queueing, ordering residency, end-to-end reply — observes
+// its samples here, so end-to-end p50s can be attributed to the layer that
+// spent them. Samples are kept in bounded rotating reservoirs (newest
+// overwrite oldest), so a long-lived service reports recent behaviour with
+// fixed memory.
+//
+// Unlike Collector, StageStats is safe for concurrent use: stages report
+// from lane goroutines, the group-commit syncer, and svc reply goroutines
+// at once. It is only touched when tracing is enabled, so the lock is off
+// the disabled hot path.
+type StageStats struct {
+	mu      sync.Mutex
+	names   []string
+	samples [][]time.Duration // rotating reservoir per stage
+	cursor  []int
+	counts  []uint64
+	limit   int
+}
+
+// NewStageStats returns stats over len(names) stages, each keeping at most
+// reservoir samples (rotating). reservoir <= 0 defaults to 4096.
+func NewStageStats(names []string, reservoir int) *StageStats {
+	if reservoir <= 0 {
+		reservoir = 4096
+	}
+	return &StageStats{
+		names:   append([]string(nil), names...),
+		samples: make([][]time.Duration, len(names)),
+		cursor:  make([]int, len(names)),
+		counts:  make([]uint64, len(names)),
+		limit:   reservoir,
+	}
+}
+
+// Observe records one duration sample for stage (an index into the names
+// given at construction). Out-of-range stages are dropped.
+func (s *StageStats) Observe(stage int, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if stage < 0 || stage >= len(s.samples) {
+		return
+	}
+	s.counts[stage]++
+	if len(s.samples[stage]) < s.limit {
+		s.samples[stage] = append(s.samples[stage], d)
+		return
+	}
+	s.samples[stage][s.cursor[stage]] = d
+	s.cursor[stage] = (s.cursor[stage] + 1) % s.limit
+}
+
+// StageSummary condenses one stage's latency reservoir.
+type StageSummary struct {
+	Name  string
+	Count uint64 // total observations (reservoir may hold fewer)
+	P50   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// Snapshot summarises every stage that has at least one sample, in stage
+// order.
+func (s *StageStats) Snapshot() []StageSummary {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []StageSummary
+	for i, samples := range s.samples {
+		if len(samples) == 0 {
+			continue
+		}
+		sorted := append([]time.Duration(nil), samples...)
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+		out = append(out, StageSummary{
+			Name:  s.names[i],
+			Count: s.counts[i],
+			P50:   percentile(sorted, 50),
+			P99:   percentile(sorted, 99),
+			Max:   sorted[len(sorted)-1],
+		})
+	}
+	return out
+}
+
+// String renders one row per observed stage.
+func (s *StageStats) String() string {
+	sums := s.Snapshot()
+	if len(sums) == 0 {
+		return "stages: (none observed)"
+	}
+	var b strings.Builder
+	b.WriteString("stages:")
+	for _, st := range sums {
+		fmt.Fprintf(&b, "\n  %-12s n=%-7d p50=%-10v p99=%-10v max=%v",
+			st.Name, st.Count, st.P50.Round(time.Microsecond),
+			st.P99.Round(time.Microsecond), st.Max.Round(time.Microsecond))
+	}
+	return b.String()
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"wanamcast/internal/trace"
 	"wanamcast/internal/types"
 )
 
@@ -71,6 +72,15 @@ type API interface {
 	RecordBatch(size int)
 	// Tracef emits a debug trace line when tracing is enabled.
 	Tracef(format string, args ...any)
+	// Trace records a lifecycle span for message id at the given stage
+	// when a tracer is attached (see internal/trace). aux carries the
+	// stage-specific payload: the Lamport clock at cast/deliver, a
+	// duration in nanoseconds for barrier stages, a consensus instance
+	// for propose/learn. Costs one nil check when no tracer is attached.
+	Trace(st trace.Stage, id types.MessageID, aux int64)
+	// Tracing reports whether lifecycle spans are being recorded, so call
+	// sites can skip clock reads and other span bookkeeping when off.
+	Tracing() bool
 }
 
 // Registrar is the registration surface protocol constructors use to attach
@@ -130,6 +140,9 @@ type Proc struct {
 	recovering bool
 	protos     map[string]Protocol
 	order      []string // registration order, for deterministic Start
+
+	tracer *trace.Tracer // nil = lifecycle tracing off
+	lane   int           // tracer ring the process records into
 }
 
 var _ API = (*Proc)(nil)
@@ -237,20 +250,30 @@ func (p *Proc) After(d time.Duration, fn func()) {
 	})
 }
 
-// RecordCast implements API.
+// RecordCast implements API. With a tracer attached it also opens the
+// message's span chain: a StageCast event carrying the caster's clock,
+// which the trace-based latency-degree measurements pair with the
+// StageDeliver clocks.
 func (p *Proc) RecordCast(id types.MessageID) {
 	if p.recovering {
 		return
 	}
 	p.env.Recorder().OnCast(id, p.clock, p.env.Now())
+	if p.tracer != nil {
+		p.tracer.Record(p.lane, trace.StageCast, id, p.id, p.clock)
+	}
 }
 
-// RecordDeliver implements API.
+// RecordDeliver implements API. With a tracer attached it also records
+// the StageDeliver span with the deliverer's clock.
 func (p *Proc) RecordDeliver(id types.MessageID) {
 	if p.recovering {
 		return
 	}
 	p.env.Recorder().OnDeliver(id, p.id, p.clock, p.env.Now())
+	if p.tracer != nil {
+		p.tracer.Record(p.lane, trace.StageDeliver, id, p.id, p.clock)
+	}
 }
 
 // RecordConsensus implements API.
@@ -267,6 +290,28 @@ func (p *Proc) RecordBatch(size int) {
 		return
 	}
 	p.env.Recorder().OnBatchDecided(size)
+}
+
+// SetTracer attaches the lifecycle tracer; lane selects the per-lane
+// span ring this process records into (the live runtime passes the
+// process's event-loop lane, the simulator passes its accounting lane).
+func (p *Proc) SetTracer(t *trace.Tracer, lane int) {
+	p.tracer = t
+	p.lane = lane
+}
+
+// Trace implements API. Recovering processes record nothing: replaying a
+// WAL must not re-trace the past.
+func (p *Proc) Trace(st trace.Stage, id types.MessageID, aux int64) {
+	if p.tracer == nil || p.recovering {
+		return
+	}
+	p.tracer.Record(p.lane, st, id, p.id, aux)
+}
+
+// Tracing implements API.
+func (p *Proc) Tracing() bool {
+	return p.tracer.Enabled() && !p.recovering
 }
 
 // Tracef implements API.

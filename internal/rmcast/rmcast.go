@@ -27,6 +27,7 @@ import (
 	"fmt"
 
 	"wanamcast/internal/node"
+	"wanamcast/internal/trace"
 	"wanamcast/internal/types"
 )
 
@@ -121,6 +122,7 @@ func (r *RMcast) MCast(m Message) {
 	if m.Dest.Size() == 0 {
 		panic(fmt.Sprintf("rmcast: %v multicast with empty destination", m.ID))
 	}
+	r.api.Trace(trace.StageRMSend, m.ID, 0)
 	r.api.Multicast(r.api.Topo().ProcessesIn(m.Dest), r.label, DataMsg{M: m})
 }
 
@@ -140,6 +142,7 @@ func (r *RMcast) Receive(from types.ProcessID, body any) {
 		panic(fmt.Sprintf("rmcast: %v received %v not addressed to its group", r.api.Self(), m.ID))
 	}
 	r.delivered[m.ID] = true
+	r.api.Trace(trace.StageRMAdmit, m.ID, 0)
 	if r.mode == ModeEager {
 		// Relay to our own group's destinations before delivering: if any
 		// member of the group receives m, every correct member does.

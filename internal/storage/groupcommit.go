@@ -22,8 +22,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"wanamcast/internal/ring"
+	"wanamcast/internal/trace"
+	"wanamcast/internal/types"
 )
 
 // GroupCommitStats counts the syncer's work: Barriers staged, fsync
@@ -52,7 +55,15 @@ type GroupCommit struct {
 	barriers atomic.Uint64
 	windows  atomic.Uint64
 	syncs    atomic.Uint64
+
+	tracer *trace.Tracer // nil = fsync sub-spans off
 }
+
+// SetTracer attaches the lifecycle tracer: every group-commit window then
+// records a StageFsync sub-span carrying the window's fsync wall time, so
+// consensus barrier waits can be attributed to the disk. Call before the
+// producing lanes start.
+func (g *GroupCommit) SetTracer(t *trace.Tracer) { g.tracer = t }
 
 // NewGroupCommit starts a syncer and returns its handle.
 func NewGroupCommit() *GroupCommit {
@@ -169,6 +180,11 @@ func (g *GroupCommit) round() bool {
 		return false
 	}
 	g.windows.Add(1)
+	traced := g.tracer.Enabled()
+	var syncStart time.Time
+	if traced {
+		syncStart = time.Now()
+	}
 	synced := make(map[SyncStore]bool, len(jobs))
 	for _, j := range jobs {
 		if synced[j.q.store] {
@@ -179,6 +195,9 @@ func (g *GroupCommit) round() bool {
 			panic(fmt.Sprintf("storage: group-commit fsync failed, cannot continue without durability: %v", err))
 		}
 		g.syncs.Add(1)
+	}
+	if traced {
+		g.tracer.Record(0, trace.StageFsync, types.MessageID{}, 0, time.Since(syncStart).Nanoseconds())
 	}
 	for _, j := range jobs {
 		store, thens := j.q.store, j.thens

@@ -7,6 +7,7 @@ import (
 
 	"wanamcast/internal/fd"
 	"wanamcast/internal/metrics"
+	"wanamcast/internal/trace"
 	"wanamcast/internal/types"
 )
 
@@ -44,6 +45,9 @@ type ServiceConfig struct {
 	CertSecret []byte
 	// ReadTimeout bounds each read's watermark wait (see ServerConfig).
 	ReadTimeout time.Duration
+	// Tracer, when non-nil, records each server's request lifecycle spans
+	// (submit, enqueue, reply) into the cluster-wide lifecycle tracer.
+	Tracer *trace.Tracer
 }
 
 // Service is one Server per cluster process plus the address book that
@@ -146,6 +150,7 @@ func (s *Service) buildServer(p types.ProcessID, g types.GroupID, addr string) (
 		MaxSessions:  s.cfg.MaxSessions,
 		Ring:         s.ring,
 		ReadTimeout:  s.cfg.ReadTimeout,
+		Tracer:       s.cfg.Tracer,
 	}
 	if s.cfg.LeaseFor != nil {
 		sc.Lease = s.cfg.LeaseFor(p)

@@ -68,6 +68,7 @@ import (
 
 	"wanamcast/internal/fd"
 	"wanamcast/internal/metrics"
+	"wanamcast/internal/trace"
 	"wanamcast/internal/transport/tcp"
 	"wanamcast/internal/types"
 )
@@ -120,6 +121,12 @@ type ServerConfig struct {
 	GroupAddrs func(g types.GroupID) []string
 	// Stats, when non-nil, receives service-level counters.
 	Stats *metrics.Service
+	// Tracer, when non-nil and enabled, records the client-facing spans of
+	// the message lifecycle: StageSubmit when a request arrives,
+	// StageEnqueue when it is handed to the ordering layer, StageReply
+	// (with the server-side end-to-end latency) when the delivery answers
+	// the client.
+	Tracer *trace.Tracer
 	// ReplyTimeout bounds each reply write (default 5s); a client too slow
 	// to take its reply loses the connection, not the command.
 	ReplyTimeout time.Duration
@@ -195,6 +202,7 @@ type pendingReq struct {
 	conn    *tcp.SvcConn
 	session uint64
 	seq     uint64
+	at      time.Time // submit time, stamped only while tracing (zero = untimed)
 }
 
 // readWaiter is one parked read: the replica's watermark has not yet
@@ -518,6 +526,11 @@ func (s *Server) handle(conn *tcp.SvcConn, req Request) {
 	if s.cfg.Stats != nil {
 		s.cfg.Stats.RecordRequest()
 	}
+	var start time.Time
+	if s.cfg.Tracer.Enabled() {
+		start = time.Now()
+		s.cfg.Tracer.Record(int(s.cfg.Self), trace.StageSubmit, types.MessageID{}, s.cfg.Self, 0)
+	}
 	if req.Dest.Size() == 0 {
 		s.reply(conn, Reply{Session: req.Session, Seq: req.Seq, Err: "empty destination set"})
 		return
@@ -555,6 +568,9 @@ func (s *Server) handle(conn *tcp.SvcConn, req Request) {
 	s.mu.Unlock()
 
 	id := s.cfg.Submit(Command{Session: req.Session, Seq: req.Seq, Op: req.Op}, req.Dest)
+	if !start.IsZero() {
+		s.cfg.Tracer.Record(int(s.cfg.Self), trace.StageEnqueue, id, s.cfg.Self, time.Since(start).Nanoseconds())
+	}
 	if id.IsZero() {
 		// The ordering layer refused the submission (the replica's process
 		// is crashed and not yet restarted). No reply: the client times
@@ -573,7 +589,7 @@ func (s *Server) handle(conn *tcp.SvcConn, req Request) {
 		s.reply(conn, r)
 		return
 	}
-	s.pending[id] = pendingReq{conn: conn, session: req.Session, seq: req.Seq}
+	s.pending[id] = pendingReq{conn: conn, session: req.Session, seq: req.Seq, at: start}
 	s.mu.Unlock()
 }
 
@@ -711,6 +727,10 @@ func (s *Server) Deliver(id types.MessageID, payload any) {
 		go s.finishRead(w)
 	}
 	if waiting {
+		if !pr.at.IsZero() {
+			// Server-side end-to-end: client submit → reply handed off.
+			s.cfg.Tracer.Record(int(s.cfg.Self), trace.StageReply, id, s.cfg.Self, time.Since(pr.at).Nanoseconds())
+		}
 		// Off-loop: a slow client must never stall the replica's
 		// deliveries. The goroutine is deliberately not wg-tracked — it
 		// only touches the connection (safe after Stop closed it), and

@@ -67,6 +67,7 @@ import (
 	"wanamcast/internal/node"
 	"wanamcast/internal/ring"
 	"wanamcast/internal/rmcast"
+	"wanamcast/internal/trace"
 	"wanamcast/internal/types"
 	"wanamcast/internal/wire"
 )
@@ -242,6 +243,12 @@ type Config struct {
 	// called from any runtime goroutine; the runtime serialises calls.
 	// When nil and WANAMCAST_TCP_DEBUG is set, traces go to stderr.
 	Trace func(format string, args ...any)
+	// Tracer, when non-nil, is the structured lifecycle tracer: every
+	// hosted Proc records its protocol spans into it, received frames get
+	// a span ID and a StageLaneDeq queue-delay span, and the Tracef debug
+	// path (Config.Trace / WANAMCAST_TCP_DEBUG) switches from %+v body
+	// dumps to compact span-ID lines that join against /spans output.
+	Tracer *trace.Tracer
 }
 
 // Runtime is the live counterpart of node.Runtime.
@@ -255,6 +262,8 @@ type Runtime struct {
 
 	rngMu sync.Mutex
 	jrng  *rand.Rand // feeds fabric jitter overrides; dispatch goroutines share it
+
+	tracer *trace.Tracer // nil-safe; nil means lifecycle tracing is off
 
 	procs  []*node.Proc
 	lanes  []*lane // every lane goroutine, in creation order
@@ -318,9 +327,9 @@ func New(cfg Config) *Runtime {
 	if rec == nil {
 		rec = node.NopRecorder{}
 	}
-	trace := cfg.Trace
-	if trace == nil && os.Getenv("WANAMCAST_TCP_DEBUG") != "" {
-		trace = func(format string, args ...any) {
+	tracef := cfg.Trace
+	if tracef == nil && os.Getenv("WANAMCAST_TCP_DEBUG") != "" {
+		tracef = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "DEBUG "+format+"\n", args...)
 		}
 	}
@@ -339,7 +348,8 @@ func New(cfg Config) *Runtime {
 		base:   fabric.Base(),
 		jrng:   rand.New(rand.NewSource(time.Now().UnixNano())),
 		links:  make(map[connKey]*link),
-		trace:  trace,
+		trace:  tracef,
+		tracer: cfg.Tracer,
 		done:   make(chan struct{}),
 	}
 	// Writer goroutines block on their queues; a fabric transition must
@@ -386,6 +396,7 @@ func New(cfg Config) *Runtime {
 		}
 		rt.laneOf[id] = ln
 		rt.procs[id] = node.NewProc(id, cfg.Topo, rt)
+		rt.procs[id].SetTracer(cfg.Tracer, ln.idx)
 		rt.leases[id] = new(fd.Lease)
 		rt.fds[id] = newHeartbeatFD(rt.procs[id], cfg.HeartbeatEvery, cfg.SuspectAfter, rt.rec,
 			rt.leases[id], cfg.LeaseDuration, cfg.MaxClockSkew)
@@ -397,6 +408,7 @@ func New(cfg Config) *Runtime {
 func (rt *Runtime) newLane() *lane {
 	ln := &lane{
 		rt:   rt,
+		idx:  len(rt.lanes),
 		in:   ring.NewMPSC[laneEvent](rt.cfg.InboxSize),
 		wake: make(chan struct{}, 1),
 	}
@@ -406,6 +418,17 @@ func (rt *Runtime) newLane() *lane {
 
 // LaneCount returns how many lane goroutines this runtime runs.
 func (rt *Runtime) LaneCount() int { return len(rt.lanes) }
+
+// LaneDepths snapshots each lane's pending-event count (posted but not
+// yet executed) — the telemetry plane's queue-depth gauge. Safe from any
+// goroutine; values are instantaneous, not a consistent cut.
+func (rt *Runtime) LaneDepths() []int {
+	out := make([]int, len(rt.lanes))
+	for i, ln := range rt.lanes {
+		out[i] = int(ln.depth.Load())
+	}
+	return out
+}
 
 // SameLane reports whether two hosted processes share a lane (tests).
 func (rt *Runtime) SameLane(p, q types.ProcessID) bool {
@@ -557,6 +580,7 @@ func (rt *Runtime) Restart(id types.ProcessID, rebuild func(proc *node.Proc, det
 			return
 		}
 		proc := node.NewProc(id, rt.topo, rt)
+		proc.SetTracer(rt.tracer, rt.laneOf[id].idx)
 		// The lease object persists across incarnations (svc servers hold
 		// the pointer), but the new incarnation starts fenced: it re-earns
 		// a majority of fresh grants before serving lease reads again.
@@ -584,7 +608,10 @@ func (rt *Runtime) enqueue(id types.ProcessID, fn func()) {
 
 // laneEvent is one unit of lane work. The receive path posts deliveries
 // as plain field sets (fn == nil) so the hot path allocates no closure;
-// timers and Run/Async hand-offs carry an explicit fn.
+// timers and Run/Async hand-offs carry an explicit fn. While lifecycle
+// tracing is enabled, received frames also carry their span ID and
+// enqueue timestamp so the lane can attribute queueing delay (at == 0
+// means untimed — tracing was off when the frame arrived).
 type laneEvent struct {
 	fn    func()
 	from  types.ProcessID
@@ -592,6 +619,8 @@ type laneEvent struct {
 	proto string
 	ts    int64
 	body  any
+	span  uint64
+	at    int64 // enqueue time, ns; 0 = untimed
 }
 
 // lane is one ordering goroutine: a bounded MPSC inbox ring fed by read
@@ -600,12 +629,15 @@ type laneEvent struct {
 // overflow list — see the package doc's back-pressure contract.
 type lane struct {
 	rt   *Runtime
+	idx  int // position in rt.lanes; the tracer's lane number
 	in   *ring.MPSC[laneEvent]
 	wake chan struct{} // capacity 1; coalesced wake-up signal
 
 	ovMu sync.Mutex
 	ov   []laneEvent
 	ovOn atomic.Bool
+
+	depth atomic.Int64 // posted-but-unexecuted events; the telemetry gauge
 }
 
 // post hands an event to the lane. It never blocks and never drops:
@@ -613,6 +645,7 @@ type lane struct {
 // which keeps per-producer FIFO) the event parks in the overflow list.
 // Posts racing Stop are inert — the lane drains what it can and exits.
 func (ln *lane) post(ev laneEvent) {
+	ln.depth.Add(1)
 	if ln.ovOn.Load() || !ln.in.TryPush(ev) {
 		ln.ovMu.Lock()
 		ln.ovOn.Store(true)
@@ -635,7 +668,7 @@ func (ln *lane) loop() {
 			if !ok {
 				break
 			}
-			rt.exec(ev)
+			ln.exec(ev)
 			n++
 		}
 		if ln.ovOn.Load() {
@@ -647,7 +680,7 @@ func (ln *lane) loop() {
 			}
 			ln.ovMu.Unlock()
 			for _, ev := range batch {
-				rt.exec(ev)
+				ln.exec(ev)
 			}
 			n += len(batch)
 		}
@@ -664,11 +697,19 @@ func (ln *lane) loop() {
 
 // exec runs one lane event on the lane goroutine. rt.procs[id] is only
 // read and written on id's lane after Start (Restart swaps it via Run),
-// so the slot needs no synchronisation here.
-func (rt *Runtime) exec(ev laneEvent) {
+// so the slot needs no synchronisation here. Timed frames (ev.at != 0,
+// stamped by dispatch while tracing) record a StageLaneDeq span whose
+// Aux is the time the frame spent queued behind the lane.
+func (ln *lane) exec(ev laneEvent) {
+	rt := ln.rt
+	ln.depth.Add(-1)
 	if ev.fn != nil {
 		ev.fn()
 		return
+	}
+	if ev.at != 0 {
+		rt.tracer.RecordSpan(ev.span, ln.idx, trace.StageLaneDeq, types.MessageID{}, ev.to,
+			time.Now().UnixNano()-ev.at)
 	}
 	if p := rt.procs[ev.to]; p != nil {
 		p.Deliver(ev.from, ev.proto, ev.body, ev.ts)
@@ -784,17 +825,27 @@ func (rt *Runtime) dispatch(to types.ProcessID, f wire.Frame) {
 	} else {
 		delay = rt.base.Delay(rt.topo, f.From, to, nil)
 	}
-	// The nil check must come before the call: building the variadic args
-	// boxes every operand, which would put allocations back on the
-	// receive hot path whenever tracing is off (the default).
-	if rt.trace != nil && f.Proto != "fd" {
-		rt.Tracef("%v recv %v->%v %s %+v", time.Since(rt.start).Round(time.Millisecond), f.From, to, f.Proto, f.Body)
-	}
 	// Demultiplex straight into the destination lane: the decoded frame
 	// becomes the lane event field-for-field (body handed over as-is —
 	// zero-copy from the codec), with no per-frame closure on the
 	// zero-delay path.
 	ev := laneEvent{from: f.From, to: to, proto: f.Proto, ts: f.TS, body: f.Body}
+	if rt.tracer.Enabled() {
+		ev.span = rt.tracer.NextSpan()
+		ev.at = time.Now().UnixNano()
+	}
+	// The nil check must come before the call: building the variadic args
+	// boxes every operand, which would put allocations back on the
+	// receive hot path whenever tracing is off (the default). With a span
+	// assigned, the debug line names it instead of %+v-dumping the body —
+	// the line joins against the tracer's /spans output by span ID.
+	if rt.trace != nil && f.Proto != "fd" {
+		if ev.span != 0 {
+			rt.Tracef("%v recv span=%d %v->%v %s", time.Since(rt.start).Round(time.Millisecond), ev.span, f.From, to, f.Proto)
+		} else {
+			rt.Tracef("%v recv %v->%v %s %+v", time.Since(rt.start).Round(time.Millisecond), f.From, to, f.Proto, f.Body)
+		}
+	}
 	if delay > 0 {
 		ln := rt.laneOf[to]
 		time.AfterFunc(delay, func() { ln.post(ev) })

@@ -11,12 +11,14 @@ import (
 	"wanamcast/internal/check"
 	"wanamcast/internal/durable"
 	"wanamcast/internal/fd"
+	"wanamcast/internal/harness"
 	"wanamcast/internal/metrics"
 	"wanamcast/internal/network"
 	"wanamcast/internal/node"
 	"wanamcast/internal/rmcast"
 	"wanamcast/internal/scenario"
 	"wanamcast/internal/storage"
+	"wanamcast/internal/trace"
 	"wanamcast/internal/transport/tcp"
 	"wanamcast/internal/types"
 	"wanamcast/internal/wire"
@@ -120,6 +122,23 @@ type LiveConfig struct {
 	// Default 4096: a replica that missed more than this cannot rejoin by
 	// log transfer.
 	SyncArchive int
+	// TraceSpans enables the end-to-end message lifecycle tracer: every
+	// process records causal spans (submit, rmcast send/admit, cast,
+	// consensus propose/promise/accept/learn, fsync barriers, lane
+	// dequeues, A-Deliver, reply) into bounded per-lane rings, and the
+	// duration-carrying stages feed per-stage latency histograms
+	// (Tracer().Stats()). Off by default; disabled it costs one atomic
+	// load per potential span.
+	TraceSpans bool
+	// SpanBuf bounds each lane's span ring (default 4096 events, rounded
+	// up to a power of two). Older spans are overwritten — the tracer is
+	// a flight recorder, not a complete log.
+	SpanBuf int
+	// FlightDump arms the flight recorder (requires TraceSpans): on a
+	// §2.2 checker violation, an abandoned state transfer (SyncFailed),
+	// or a crash-restart, the retained spans are dumped as JSONL to this
+	// path (overwritten per trigger — the last incident wins).
+	FlightDump string
 }
 
 // LiveCluster runs Algorithms A1 and A2 on every process over TCP.
@@ -127,12 +146,13 @@ type LiveConfig struct {
 // callback passed to OnDeliver (installed before Start). LiveCluster is
 // safe for concurrent use.
 type LiveCluster struct {
-	rt   *tcp.Runtime
-	topo *types.Topology
-	cfg  LiveConfig
-	col  *metrics.LockedCollector
-	a1   []*amcast.Mcast
-	a2   []*abcast.Bcast
+	rt     *tcp.Runtime
+	topo   *types.Topology
+	cfg    LiveConfig
+	col    *metrics.LockedCollector
+	tracer *trace.Tracer // nil unless LiveConfig.TraceSpans
+	a1     []*amcast.Mcast
+	a2     []*abcast.Bcast
 
 	stores   []storage.Store      // per process; nil = no persistence
 	gc       *storage.GroupCommit // cross-lane fsync batcher; nil when Lanes == 0
@@ -188,6 +208,17 @@ func NewLiveCluster(cfg LiveConfig) *LiveCluster {
 	} else {
 		col.SetCastWindow(1 << 16)
 	}
+	var tr *trace.Tracer
+	if cfg.TraceSpans {
+		// One span ring per ordering lane: with Lanes unset every process
+		// runs its own lane, so size the tracer to the process count.
+		lanes := cfg.Lanes
+		if lanes <= 0 {
+			lanes = topo.N()
+		}
+		tr = trace.New(lanes, cfg.SpanBuf)
+		tr.SetEnabled(true)
+	}
 	rt := tcp.New(tcp.Config{
 		Topo:           topo,
 		BasePort:       cfg.BasePort,
@@ -203,10 +234,12 @@ func NewLiveCluster(cfg LiveConfig) *LiveCluster {
 		FlushEvery:     cfg.FlushEvery,
 		Codec:          codec,
 		Recorder:       col,
+		Tracer:         tr,
 	})
 	l := &LiveCluster{
 		rt:         rt,
 		col:        col,
+		tracer:     tr,
 		topo:       topo,
 		cfg:        cfg,
 		a1:         make([]*amcast.Mcast, topo.N()),
@@ -235,6 +268,7 @@ func NewLiveCluster(cfg LiveConfig) *LiveCluster {
 		for _, s := range l.stores {
 			if _, ok := s.(storage.SyncStore); ok {
 				l.gc = storage.NewGroupCommit()
+				l.gc.SetTracer(tr)
 				break
 			}
 		}
@@ -296,7 +330,10 @@ func (l *LiveCluster) buildEndpoints(id ProcessID, proc *node.Proc, det fd.Detec
 		Log:         log,
 		SyncArchive: l.cfg.SyncArchive,
 		OnSynced:    onSynced,
-		OnDeliver:   func(m rmcast.Message) { l.recordDelivery(id, m.ID, m.Payload) },
+		OnSyncFailed: func() {
+			l.flightRecord(fmt.Sprintf("a1 state transfer abandoned at %v", id))
+		},
+		OnDeliver: func(m rmcast.Message) { l.recordDelivery(id, m.ID, m.Payload) },
 	})
 	l.a2[id] = abcast.New(abcast.Config{
 		Host:            proc,
@@ -308,7 +345,10 @@ func (l *LiveCluster) buildEndpoints(id ProcessID, proc *node.Proc, det fd.Detec
 		Log:             log,
 		SyncArchive:     l.cfg.SyncArchive,
 		OnSynced:        onSynced,
-		OnDeliver:       func(mid MessageID, payload any) { l.recordDelivery(id, mid, payload) },
+		OnSyncFailed: func() {
+			l.flightRecord(fmt.Sprintf("a2 state transfer abandoned at %v", id))
+		},
+		OnDeliver: func(mid MessageID, payload any) { l.recordDelivery(id, mid, payload) },
 	})
 }
 
@@ -565,6 +605,60 @@ type FsyncStats struct {
 	Syncs    uint64 // fsyncs issued by the syncer (subset of Fsyncs)
 }
 
+// Tracer returns the cluster's message-lifecycle tracer, nil unless
+// LiveConfig.TraceSpans: recent spans via Snapshot/WriteJSONL, per-stage
+// latency histograms via Stats().
+func (l *LiveCluster) Tracer() *trace.Tracer { return l.tracer }
+
+// LaneDepths snapshots each ordering lane's pending-event count.
+func (l *LiveCluster) LaneDepths() []int { return l.rt.LaneDepths() }
+
+// TelemetrySource assembles the live introspection plane's data sources
+// from this cluster for harness.ServeTelemetry: protocol stats, fsync and
+// lane-depth gauges, and — when TraceSpans is on — the stage histograms
+// and the recent span dump. svcStats adds the service-layer counters
+// (nil omits them); cmd names the serving command on the index page.
+func (l *LiveCluster) TelemetrySource(cmd string, svcStats *metrics.Service) harness.Telemetry {
+	t := harness.Telemetry{
+		Cmd:   cmd,
+		Stats: l.Stats,
+		Gauges: func() map[string]float64 {
+			fs := l.FsyncStats()
+			g := map[string]float64{
+				"wanamcast_fsyncs_total":      float64(fs.Fsyncs),
+				"wanamcast_gc_barriers_total": float64(fs.Barriers),
+				"wanamcast_gc_windows_total":  float64(fs.Windows),
+			}
+			for i, d := range l.LaneDepths() {
+				g[fmt.Sprintf("wanamcast_lane_depth{lane=\"%d\"}", i)] = float64(d)
+			}
+			return g
+		},
+	}
+	if svcStats != nil {
+		t.Service = svcStats.Snapshot
+	}
+	if tr := l.tracer; tr != nil {
+		t.Stages = tr.Stats().Snapshot
+		t.Spans = tr.WriteJSONL
+	}
+	return t
+}
+
+// flightRecord dumps the retained spans to LiveConfig.FlightDump — the
+// crash-dump path for §2.2 violations, abandoned state transfers, and
+// restarts. A no-op unless both TraceSpans and FlightDump are set.
+func (l *LiveCluster) flightRecord(reason string) {
+	if l.tracer == nil || l.cfg.FlightDump == "" {
+		return
+	}
+	if err := l.tracer.DumpFile(l.cfg.FlightDump); err != nil {
+		l.rt.Tracef("flight recorder: dump failed: %v", err)
+		return
+	}
+	l.rt.Tracef("flight recorder: spans dumped to %s (%s)", l.cfg.FlightDump, reason)
+}
+
 // FsyncStats returns the durability-barrier counters of the run so far.
 func (l *LiveCluster) FsyncStats() FsyncStats {
 	var st FsyncStats
@@ -694,6 +788,10 @@ func (l *LiveCluster) Restart(p ProcessID) error {
 		return fmt.Errorf("wanamcast: Restart(%v): no durable store (set DataDir or StoreFor)", p)
 	}
 	l.mu.Unlock()
+
+	// Snapshot the pre-restart spans before recovery overwrites the rings:
+	// whatever led to the crash is about to age out.
+	l.flightRecord(fmt.Sprintf("restart %v", p))
 
 	var recErr error
 	err := l.rt.Restart(p, func(proc *node.Proc, det fd.Detector) {
@@ -829,7 +927,13 @@ func (l *LiveCluster) CheckProperties() []string {
 	}
 	correct := func(p ProcessID) bool { return !l.crashed[p] }
 	correctCaster := func(id MessageID) bool { return !l.crashed[id.Origin] }
-	return l.checker.Check(correct, correctCaster)
+	v := l.checker.Check(correct, correctCaster)
+	if len(v) > 0 {
+		// Arm-once is wrong here: each check with violations refreshes the
+		// dump so the recorded spans cover the window closest to the fault.
+		l.flightRecord("§2.2 violation: " + v[0])
+	}
+	return v
 }
 
 // Deliveries returns a snapshot of the delivery log: every delivery
