@@ -25,36 +25,38 @@ import (
 
 func main() {
 	var (
-		algoName = flag.String("algo", "a1", "algorithm: a1, a2, skeen, fritzke, delporte, rodrigues, detmerge, sousa, vicente")
-		groups   = flag.Int("groups", 3, "number of groups")
-		d        = flag.Int("d", 3, "processes per group")
-		inter    = flag.Duration("inter", 100*time.Millisecond, "inter-group one-way delay")
-		intra    = flag.Duration("intra", time.Millisecond, "intra-group one-way delay")
-		jitter   = flag.Duration("jitter", 0, "uniform extra delay in [0,jitter)")
-		casts    = flag.Int("casts", 20, "number of messages to cast")
-		rate     = flag.Float64("rate", 10, "casts per second (virtual time)")
-		spread   = flag.Int("spread", 2, "destination groups per multicast (ignored by broadcasts)")
-		crash    = flag.Int("crash", 0, "crash this many processes (one per group, minority) mid-run")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		maxBatch = flag.Int("maxbatch", 0, "max messages per consensus instance (0 = unbounded, the paper's rule)")
-		pipeline = flag.Int("pipeline", 1, "consensus instances/rounds in flight (1 = the paper's sequential engine)")
-		live     = flag.Bool("live", false, "run over real TCP sockets on localhost instead of the simulator (a1/a2 only)")
-		basePort = flag.Int("port", 22000, "base TCP port for -live (process p listens on port+p)")
-		sendq    = flag.Int("sendqueue", 0, "live transport: per-connection send queue depth (0 = default 4096)")
-		flush    = flag.Duration("flush", 0, "live transport: max frame-coalescing latency before a flush (0 = default 200µs)")
-		gobWire  = flag.Bool("gobwire", false, "live transport: use the legacy gob codec instead of the wire codec")
-		lanes    = flag.Int("lanes", 0, "ordering lanes: shard processes across this many goroutines by group (0 = one per process); sim runs only account lanes")
-		inbox    = flag.Int("inbox", 0, "live transport: per-lane inbox ring size (0 = default 4096)")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile (post-GC, live objects) to this file")
-		mtxProf  = flag.String("mutexprofile", "", "write a mutex-contention profile to this file")
-		benchOut = flag.String("benchjson", "", "with -live: append a machine-readable result record to this JSON file")
-		telem    = flag.String("telemetry", "", "with -live: serve /metrics, /spans, and /healthz on this host:port (empty = off)")
-		spanBuf  = flag.Int("spanbuf", 0, "with -live: per-lane span ring capacity for lifecycle tracing (0 = default)")
-		flightD  = flag.String("flightdump", "", "with -live: write a JSONL span dump here on a property violation or sync failure")
-		scn      = flag.String("scenario", "", "chaos scenario to run under the workload (partition-heal, asym-partition, leader-flap, delay-spike, partition-recovery); sim only")
-		scnUnit  = flag.Duration("scnunit", 500*time.Millisecond, "chaos scenario time step (with -scenario)")
-		verbose  = flag.Bool("v", false, "print every delivery")
+		algoName  = flag.String("algo", "a1", "algorithm: a1, a2, skeen, fritzke, delporte, rodrigues, detmerge, sousa, vicente")
+		groups    = flag.Int("groups", 3, "number of groups")
+		d         = flag.Int("d", 3, "processes per group")
+		procs     = flag.Int("procs", 0, "processes per group (alias of -d; 0 defers to -d)")
+		sweepSpec = flag.String("sweep", "", "run a scale sweep over these topology shapes instead of one run, e.g. 50x3,100x3,200x5 (sim only)")
+		inter     = flag.Duration("inter", 100*time.Millisecond, "inter-group one-way delay")
+		intra     = flag.Duration("intra", time.Millisecond, "intra-group one-way delay")
+		jitter    = flag.Duration("jitter", 0, "uniform extra delay in [0,jitter)")
+		casts     = flag.Int("casts", 20, "number of messages to cast")
+		rate      = flag.Float64("rate", 10, "casts per second (virtual time)")
+		spread    = flag.Int("spread", 2, "destination groups per multicast (ignored by broadcasts)")
+		crash     = flag.Int("crash", 0, "crash this many processes (one per group, minority) mid-run")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		maxBatch  = flag.Int("maxbatch", 0, "max messages per consensus instance (0 = unbounded, the paper's rule)")
+		pipeline  = flag.Int("pipeline", 1, "consensus instances/rounds in flight (1 = the paper's sequential engine)")
+		live      = flag.Bool("live", false, "run over real TCP sockets on localhost instead of the simulator (a1/a2 only)")
+		basePort  = flag.Int("port", 22000, "base TCP port for -live (process p listens on port+p)")
+		sendq     = flag.Int("sendqueue", 0, "live transport: per-connection send queue depth (0 = default 4096)")
+		flush     = flag.Duration("flush", 0, "live transport: max frame-coalescing latency before a flush (0 = default 200µs)")
+		gobWire   = flag.Bool("gobwire", false, "live transport: use the legacy gob codec instead of the wire codec")
+		lanes     = flag.Int("lanes", 0, "ordering lanes: shard processes across this many goroutines by group (0 = one per process); sim runs only account lanes")
+		inbox     = flag.Int("inbox", 0, "live transport: per-lane inbox ring size (0 = default 4096)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile (post-GC, live objects) to this file")
+		mtxProf   = flag.String("mutexprofile", "", "write a mutex-contention profile to this file")
+		benchOut  = flag.String("benchjson", "", "with -live: append a machine-readable result record to this JSON file")
+		telem     = flag.String("telemetry", "", "with -live: serve /metrics, /spans, and /healthz on this host:port (empty = off)")
+		spanBuf   = flag.Int("spanbuf", 0, "with -live: per-lane span ring capacity for lifecycle tracing (0 = default)")
+		flightD   = flag.String("flightdump", "", "with -live: write a JSONL span dump here on a property violation or sync failure")
+		scn       = flag.String("scenario", "", "chaos scenario to run under the workload (partition-heal, asym-partition, leader-flap, delay-spike, partition-recovery); sim only")
+		scnUnit   = flag.Duration("scnunit", 500*time.Millisecond, "chaos scenario time step (with -scenario)")
+		verbose   = flag.Bool("v", false, "print every delivery")
 	)
 	flag.Parse()
 
@@ -62,6 +64,17 @@ func main() {
 	// message instead of panicking mid-run on a bad topology or workload.
 	fail := func(format string, args ...any) {
 		harness.Usagef("wansim", format, args...)
+	}
+	if *procs != 0 {
+		if *procs < 1 {
+			fail("-procs must be at least 1 (got %d)", *procs)
+		}
+		dSet := false
+		flag.Visit(func(f *flag.Flag) { dSet = dSet || f.Name == "d" })
+		if dSet && *d != *procs {
+			fail("-procs is an alias of -d; got conflicting values %d and %d", *procs, *d)
+		}
+		*d = *procs
 	}
 	if *groups < 1 || *d < 1 {
 		fail("-groups and -d must be at least 1 (got %d x %d)", *groups, *d)
@@ -108,8 +121,22 @@ func main() {
 	if !algo.Known() {
 		fail("unknown -algo %q", *algoName)
 	}
-	if *benchOut != "" && !*live {
-		fail("-benchjson records live benchmark runs only (add -live)")
+	if *benchOut != "" && !*live && *sweepSpec == "" {
+		fail("-benchjson records live benchmark or -sweep runs only")
+	}
+	var sweepShapes []harness.Shape
+	if *sweepSpec != "" {
+		if *live {
+			fail("-sweep runs on the simulator only")
+		}
+		if *scn != "" {
+			fail("-sweep and -scenario are mutually exclusive")
+		}
+		var err error
+		sweepShapes, err = harness.ParseSweep(*sweepSpec)
+		if err != nil {
+			fail("-sweep: %v", err)
+		}
 	}
 	opts := harness.Options{
 		Groups: *groups, PerGroup: *d,
@@ -124,6 +151,15 @@ func main() {
 	if err := opts.Validate(); err != nil {
 		fail("%v", err)
 	}
+	// Every sweep point must validate as a full Options value too, so a bad
+	// shape dies here with a usage message, not mid-sweep.
+	for _, sh := range sweepShapes {
+		o := opts
+		o.Groups, o.PerGroup = sh.Groups, sh.PerGroup
+		if err := o.Validate(); err != nil {
+			fail("-sweep %v: %v", sh, err)
+		}
+	}
 	if opts.TraceLifecycle() && !*live {
 		fail("-telemetry, -spanbuf, and -flightdump instrument live runs only (add -live)")
 	}
@@ -135,6 +171,11 @@ func main() {
 		if err := stopProf(); err != nil {
 			fmt.Fprintln(os.Stderr, "wansim: profile:", err)
 		}
+	}
+	if len(sweepShapes) > 0 {
+		runSweep(algo, opts, sweepShapes, *casts, *benchOut)
+		flushProf()
+		return
 	}
 	if *live {
 		runLive(algo, opts, *basePort, *casts, *rate, *spread, *seed, *verbose)
@@ -226,6 +267,36 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("properties     uniform integrity, validity, uniform agreement, uniform prefix order: OK")
+}
+
+// runSweep measures the simulation runtime itself across topology shapes:
+// one full workload per shape, reporting events/s, allocs/event, wall
+// clock, and peak heap. With benchOut set, each point also appends a
+// machine-readable record (BENCH_sim.json by convention).
+func runSweep(algo harness.Algo, opts harness.Options, shapes []harness.Shape, casts int, benchOut string) {
+	fmt.Printf("scale sweep: algo=%s casts=%d seed=%d inter=%v intra=%v jitter=%v\n",
+		algo, casts, opts.Seed, opts.Inter, opts.Intra, opts.Jitter)
+	fmt.Printf("%-8s %-6s %-10s %-12s %-14s %-10s %-12s %s\n",
+		"shape", "procs", "casts", "events", "events/s", "wall", "allocs/ev", "peak heap")
+	for _, sh := range shapes {
+		p := harness.RunScaleSweep(algo, opts, []harness.Shape{sh}, casts)[0]
+		fmt.Printf("%-8s %-6d %-10d %-12d %-14.0f %-10v %-12.2f %.1f MiB\n",
+			p.Shape, p.Shape.N(), p.Casts, p.Events, p.EventsPerSec,
+			p.Wall.Round(time.Millisecond), p.AllocsPerEvent,
+			float64(p.PeakHeapBytes)/(1<<20))
+		if p.Violations != 0 {
+			fmt.Fprintf(os.Stderr, "wansim: %d property violations at %v\n", p.Violations, p.Shape)
+			os.Exit(1)
+		}
+		if benchOut != "" {
+			rec := p.BenchRecord("sim-sweep-"+string(algo), opts.Seed)
+			rec.StartedAt = time.Now().UTC().Format(time.RFC3339)
+			if err := harness.AppendBenchJSON(benchOut, rec); err != nil {
+				fmt.Fprintln(os.Stderr, "wansim: benchjson:", err)
+				os.Exit(1)
+			}
+		}
+	}
 }
 
 // pickDest samples spread distinct destination groups. It requires

@@ -24,6 +24,16 @@ type BenchResult struct {
 	P50Ms         float64 `json:"p50_ms"`          // wall cast→deliver latency
 	P99Ms         float64 `json:"p99_ms"`
 
+	// Simulation scale-sweep accounting (zero on live runs): throughput
+	// and allocation behavior of the discrete-event runtime itself at one
+	// topology shape (see RunScaleSweep / wansim -sweep).
+	Events         uint64  `json:"events,omitempty"`           // scheduler events executed
+	EventsPerSec   float64 `json:"events_per_sec,omitempty"`   // events / wall second
+	AllocsPerEvent float64 `json:"allocs_per_event,omitempty"` // heap allocations / event
+	WallMS         float64 `json:"wall_ms,omitempty"`          // whole-run wall clock
+	PeakHeapBytes  uint64  `json:"peak_heap_bytes,omitempty"`  // max observed live heap
+	Seed           int64   `json:"seed,omitempty"`             // simulation seed
+
 	// Read-tier accounting (zero on write-only runs).
 	ReadFraction float64 `json:"read_fraction,omitempty"` // offered read share in [0,1]
 	Consistency  string  `json:"consistency,omitempty"`   // read mode: ordered, lease, or watermark

@@ -1,0 +1,156 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+
+	"wanamcast/internal/metrics"
+	"wanamcast/internal/types"
+)
+
+// Shape is one topology point of a scale sweep: Groups x PerGroup.
+type Shape struct {
+	Groups   int
+	PerGroup int
+}
+
+// String renders the shape in the "GxP" notation the bench records use.
+func (s Shape) String() string { return fmt.Sprintf("%dx%d", s.Groups, s.PerGroup) }
+
+// N returns the total process count of the shape.
+func (s Shape) N() int { return s.Groups * s.PerGroup }
+
+// ParseShape parses "GxP" (e.g. "200x5") into a Shape. Both sides must be
+// positive integers.
+func ParseShape(spec string) (Shape, error) {
+	g, p, ok := strings.Cut(strings.TrimSpace(spec), "x")
+	if !ok {
+		return Shape{}, fmt.Errorf("topology shape must be GROUPSxPERGROUP, e.g. 200x5: %q", spec)
+	}
+	groups, err := strconv.Atoi(g)
+	if err != nil {
+		return Shape{}, fmt.Errorf("bad group count in shape %q: %v", spec, err)
+	}
+	per, err := strconv.Atoi(p)
+	if err != nil {
+		return Shape{}, fmt.Errorf("bad per-group count in shape %q: %v", spec, err)
+	}
+	sh := Shape{Groups: groups, PerGroup: per}
+	if groups < 1 || per < 1 {
+		return Shape{}, fmt.Errorf("topology shape must be positive: %q", spec)
+	}
+	return sh, nil
+}
+
+// ParseSweep parses a comma-separated shape list ("50x3,100x3,200x5").
+func ParseSweep(spec string) ([]Shape, error) {
+	parts := strings.Split(spec, ",")
+	shapes := make([]Shape, 0, len(parts))
+	for _, p := range parts {
+		sh, err := ParseShape(p)
+		if err != nil {
+			return nil, err
+		}
+		shapes = append(shapes, sh)
+	}
+	return shapes, nil
+}
+
+// SweepPoint is the measured outcome of one shape in a scale sweep.
+type SweepPoint struct {
+	Shape Shape
+	Casts int // messages offered
+
+	Events         uint64  // scheduler events executed
+	EventsPerSec   float64 // events / wall second
+	AllocsPerEvent float64 // heap allocations / event (whole run, incl. build)
+	Wall           time.Duration
+	PeakHeapBytes  uint64
+	Violations     int // §2.2 property-check failures (0 on a correct run)
+}
+
+// RunScaleSweep runs the same workload through sys at every shape and
+// measures throughput and allocation behavior of the simulation runtime
+// itself: events/s, allocs/event, wall clock, and peak heap. The workload
+// mirrors wansim's default — casts at a fixed virtual-time rate from
+// rotating senders to a deterministic destination spread — so the sweep
+// exercises the full transmit→deliver fast path under real protocol
+// traffic, not a synthetic no-op loop. The per-shape Options are opts with
+// the topology overridden; everything else (delays, seed, pipeline) is
+// shared, so points differ only in scale.
+func RunScaleSweep(algo Algo, opts Options, shapes []Shape, casts int) []SweepPoint {
+	points := make([]SweepPoint, 0, len(shapes))
+	for _, sh := range shapes {
+		points = append(points, runSweepPoint(algo, opts, sh, casts))
+	}
+	return points
+}
+
+func runSweepPoint(algo Algo, opts Options, sh Shape, casts int) SweepPoint {
+	opts.Groups, opts.PerGroup = sh.Groups, sh.PerGroup
+	var (
+		sys        *System
+		violations int
+	)
+	sample := metrics.MeasureResources(func() {
+		sys = Build(algo, opts)
+		rng := rand.New(rand.NewSource(opts.Seed))
+		period := 10 * time.Millisecond
+		spread := 2
+		if spread > sh.Groups {
+			spread = sh.Groups
+		}
+		if algo == AlgoA2 {
+			for g := 0; g < sh.Groups; g++ {
+				sys.CastAt(0, sys.Topo.Members(types.GroupID(g))[0], "warm", sys.Topo.AllGroups())
+			}
+		}
+		for i := 0; i < casts; i++ {
+			from := types.ProcessID(rng.Intn(sys.Topo.N()))
+			dest := make([]types.GroupID, 0, spread)
+			for len(dest) < spread {
+				g := types.GroupID(rng.Intn(sh.Groups))
+				dup := false
+				for _, x := range dest {
+					dup = dup || x == g
+				}
+				if !dup {
+					dest = append(dest, g)
+				}
+			}
+			sys.CastAt(time.Duration(i+1)*period, from, i, types.NewGroupSet(dest...))
+		}
+		sys.Run()
+		violations = len(sys.Check())
+	})
+	events := sys.RT.Scheduler().Steps()
+	return SweepPoint{
+		Shape:          sh,
+		Casts:          casts,
+		Events:         events,
+		EventsPerSec:   sample.PerSec(events),
+		AllocsPerEvent: sample.AllocsPer(events),
+		Wall:           sample.Wall,
+		PeakHeapBytes:  sample.PeakHeap,
+		Violations:     violations,
+	}
+}
+
+// BenchRecord converts the point into the machine-readable form the sweep
+// appends to BENCH_sim.json.
+func (p SweepPoint) BenchRecord(name string, seed int64) BenchResult {
+	return BenchResult{
+		Name:           name,
+		Topology:       p.Shape.String(),
+		Casts:          p.Casts,
+		Events:         p.Events,
+		EventsPerSec:   p.EventsPerSec,
+		AllocsPerEvent: p.AllocsPerEvent,
+		WallMS:         float64(p.Wall.Microseconds()) / 1e3,
+		PeakHeapBytes:  p.PeakHeapBytes,
+		Seed:           seed,
+	}
+}

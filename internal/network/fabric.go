@@ -17,6 +17,54 @@ type Link struct {
 	From, To types.ProcessID
 }
 
+// overrides is one immutable snapshot of every installed link override.
+// Mutations never touch a published snapshot: they clone it, edit the
+// clone, and atomically swap the pointer, so readers (the simulator's
+// per-send Route call, the TCP read loops and writer goroutines) consult
+// the table with a single atomic load and zero locks.
+type overrides struct {
+	severed map[Link]bool
+	delays  map[Link]time.Duration
+	jitters map[Link]time.Duration
+}
+
+func (o *overrides) clone() *overrides {
+	c := &overrides{
+		severed: make(map[Link]bool, len(o.severed)),
+		delays:  make(map[Link]time.Duration, len(o.delays)),
+		jitters: make(map[Link]time.Duration, len(o.jitters)),
+	}
+	for l, v := range o.severed {
+		c.severed[l] = v
+	}
+	for l, v := range o.delays {
+		c.delays[l] = v
+	}
+	for l, v := range o.jitters {
+		c.jitters[l] = v
+	}
+	return c
+}
+
+// delay applies the snapshot's per-link overrides over the base model.
+func (o *overrides) delay(m Model, topo *types.Topology, from, to types.ProcessID, rng *rand.Rand) time.Duration {
+	l := Link{from, to}
+	d, hasD := o.delays[l]
+	j, hasJ := o.jitters[l]
+	if !hasD && !hasJ {
+		return m.Delay(topo, from, to, rng)
+	}
+	if hasD {
+		// A per-link delay override replaces the base delay but keeps the
+		// base jitter unless that is overridden too.
+		m.IntraGroup, m.InterGroup, m.PairDelay = d, d, nil
+	}
+	if hasJ {
+		m.Jitter = j
+	}
+	return m.Delay(topo, from, to, rng)
+}
+
 // Fabric is a mutable, runtime-controllable link table layered over a base
 // Model: the chaos surface of the repository. The base model answers for
 // every link the fabric holds no override for; Sever/Heal, SetDelay, and
@@ -34,31 +82,24 @@ type Link struct {
 // Fabric is safe for concurrent use: the simulator drives it from the
 // scheduler goroutine, the live runtime consults it from read loops and
 // writer goroutines while a scenario mutates it from a timer goroutine.
-// The untouched-fabric fast path (no override ever installed) is a single
-// atomic load, so runs without chaos pay nothing.
+// Reads are lock-free on every path: the override table is a read-mostly
+// snapshot behind an atomic pointer, copied on each (rare) mutation. An
+// untouched fabric (no override ever installed) answers with a single
+// atomic load of nil, so runs without chaos pay nothing per message.
 type Fabric struct {
 	topo  *types.Topology
 	model Model
 
-	active atomic.Bool // any override ever installed
+	snap atomic.Pointer[overrides] // nil until the first override installs
 
-	mu      sync.Mutex
-	severed map[Link]bool
-	delays  map[Link]time.Duration
-	jitters map[Link]time.Duration
-	subs    []func(l Link, severed bool)
+	mu   sync.Mutex // serializes mutations (clone-edit-swap of snap)
+	subs []func(l Link, severed bool)
 }
 
 // NewFabric returns a fabric over topo whose every link initially behaves
 // per base.
 func NewFabric(topo *types.Topology, base Model) *Fabric {
-	return &Fabric{
-		topo:    topo,
-		model:   base,
-		severed: make(map[Link]bool),
-		delays:  make(map[Link]time.Duration),
-		jitters: make(map[Link]time.Duration),
-	}
+	return &Fabric{topo: topo, model: base}
 }
 
 // Topo returns the topology the fabric spans.
@@ -66,8 +107,9 @@ func (f *Fabric) Topo() *types.Topology { return f.topo }
 
 // Active reports whether any override was ever installed. A false answer
 // means Severed is false and Delay equals the base model for every link —
-// hot paths use it to skip locks the untouched fabric never needs.
-func (f *Fabric) Active() bool { return f.active.Load() }
+// hot paths use it to skip per-message bookkeeping the untouched fabric
+// never needs.
+func (f *Fabric) Active() bool { return f.snap.Load() != nil }
 
 // Base returns the underlying static model.
 func (f *Fabric) Base() Model { return f.model }
@@ -82,12 +124,8 @@ func (f *Fabric) OnTransition(fn func(l Link, severed bool)) {
 
 // Severed reports whether the directed link from→to is currently severed.
 func (f *Fabric) Severed(from, to types.ProcessID) bool {
-	if !f.active.Load() {
-		return false
-	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.severed[Link{from, to}]
+	st := f.snap.Load()
+	return st != nil && st.severed[Link{from, to}]
 }
 
 // Delay returns the current one-way delay for a message on from→to,
@@ -95,26 +133,28 @@ func (f *Fabric) Severed(from, to types.ProcessID) bool {
 // feeds jitter draws; the Model.Delay contract applies (a jittered link
 // needs an rng).
 func (f *Fabric) Delay(from, to types.ProcessID, rng *rand.Rand) time.Duration {
-	if !f.active.Load() {
+	st := f.snap.Load()
+	if st == nil {
 		return f.model.Delay(f.topo, from, to, rng)
 	}
-	f.mu.Lock()
-	d, hasD := f.delays[Link{from, to}]
-	j, hasJ := f.jitters[Link{from, to}]
-	f.mu.Unlock()
-	if !hasD && !hasJ {
-		return f.model.Delay(f.topo, from, to, rng)
+	return st.delay(f.model, f.topo, from, to, rng)
+}
+
+// Route answers both per-transmit questions — is the link severed, and if
+// not what is its delay — from ONE snapshot load, so the simulator's send
+// hot path consults the fabric exactly once per message. A severed answer
+// draws nothing from rng: parked messages take their delay when the link
+// heals and they are released, which keeps the rng stream identical to a
+// run that consulted Severed and Delay separately.
+func (f *Fabric) Route(from, to types.ProcessID, rng *rand.Rand) (delay time.Duration, severed bool) {
+	st := f.snap.Load()
+	if st == nil {
+		return f.model.Delay(f.topo, from, to, rng), false
 	}
-	m := f.model
-	if hasD {
-		// A per-link delay override replaces the base delay but keeps the
-		// base jitter unless that is overridden too.
-		m.IntraGroup, m.InterGroup, m.PairDelay = d, d, nil
+	if st.severed[Link{from, to}] {
+		return 0, true
 	}
-	if hasJ {
-		m.Jitter = j
-	}
-	return m.Delay(f.topo, from, to, rng)
+	return st.delay(f.model, f.topo, from, to, rng), false
 }
 
 // Sever cuts the directed link from→to: the runtimes withhold everything
@@ -167,11 +207,18 @@ func (f *Fabric) HealPartition(a, b []types.GroupID, symmetric bool) {
 // draw order) would vary across same-seed runs.
 func (f *Fabric) HealAll() {
 	f.mu.Lock()
-	var healed []Link
-	for l := range f.severed {
-		healed = append(healed, l)
-		delete(f.severed, l)
+	cur := f.snap.Load()
+	if cur == nil || len(cur.severed) == 0 {
+		f.mu.Unlock()
+		return
 	}
+	next := cur.clone()
+	healed := make([]Link, 0, len(next.severed))
+	for l := range next.severed {
+		healed = append(healed, l)
+		delete(next.severed, l)
+	}
+	f.snap.Store(next)
 	f.mu.Unlock()
 	sort.Slice(healed, func(i, j int) bool {
 		if healed[i].From != healed[j].From {
@@ -206,17 +253,22 @@ func (f *Fabric) SetJitter(from, to types.ProcessID, j time.Duration) {
 	if j < 0 {
 		panic(fmt.Sprintf("network: negative jitter %v", j))
 	}
-	f.active.Store(true)
-	f.mu.Lock()
-	f.jitters[Link{from, to}] = j
-	f.mu.Unlock()
+	f.mutate(func(st *overrides) {
+		st.jitters[Link{from, to}] = j
+	})
 }
 
 // ClearJitter removes the jitter override of from→to.
 func (f *Fabric) ClearJitter(from, to types.ProcessID) {
 	f.mu.Lock()
-	delete(f.jitters, Link{from, to})
-	f.mu.Unlock()
+	defer f.mu.Unlock()
+	cur := f.snap.Load()
+	if cur == nil {
+		return
+	}
+	next := cur.clone()
+	delete(next.jitters, Link{from, to})
+	f.snap.Store(next)
 }
 
 // crossLinks enumerates the directed links crossing from group set a to
@@ -241,25 +293,49 @@ func (f *Fabric) crossLinks(a, b []types.GroupID, symmetric bool) []Link {
 	return links
 }
 
+// mutate installs overrides through the clone-edit-swap protocol, creating
+// the first snapshot on demand.
+func (f *Fabric) mutate(edit func(st *overrides)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cur := f.snap.Load()
+	var next *overrides
+	if cur == nil {
+		next = (&overrides{}).clone() // empty maps, ready to edit
+	} else {
+		next = cur.clone()
+	}
+	edit(next)
+	f.snap.Store(next)
+}
+
 // apply flips the severed state of links to target and notifies
 // subscribers of the actual transitions.
 func (f *Fabric) apply(links []Link, target bool) {
-	if target {
-		f.active.Store(true)
-	}
 	f.mu.Lock()
+	cur := f.snap.Load()
+	if cur == nil {
+		if !target {
+			// Healing links on an untouched fabric changes nothing.
+			f.mu.Unlock()
+			return
+		}
+		cur = (&overrides{}).clone()
+	}
+	next := cur.clone()
 	var changed []Link
 	for _, l := range links {
-		if f.severed[l] == target {
+		if next.severed[l] == target {
 			continue
 		}
 		if target {
-			f.severed[l] = true
+			next.severed[l] = true
 		} else {
-			delete(f.severed, l)
+			delete(next.severed, l)
 		}
 		changed = append(changed, l)
 	}
+	f.snap.Store(next)
 	f.mu.Unlock()
 	f.notify(changed, target)
 }
@@ -276,18 +352,23 @@ func (f *Fabric) setDelay(links []Link, d time.Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("network: negative delay %v", d))
 	}
-	f.active.Store(true)
-	f.mu.Lock()
-	for _, l := range links {
-		f.delays[l] = d
-	}
-	f.mu.Unlock()
+	f.mutate(func(st *overrides) {
+		for _, l := range links {
+			st.delays[l] = d
+		}
+	})
 }
 
 func (f *Fabric) clearDelay(links []Link) {
 	f.mu.Lock()
-	for _, l := range links {
-		delete(f.delays, l)
+	defer f.mu.Unlock()
+	cur := f.snap.Load()
+	if cur == nil {
+		return
 	}
-	f.mu.Unlock()
+	next := cur.clone()
+	for _, l := range links {
+		delete(next.delays, l)
+	}
+	f.snap.Store(next)
 }

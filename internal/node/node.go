@@ -120,9 +120,9 @@ type Env interface {
 	// from has already updated its clock; the env applies network delay,
 	// accounting, and crash filtering.
 	Transmit(from, to types.ProcessID, proto string, body any, sendTS int64)
-	// Later schedules fn on process owner after d; fn must not run if the
-	// owner crashed in the meantime (the Proc re-checks, but the env may
-	// also drop it).
+	// Later schedules fn on process owner after d. The env MUST drop the
+	// callback if the owner crashed by fire time — Proc.After relies on
+	// it (it no longer wraps fn in a re-checking closure).
 	Later(owner *Proc, d time.Duration, fn func())
 	Recorder() Recorder
 	Tracef(format string, args ...any)
@@ -240,14 +240,10 @@ func (p *Proc) Multicast(tos []types.ProcessID, proto string, body any) {
 	}
 }
 
-// After implements API.
+// After implements API. The crashed-owner drop is the env's job (both
+// runtimes check at fire time), so no wrapper closure is allocated here.
 func (p *Proc) After(d time.Duration, fn func()) {
-	p.env.Later(p, d, func() {
-		if p.crashed {
-			return
-		}
-		fn()
-	})
+	p.env.Later(p, d, fn)
 }
 
 // RecordCast implements API. With a tracer attached it also opens the

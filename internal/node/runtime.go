@@ -34,6 +34,10 @@ type Runtime struct {
 	held         map[network.Link][]heldMsg // parked sends of severed links
 	isoSuspected map[types.ProcessID]bool   // suspected due to isolation, not crash
 
+	// suspectFn is the crash-suspicion notifier, built once so every
+	// Crash schedules a typed evCall event instead of a fresh closure.
+	suspectFn func(int32)
+
 	// Lane accounting (SetLanes). The simulator mirrors the live runtime's
 	// per-group ordering lanes WITHOUT changing execution: events stay on
 	// the one scheduler goroutine, and the scheduler's (time, priority,
@@ -91,8 +95,21 @@ func NewRuntime(topo *types.Topology, model network.Model, seed int64, rec Recor
 	for _, id := range topo.AllProcesses() {
 		rt.procs[id] = NewProc(id, topo, rt)
 	}
+	rt.sched.OnDeliver(rt.execDeliver)
+	rt.suspectFn = func(p int32) { rt.oracle.Suspect(types.ProcessID(p)) }
 	rt.fabric.OnTransition(rt.onLinkTransition)
 	return rt
+}
+
+// execDeliver executes one typed delivery event: it accounts the lane and
+// hands the message to the receiver. This is the single delivery handler
+// the scheduler invokes for every network arrival — the per-send closure
+// the hot path used to allocate is gone.
+func (rt *Runtime) execDeliver(from, to int32, proto string, body any, sendTS int64) {
+	if rt.laneEvents != nil {
+		rt.laneEvents[rt.LaneOf(types.ProcessID(to))]++
+	}
+	rt.procs[to].Deliver(types.ProcessID(from), proto, body, sendTS)
 }
 
 // Proc returns the process with the given ID.
@@ -175,35 +192,45 @@ func (rt *Runtime) Tracef(format string, args ...any) {
 // take the intra-group delay but are not counted as network messages. A
 // send over a severed link is parked until the link heals — the message is
 // in the network, arbitrarily delayed, never lost.
+//
+// This is THE hot path of a simulated run — one call per message copy —
+// and it is allocation-free in steady state: one fabric Route call (a
+// single atomic load when no chaos override was ever installed), trace
+// formatting gated on the Trace hook being armed, and a typed delivery
+// event in place of the closure the seed runtime allocated per send.
 func (rt *Runtime) Transmit(from, to types.ProcessID, proto string, body any, sendTS int64) {
 	interGroup := !rt.topo.SameGroup(from, to)
 	if from != to {
 		rt.rec.OnSend(proto, from, to, interGroup, rt.sched.Now())
 	}
-	if rt.fabric.Severed(from, to) {
-		rt.Tracef("HOLD %v->%v %s ts=%d (link severed)", from, to, proto, sendTS)
+	delay, severed := rt.fabric.Route(from, to, rt.sched.Rand())
+	if severed {
+		if rt.Trace != nil {
+			rt.Tracef("HOLD %v->%v %s ts=%d (link severed)", from, to, proto, sendTS)
+		}
 		l := network.Link{From: from, To: to}
 		rt.held[l] = append(rt.held[l], heldMsg{proto: proto, body: body, sendTS: sendTS})
 		return
 	}
-	rt.Tracef("SEND %v->%v %s ts=%d %+v", from, to, proto, sendTS, body)
-	rt.scheduleDelivery(from, to, proto, body, sendTS)
+	if rt.Trace != nil {
+		rt.Tracef("SEND %v->%v %s ts=%d %+v", from, to, proto, sendTS, body)
+	}
+	prio := 0
+	if interGroup {
+		prio = 1 // at equal instants, local events precede WAN arrivals
+	}
+	rt.sched.DeliverAfter(delay, prio, int32(from), int32(to), proto, body, sendTS)
 }
 
-// scheduleDelivery applies the fabric delay and enqueues the arrival.
+// scheduleDelivery applies the fabric delay and enqueues the arrival — the
+// held-message release path (Transmit routes inline).
 func (rt *Runtime) scheduleDelivery(from, to types.ProcessID, proto string, body any, sendTS int64) {
 	delay := rt.fabric.Delay(from, to, rt.sched.Rand())
 	prio := 0
 	if !rt.topo.SameGroup(from, to) {
 		prio = 1 // at equal instants, local events precede WAN arrivals
 	}
-	receiver := rt.procs[to]
-	rt.sched.AfterPrio(delay, prio, func() {
-		if rt.laneEvents != nil {
-			rt.laneEvents[rt.LaneOf(to)]++
-		}
-		receiver.Deliver(from, proto, body, sendTS)
-	})
+	rt.sched.DeliverAfter(delay, prio, int32(from), int32(to), proto, body, sendTS)
 }
 
 // onLinkTransition reacts to fabric sever/heal events: healing a link
@@ -260,19 +287,15 @@ func (rt *Runtime) isolated(p types.ProcessID) bool {
 
 // Later implements Env. Timer callbacks whose owning process has crashed
 // by fire time are dropped: a dead node must not keep driving consensus
-// rounds. (Proc.After re-checks too; this keeps the guarantee even for
-// timers scheduled through the env directly.)
+// rounds. The drop rides the scheduler's typed timer event — no wrapper
+// closure per timer.
 func (rt *Runtime) Later(owner *Proc, d time.Duration, fn func()) {
-	rt.sched.After(d, func() {
-		if owner.Crashed() {
-			return
-		}
-		fn()
-	})
+	rt.sched.TimerAfter(d, owner, fn)
 }
 
 // Crash crashes process id now: it stops sending and receiving immediately,
-// and the Ω oracle suspects it after SuspicionDelay.
+// and the Ω oracle suspects it after SuspicionDelay (a typed call event on
+// the runtime's one pre-built notifier — no closure per crash).
 func (rt *Runtime) Crash(id types.ProcessID) {
 	p := rt.procs[id]
 	if p.Crashed() {
@@ -281,9 +304,7 @@ func (rt *Runtime) Crash(id types.ProcessID) {
 	p.Crash()
 	delete(rt.isoSuspected, id) // a crash suspicion is permanent
 	rt.Tracef("CRASH %v at %v", id, rt.sched.Now())
-	rt.sched.After(rt.SuspicionDelay, func() {
-		rt.oracle.Suspect(id)
-	})
+	rt.sched.CallAfter(rt.SuspicionDelay, rt.suspectFn, int32(id))
 }
 
 // CrashAt schedules a crash of id at virtual time at.

@@ -1,0 +1,7 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether the race detector instruments this binary;
+// wall-clock performance assertions are skipped under it.
+const raceEnabled = true

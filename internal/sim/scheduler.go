@@ -5,45 +5,108 @@
 // arbitrary but finite delays. The scheduler realises admissible runs of
 // that model by executing events in virtual-time order with deterministic
 // tie-breaking, so every experiment is exactly reproducible from its seed.
+//
+// The event core is built for scale-out sweeps (hundreds of groups,
+// thousands of processes, millions of events):
+//
+//   - Pending events are 24-byte sort keys (time, priority, seq, payload
+//     slot) in a calendar structure: events due in the CURRENT ~1ms of
+//     virtual time are sorted once and drained sequentially (with a small
+//     inline-value four-ary side-heap catching events scheduled into the
+//     bucket mid-drain), later events are parked unsorted in per-bucket
+//     calendar slots (O(1) append), and events beyond the calendar
+//     horizon wait in an overflow heap. Buckets cover disjoint time
+//     ranges and every within-bucket ordering uses the full (time, prio,
+//     seq) comparison, so the pop sequence is exactly the total order the
+//     seed container/heap produced — same-seed traces are byte-identical
+//     across the rewrite (pinned by the golden-trace test).
+//
+//   - Hot-path events are TYPED rather than closures, with payloads held
+//     by value in per-kind slabs recycled through free lists: a network
+//     delivery carries (from, to, proto, body, sendTS) in one cache line
+//     and executes through a single handler installed with OnDeliver; a
+//     timer carries its owner and callback, dropped inline when the owner
+//     has crashed. Only cold-path scheduling (At/After) takes a closure.
+//     All slices recycle, so steady-state scheduling allocates nothing.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
+	"sort"
+	"strings"
 	"time"
 )
 
-// Event is a scheduled callback.
-type event struct {
+// Event kinds. evFn runs a plain closure; the rest are typed, closure-free
+// representations of the hot-path events.
+const (
+	evFn      = iota // fn()
+	evDeliver        // deliver(from, to, proto, body, sendTS)
+	evTimer          // fn() unless owner.Crashed()
+	evCall           // call(arg) — a pre-bound func applied to a small arg
+)
+
+// Crasher lets typed timer events drop callbacks of crashed owners without
+// a per-timer wrapper closure. node.Proc implements it.
+type Crasher interface{ Crashed() bool }
+
+// DeliverFunc is the single delivery handler a runtime installs with
+// OnDeliver: it receives every evDeliver event's payload at its virtual
+// arrival time.
+type DeliverFunc func(from, to int32, proto string, body any, sendTS int64)
+
+// heapEntry is the sort key of one pending event — the only thing the
+// calendar and heaps move around. 24 bytes, no pointers: shallow copies
+// and nothing for the garbage collector to trace.
+type heapEntry struct {
 	at   time.Duration
-	prio int    // at equal times, lower priority class runs first
 	seq  uint64 // insertion order, the final deterministic tie-break
-	fn   func()
+	prio int16  // at equal times, lower priority class runs first
+	kind int16  // selects the payload slab slot indexes
+	slot int32  // payload index in the kind's slab
 }
 
-type eventHeap []*event
+// before is the (time, prio, seq) strict total order.
+func (e heapEntry) before(o heapEntry) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	if e.prio != o.prio {
+		return e.prio < o.prio
+	}
+	return e.seq < o.seq
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	if h[i].prio != h[j].prio {
-		return h[i].prio < h[j].prio
-	}
-	return h[i].seq < h[j].seq
+// deliverPayload is the body of an evDeliver event: exactly one cache line
+// in the slab, so executing a delivery costs one line fetch.
+type deliverPayload struct {
+	from, to int32
+	sendTS   int64
+	proto    string
+	body     any
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+// timerPayload is the body of an evTimer event.
+type timerPayload struct {
+	fn    func()
+	owner Crasher // skip fn if owner.Crashed()
 }
+
+// callPayload is the body of an evCall event.
+type callPayload struct {
+	call func(int32) // pre-bound handler
+	arg  int32
+}
+
+// Calendar geometry: buckets are 2^bucketShift nanoseconds of virtual time
+// (~1ms) and the ring spans bucketCount of them (~1.07s of horizon).
+// Events beyond the horizon wait in the overflow heap and migrate into the
+// ring as virtual time approaches them.
+const (
+	bucketShift = 20
+	bucketCount = 1024
+)
 
 // Scheduler is a single-threaded discrete-event executor. The zero value is
 // not usable; construct with New. Schedulers are not safe for concurrent
@@ -51,13 +114,32 @@ func (h *eventHeap) Pop() any {
 // which also gives us the paper's "each line executes atomically" semantics
 // for free.
 type Scheduler struct {
-	queue eventHeap
-	now   time.Duration
-	seq   uint64
-	rng   *rand.Rand
-	steps uint64
+	sorted    []heapEntry // current bucket, sorted ascending, drained from sortedIdx
+	sortedIdx int
+	side      []heapEntry // four-ary min-heap: events scheduled into the current bucket mid-drain
+	ring      [bucketCount][]heapEntry
+	overflow  []heapEntry // four-ary min-heap of events beyond the horizon
+	cur       int64       // bucket index currently draining
+	pending   int
+
+	deliverPool []deliverPayload
+	deliverFree []int32
+	fnPool      []func()
+	fnFree      []int32
+	timerPool   []timerPayload
+	timerFree   []int32
+	callPool    []callPayload
+	callFree    []int32
+
+	now     time.Duration
+	seq     uint64
+	rng     *rand.Rand
+	steps   uint64
+	deliver DeliverFunc
 	// MaxSteps bounds Run to guard against livelock in buggy protocols;
-	// zero means no bound.
+	// zero means no bound. The panic message carries the pending-queue
+	// depth and the hottest pending protos so a 1000-process livelock is
+	// diagnosable from the failure alone.
 	MaxSteps uint64
 }
 
@@ -72,6 +154,102 @@ func (s *Scheduler) Now() time.Duration { return s.now }
 
 // Rand returns the scheduler's deterministic random source.
 func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// OnDeliver installs the typed delivery handler. Install exactly once,
+// before any DeliverAfter call; the runtimes do it at construction.
+func (s *Scheduler) OnDeliver(fn DeliverFunc) { s.deliver = fn }
+
+// push routes a sort key to the side heap, a calendar bucket, or the
+// overflow heap by its distance from the bucket being drained.
+func (s *Scheduler) push(at time.Duration, prio int, kind int16, slot int32) {
+	if at < s.now {
+		at = s.now
+	}
+	if prio != int(int16(prio)) {
+		panic(fmt.Sprintf("sim: priority class %d out of range", prio))
+	}
+	s.seq++
+	e := heapEntry{at: at, seq: s.seq, prio: int16(prio), kind: kind, slot: slot}
+	s.pending++
+	b := int64(at >> bucketShift)
+	switch {
+	case b <= s.cur:
+		// Current bucket (b < cur only while the clock sits past a drained
+		// bucket after RunUntil; ordering is unaffected — the side heap
+		// sorts).
+		s.side = append(s.side, e)
+		siftUp(s.side, len(s.side)-1)
+	case b-s.cur < bucketCount:
+		s.ring[b%bucketCount] = append(s.ring[b%bucketCount], e)
+	default:
+		s.overflow = append(s.overflow, e)
+		siftUp(s.overflow, len(s.overflow)-1)
+	}
+}
+
+// advance moves the calendar forward to the next populated bucket, sorting
+// it for sequential drain. Callers ensure nothing is drainable (sorted
+// exhausted, side empty) and pending > 0.
+func (s *Scheduler) advance() {
+	for {
+		// Migrate overflow events that fell inside the horizon.
+		for len(s.overflow) > 0 {
+			b := int64(s.overflow[0].at >> bucketShift)
+			if b-s.cur >= bucketCount {
+				break
+			}
+			e := popHeap(&s.overflow)
+			if b <= s.cur {
+				s.side = append(s.side, e)
+				siftUp(s.side, len(s.side)-1)
+			} else {
+				s.ring[b%bucketCount] = append(s.ring[b%bucketCount], e)
+			}
+		}
+		if s.sortedIdx < len(s.sorted) || len(s.side) > 0 {
+			return
+		}
+		// Find the next populated bucket; jump straight to the overflow's
+		// earliest bucket when the whole ring is empty.
+		next := s.cur + 1
+		limit := s.cur + bucketCount
+		for ; next < limit; next++ {
+			if len(s.ring[next%bucketCount]) > 0 {
+				break
+			}
+		}
+		if next == limit {
+			if len(s.overflow) == 0 {
+				panic("sim: advance with nothing pending")
+			}
+			s.cur = int64(s.overflow[0].at >> bucketShift)
+			continue
+		}
+		s.cur = next
+		slot := &s.ring[next%bucketCount]
+		s.sorted = append(s.sorted[:0], *slot...)
+		s.sortedIdx = 0
+		*slot = (*slot)[:0]
+		sortEntries(s.sorted)
+		return
+	}
+}
+
+// peek returns the earliest pending sort key without executing it,
+// advancing the calendar if needed. ok is false when nothing is pending.
+func (s *Scheduler) peek() (heapEntry, bool) {
+	if s.pending == 0 {
+		return heapEntry{}, false
+	}
+	if s.sortedIdx == len(s.sorted) && len(s.side) == 0 {
+		s.advance()
+	}
+	if s.sortedIdx < len(s.sorted) &&
+		(len(s.side) == 0 || s.sorted[s.sortedIdx].before(s.side[0])) {
+		return s.sorted[s.sortedIdx], true
+	}
+	return s.side[0], true
+}
 
 // At schedules fn to run at absolute virtual time at with priority class 0.
 // Scheduling in the past (at < Now) runs fn at the current time, preserving
@@ -89,11 +267,16 @@ func (s *Scheduler) AtPrio(at time.Duration, prio int, fn func()) {
 	if fn == nil {
 		panic("sim: nil event function")
 	}
-	if at < s.now {
-		at = s.now
+	var slot int32
+	if n := len(s.fnFree); n > 0 {
+		slot = s.fnFree[n-1]
+		s.fnFree = s.fnFree[:n-1]
+		s.fnPool[slot] = fn
+	} else {
+		slot = int32(len(s.fnPool))
+		s.fnPool = append(s.fnPool, fn)
 	}
-	s.seq++
-	heap.Push(&s.queue, &event{at: at, prio: prio, seq: s.seq, fn: fn})
+	s.push(at, prio, evFn, slot)
 }
 
 // After schedules fn to run d from the current virtual time (class 0).
@@ -112,16 +295,124 @@ func (s *Scheduler) AfterPrio(d time.Duration, prio int, fn func()) {
 	s.AtPrio(s.now+d, prio, fn)
 }
 
+// DeliverAfter schedules a typed network-delivery event d from now: at its
+// virtual arrival the installed OnDeliver handler receives the payload.
+// This is the allocation-free replacement for the old
+// After(d, func(){ proc.Deliver(...) }) hot path: no closure, no heap
+// *event — the payload rides in a recycled slab slot.
+func (s *Scheduler) DeliverAfter(d time.Duration, prio int, from, to int32, proto string, body any, sendTS int64) {
+	if s.deliver == nil {
+		panic("sim: DeliverAfter without an OnDeliver handler")
+	}
+	if d < 0 {
+		d = 0
+	}
+	p := deliverPayload{from: from, to: to, proto: proto, body: body, sendTS: sendTS}
+	var slot int32
+	if n := len(s.deliverFree); n > 0 {
+		slot = s.deliverFree[n-1]
+		s.deliverFree = s.deliverFree[:n-1]
+		s.deliverPool[slot] = p
+	} else {
+		slot = int32(len(s.deliverPool))
+		s.deliverPool = append(s.deliverPool, p)
+	}
+	s.push(s.now+d, prio, evDeliver, slot)
+}
+
+// TimerAfter schedules fn to run d from now (class 0) unless owner has
+// crashed by fire time — the crashed-owner drop happens inline in the
+// executor, with no wrapper closure. A nil owner never crashes.
+func (s *Scheduler) TimerAfter(d time.Duration, owner Crasher, fn func()) {
+	if fn == nil {
+		panic("sim: nil timer function")
+	}
+	if d < 0 {
+		d = 0
+	}
+	p := timerPayload{fn: fn, owner: owner}
+	var slot int32
+	if n := len(s.timerFree); n > 0 {
+		slot = s.timerFree[n-1]
+		s.timerFree = s.timerFree[:n-1]
+		s.timerPool[slot] = p
+	} else {
+		slot = int32(len(s.timerPool))
+		s.timerPool = append(s.timerPool, p)
+	}
+	s.push(s.now+d, 0, evTimer, slot)
+}
+
+// CallAfter schedules call(arg) d from now (class 0). call is typically a
+// func the runtime constructed ONCE and reuses for every such event (e.g.
+// the crash-suspicion notifier), so the schedule itself allocates nothing.
+func (s *Scheduler) CallAfter(d time.Duration, call func(int32), arg int32) {
+	if call == nil {
+		panic("sim: nil call function")
+	}
+	if d < 0 {
+		d = 0
+	}
+	p := callPayload{call: call, arg: arg}
+	var slot int32
+	if n := len(s.callFree); n > 0 {
+		slot = s.callFree[n-1]
+		s.callFree = s.callFree[:n-1]
+		s.callPool[slot] = p
+	} else {
+		slot = int32(len(s.callPool))
+		s.callPool = append(s.callPool, p)
+	}
+	s.push(s.now+d, 0, evCall, slot)
+}
+
 // Step executes the single earliest pending event and returns true, or
 // returns false if the queue is empty.
 func (s *Scheduler) Step() bool {
-	if len(s.queue) == 0 {
+	if s.pending == 0 {
 		return false
 	}
-	e := heap.Pop(&s.queue).(*event)
+	if s.sortedIdx == len(s.sorted) && len(s.side) == 0 {
+		s.advance()
+	}
+	var e heapEntry
+	if s.sortedIdx < len(s.sorted) &&
+		(len(s.side) == 0 || s.sorted[s.sortedIdx].before(s.side[0])) {
+		e = s.sorted[s.sortedIdx]
+		s.sortedIdx++
+	} else {
+		e = popHeap(&s.side)
+	}
+	s.pending--
 	s.now = e.at
 	s.steps++
-	e.fn()
+	// Read the payload out and release its slot BEFORE executing: the
+	// handler may schedule new events, and the vacated slot must hold no
+	// body/closure references past execution.
+	switch e.kind {
+	case evDeliver:
+		p := s.deliverPool[e.slot]
+		s.deliverPool[e.slot] = deliverPayload{}
+		s.deliverFree = append(s.deliverFree, e.slot)
+		s.deliver(p.from, p.to, p.proto, p.body, p.sendTS)
+	case evFn:
+		fn := s.fnPool[e.slot]
+		s.fnPool[e.slot] = nil
+		s.fnFree = append(s.fnFree, e.slot)
+		fn()
+	case evTimer:
+		p := s.timerPool[e.slot]
+		s.timerPool[e.slot] = timerPayload{}
+		s.timerFree = append(s.timerFree, e.slot)
+		if p.owner == nil || !p.owner.Crashed() {
+			p.fn()
+		}
+	case evCall:
+		p := s.callPool[e.slot]
+		s.callPool[e.slot] = callPayload{}
+		s.callFree = append(s.callFree, e.slot)
+		p.call(p.arg)
+	}
 	return true
 }
 
@@ -132,21 +423,27 @@ func (s *Scheduler) Run() uint64 {
 	start := s.steps
 	for s.Step() {
 		if s.MaxSteps != 0 && s.steps >= s.MaxSteps {
-			panic(fmt.Sprintf("sim: exceeded MaxSteps=%d at virtual time %v", s.MaxSteps, s.now))
+			panic(s.maxStepsDiagnosis())
 		}
 	}
 	return s.steps - start
 }
 
 // RunUntil executes events with timestamps ≤ deadline and then advances the
-// clock to deadline. Events scheduled beyond the deadline stay queued. It
-// returns the number of events executed.
+// clock to deadline. Events scheduled beyond the deadline stay queued; at
+// the deadline instant itself the (prio, seq) tie-break still applies, so
+// local events precede WAN arrivals exactly as under Run. It returns the
+// number of events executed.
 func (s *Scheduler) RunUntil(deadline time.Duration) uint64 {
 	start := s.steps
-	for len(s.queue) > 0 && s.queue[0].at <= deadline {
+	for {
+		e, ok := s.peek()
+		if !ok || e.at > deadline {
+			break
+		}
 		s.Step()
 		if s.MaxSteps != 0 && s.steps >= s.MaxSteps {
-			panic(fmt.Sprintf("sim: exceeded MaxSteps=%d at virtual time %v", s.MaxSteps, s.now))
+			panic(s.maxStepsDiagnosis())
 		}
 	}
 	if s.now < deadline {
@@ -155,8 +452,186 @@ func (s *Scheduler) RunUntil(deadline time.Duration) uint64 {
 	return s.steps - start
 }
 
+// maxStepsDiagnosis renders the livelock panic message: virtual time,
+// pending-queue depth, and the hottest pending event classes — delivery
+// events by proto, plus timer/closure counts — so a thousand-process
+// livelock names its runaway protocol instead of just dying.
+func (s *Scheduler) maxStepsDiagnosis() string {
+	counts := make(map[string]int)
+	tally := func(entries []heapEntry) {
+		for _, e := range entries {
+			switch e.kind {
+			case evDeliver:
+				counts["proto "+s.deliverPool[e.slot].proto]++
+			case evTimer:
+				counts["timers"]++
+			case evCall:
+				counts["calls"]++
+			default:
+				counts["closures"]++
+			}
+		}
+	}
+	tally(s.sorted[s.sortedIdx:])
+	tally(s.side)
+	for i := range s.ring {
+		tally(s.ring[i])
+	}
+	tally(s.overflow)
+	type kc struct {
+		k string
+		n int
+	}
+	top := make([]kc, 0, len(counts))
+	for k, n := range counts {
+		top = append(top, kc{k, n})
+	}
+	sort.Slice(top, func(i, j int) bool {
+		if top[i].n != top[j].n {
+			return top[i].n > top[j].n
+		}
+		return top[i].k < top[j].k
+	})
+	if len(top) > 5 {
+		top = top[:5]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: exceeded MaxSteps=%d at virtual time %v: %d events pending",
+		s.MaxSteps, s.now, s.pending)
+	if len(top) > 0 {
+		b.WriteString("; hottest:")
+		for _, e := range top {
+			fmt.Fprintf(&b, " %s=%d", e.k, e.n)
+		}
+	}
+	return b.String()
+}
+
 // Pending returns the number of queued events.
-func (s *Scheduler) Pending() int { return len(s.queue) }
+func (s *Scheduler) Pending() int { return s.pending }
 
 // Steps returns the total number of events executed so far.
 func (s *Scheduler) Steps() uint64 { return s.steps }
+
+// Four-ary heap mechanics over sort-key slices (the active set and the
+// overflow). Four children per node means half the tree depth of a binary
+// heap, and the children sit adjacent in memory — one miss fetches them
+// all. Correctness does not depend on arity: before is a strict total
+// order, so the pop sequence is the unique sorted order either way.
+
+const heapArity = 4
+
+func siftUp(q []heapEntry, i int) {
+	e := q[i]
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if !e.before(q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		i = parent
+	}
+	q[i] = e
+}
+
+func siftDown(q []heapEntry, i int) {
+	n := len(q)
+	e := q[i]
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if q[c].before(q[min]) {
+				min = c
+			}
+		}
+		if !q[min].before(e) {
+			break
+		}
+		q[i] = q[min]
+		i = min
+	}
+	q[i] = e
+}
+
+// sortEntries sorts q ascending by before, in place and allocation-free:
+// quicksort with median-of-three pivots and an insertion-sort cutoff.
+// Keys are distinct (seq is unique), so there are no equal-key
+// pathologies, and the result is deterministic regardless of input order.
+func sortEntries(q []heapEntry) {
+	for {
+		n := len(q)
+		if n < 16 {
+			for i := 1; i < n; i++ {
+				e := q[i]
+				j := i - 1
+				for j >= 0 && e.before(q[j]) {
+					q[j+1] = q[j]
+					j--
+				}
+				q[j+1] = e
+			}
+			return
+		}
+		// Median-of-three pivot selection into q[m].
+		m := n / 2
+		if q[m].before(q[0]) {
+			q[m], q[0] = q[0], q[m]
+		}
+		if q[n-1].before(q[m]) {
+			q[n-1], q[m] = q[m], q[n-1]
+			if q[m].before(q[0]) {
+				q[m], q[0] = q[0], q[m]
+			}
+		}
+		pivot := q[m]
+		// Hoare partition.
+		i, j := -1, n
+		for {
+			for {
+				i++
+				if !q[i].before(pivot) {
+					break
+				}
+			}
+			for {
+				j--
+				if !pivot.before(q[j]) {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			q[i], q[j] = q[j], q[i]
+		}
+		// Recurse on the smaller half, iterate on the larger.
+		if j+1 < n-(j+1) {
+			sortEntries(q[:j+1])
+			q = q[j+1:]
+		} else {
+			sortEntries(q[j+1:])
+			q = q[:j+1]
+		}
+	}
+}
+
+// popHeap removes and returns the minimum sort key of q.
+func popHeap(q *[]heapEntry) heapEntry {
+	h := *q
+	e := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	*q = h[:last]
+	if last > 0 {
+		siftDown(h[:last], 0)
+	}
+	return e
+}

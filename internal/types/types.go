@@ -203,11 +203,20 @@ func (s *GroupSet) UnmarshalBinary(data []byte) error {
 
 // Topology is the static process/group layout (Π and Γ, §2.1). Groups are
 // disjoint, non-empty, and cover Π. Topologies are immutable after creation.
+//
+// The lookup surface is built for hot paths at thousand-process scale:
+// GroupOf and SameGroup are single flat-array reads (the panic for an
+// unknown process is kept, but its message formatting lives out of line so
+// the lookups inline), and AllProcesses/AllGroups answer from slices
+// precomputed at construction instead of allocating per call.
 type Topology struct {
 	groupOf  []GroupID     // indexed by ProcessID
 	members  [][]ProcessID // indexed by GroupID, ascending
 	n        int
 	numGroup int
+
+	allProcs  []ProcessID // 0..n-1, precomputed
+	allGroups GroupSet    // 0..numGroup-1, precomputed
 }
 
 // NewTopology builds a topology of numGroups groups with perGroup processes
@@ -246,7 +255,22 @@ func NewIrregularTopology(sizes []int) *Topology {
 		}
 		t.members = append(t.members, group)
 	}
+	t.allProcs = make([]ProcessID, t.n)
+	for i := range t.allProcs {
+		t.allProcs[i] = ProcessID(i)
+	}
+	gs := make([]GroupID, t.numGroup)
+	for i := range gs {
+		gs[i] = GroupID(i)
+	}
+	t.allGroups = GroupSet{groups: gs}
 	return t
+}
+
+// unknownProcess is the out-of-line panic of the process lookups: keeping
+// the fmt call out of GroupOf/SameGroup lets them inline into hot loops.
+func unknownProcess(p ProcessID) {
+	panic(fmt.Sprintf("types: unknown process %v", p))
 }
 
 // N returns |Π|, the total number of processes.
@@ -258,7 +282,7 @@ func (t *Topology) NumGroups() int { return t.numGroup }
 // GroupOf returns group(p). It panics on an unknown process.
 func (t *Topology) GroupOf(p ProcessID) GroupID {
 	if p < 0 || int(p) >= t.n {
-		panic(fmt.Sprintf("types: unknown process %v", p))
+		unknownProcess(p)
 	}
 	return t.groupOf[p]
 }
@@ -272,23 +296,13 @@ func (t *Topology) Members(g GroupID) []ProcessID {
 	return t.members[g]
 }
 
-// AllGroups returns every group ID in ascending order.
-func (t *Topology) AllGroups() GroupSet {
-	gs := make([]GroupID, t.numGroup)
-	for i := range gs {
-		gs[i] = GroupID(i)
-	}
-	return GroupSet{groups: gs}
-}
+// AllGroups returns every group ID in ascending order. The set is
+// precomputed and shared (GroupSet is immutable).
+func (t *Topology) AllGroups() GroupSet { return t.allGroups }
 
-// AllProcesses returns every process ID in ascending order.
-func (t *Topology) AllProcesses() []ProcessID {
-	ps := make([]ProcessID, t.n)
-	for i := range ps {
-		ps[i] = ProcessID(i)
-	}
-	return ps
-}
+// AllProcesses returns every process ID in ascending order. The slice is
+// precomputed and shared; the caller must not modify it (as with Members).
+func (t *Topology) AllProcesses() []ProcessID { return t.allProcs }
 
 // ProcessesIn returns, in ascending order, the processes belonging to any
 // group in dest (the p ∈ m.dest abuse of notation from §2.2).
@@ -300,5 +314,14 @@ func (t *Topology) ProcessesIn(dest GroupSet) []ProcessID {
 	return ps
 }
 
-// SameGroup reports whether p and q belong to the same group.
-func (t *Topology) SameGroup(p, q ProcessID) bool { return t.GroupOf(p) == t.GroupOf(q) }
+// SameGroup reports whether p and q belong to the same group. One bounds
+// check covers both lookups, so the per-message call costs two array reads.
+func (t *Topology) SameGroup(p, q ProcessID) bool {
+	if p < 0 || int(p) >= t.n {
+		unknownProcess(p)
+	}
+	if q < 0 || int(q) >= t.n {
+		unknownProcess(q)
+	}
+	return t.groupOf[p] == t.groupOf[q]
+}
