@@ -72,6 +72,9 @@ func run() int {
 		skewMS   = flag.Int("skewms", 0, "max clock-rate drift per lease window in milliseconds (0 = default 10ms when leases are on)")
 		scn      = flag.String("scenario", "", "chaos scenario to run under the load (partition-heal, asym-partition, leader-flap, delay-spike, partition-recovery, lease-partition); load mode only")
 		scnUnit  = flag.Duration("unit", 500*time.Millisecond, "chaos scenario time step (with -scenario)")
+		bandw    = flag.String("bandwidth", "", "per-link bandwidth cap, e.g. 50mbit, 6.25MB, 1gbit (empty = uncapped; heartbeats are exempt)")
+		uncoal   = flag.Bool("uncoalesced", false, "disable batch envelopes (one wire frame per message; baseline codec)")
+		compMin  = flag.Int("compressmin", 0, "compress batch envelopes at or above this many bytes (0 = default 1500, negative = off)")
 		lanes    = flag.Int("lanes", 0, "shard replicas across this many ordering lane goroutines by group (0 = one per replica)")
 		inbox    = flag.Int("inbox", 0, "per-lane inbox ring size (0 = default 4096)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -127,6 +130,9 @@ func run() int {
 		TelemetryAddr: *telem,
 		SpanBuf:       *spanBuf,
 		FlightDump:    *flightD,
+		Bandwidth:     *bandw,
+		Uncoalesced:   *uncoal,
+		CompressMin:   *compMin,
 	}
 	if err := readOpts.Validate(); err != nil {
 		fail("%v", err)
@@ -179,6 +185,9 @@ func run() int {
 		TraceSpans:    readOpts.TraceLifecycle(),
 		SpanBuf:       *spanBuf,
 		FlightDump:    *flightD,
+		Bandwidth:     readOpts.BandwidthBytes(),
+		Uncoalesced:   *uncoal,
+		CompressMin:   *compMin,
 	}
 	if *scn != "" && *dataDir == "" {
 		// Crash/restart scenarios need a durable store per replica; without
@@ -224,6 +233,9 @@ func run() int {
 	}
 	fmt.Printf("wankv: %d shards x %d replicas, wan=%v lan=%v maxbatch=%d pipeline=%d lanes=%s\n",
 		*groups, *d, *wan, *lan, *maxBatch, *pipeline, laneDesc)
+	if *bandw != "" {
+		fmt.Printf("  bandwidth: %s per link (heartbeats exempt)\n", *bandw)
+	}
 	if *dataDir != "" {
 		mode := "fsync per batch"
 		if *noFsync {
@@ -298,6 +310,14 @@ func run() int {
 		fmt.Printf("durability     fsyncs=%d gc-barriers=%d gc-windows=%d\n",
 			fs.Fsyncs, fs.Barriers, fs.Windows)
 	}
+	if w := cluster.Stats().Wire; w.BytesOut > 0 && res.Ops > 0 {
+		fmt.Printf("wire           %d B out, %.0f B/op, %.1f frames/write",
+			w.BytesOut, float64(w.BytesOut)/float64(res.Ops), w.FramesPerEnvelope())
+		if cr := w.CompressionRatio(); cr > 0 {
+			fmt.Printf(", compression %.2fx", cr)
+		}
+		fmt.Println()
+	}
 	if *benchOut != "" {
 		st := cluster.Stats()
 		fs := cluster.FsyncStats()
@@ -320,6 +340,7 @@ func run() int {
 			r.FsyncsPerBatch = float64(r.Fsyncs) / float64(r.BatchesDecided)
 		}
 		r.WanHops = harness.WanHopHist(st.DegreeHist)
+		r.SetWire(st.Wire, *bandw, *uncoal)
 		if tr := cluster.Tracer(); tr != nil {
 			r.Stages = harness.StageBreakdown(tr.Stats().Snapshot())
 		}

@@ -24,21 +24,24 @@ func runLive(algo harness.Algo, opts harness.Options, basePort, casts int, rate 
 		os.Exit(1)
 	}
 	cfg := wanamcast.LiveConfig{
-		Groups:     opts.Groups,
-		PerGroup:   opts.PerGroup,
-		BasePort:   basePort,
-		WANDelay:   opts.Inter,
-		LANDelay:   opts.Intra,
-		MaxBatch:   opts.MaxBatch,
-		Pipeline:   opts.A1Pipeline,
-		Lanes:      opts.Lanes,
-		InboxSize:  opts.InboxSize,
-		SendQueue:  opts.SendQueue,
-		FlushEvery: opts.FlushEvery,
-		GobCodec:   opts.GobWire,
-		TraceSpans: opts.TraceLifecycle(),
-		SpanBuf:    opts.SpanBuf,
-		FlightDump: opts.FlightDump,
+		Groups:      opts.Groups,
+		PerGroup:    opts.PerGroup,
+		BasePort:    basePort,
+		WANDelay:    opts.Inter,
+		LANDelay:    opts.Intra,
+		MaxBatch:    opts.MaxBatch,
+		Pipeline:    opts.A1Pipeline,
+		Lanes:       opts.Lanes,
+		InboxSize:   opts.InboxSize,
+		SendQueue:   opts.SendQueue,
+		FlushEvery:  opts.FlushEvery,
+		GobCodec:    opts.GobWire,
+		Bandwidth:   opts.BandwidthBytes(),
+		Uncoalesced: opts.Uncoalesced,
+		CompressMin: opts.CompressMin,
+		TraceSpans:  opts.TraceLifecycle(),
+		SpanBuf:     opts.SpanBuf,
+		FlightDump:  opts.FlightDump,
 	}
 	if algo == harness.AlgoA2 {
 		cfg.Pipeline = opts.A2Pipeline
@@ -76,8 +79,14 @@ func runLive(algo harness.Algo, opts harness.Options, basePort, casts int, rate 
 	if opts.Lanes == 0 {
 		laneDesc = "per-process"
 	}
+	if opts.Uncoalesced {
+		codec += " (uncoalesced)"
+	}
 	fmt.Printf("live %s: %d groups x %d processes over TCP, wan=%v lan=%v codec=%s lanes=%s sendqueue=%d flush=%v\n",
 		algo, opts.Groups, opts.PerGroup, opts.Inter, opts.Intra, codec, laneDesc, sendq, flush)
+	if opts.Bandwidth != "" {
+		fmt.Printf("bandwidth      %s per link (heartbeats exempt)\n", opts.Bandwidth)
+	}
 
 	rng := rand.New(rand.NewSource(seed))
 	period := time.Duration(float64(time.Second) / rate)
@@ -127,6 +136,14 @@ func runLive(algo harness.Algo, opts harness.Options, basePort, casts int, rate 
 	fmt.Printf("wall time      %v\n", elapsed.Round(time.Millisecond))
 	fmt.Printf("ordered/sec    %.0f (deliveries/sec %.0f)\n",
 		float64(casts)/elapsed.Seconds(), float64(delivered)/elapsed.Seconds())
+	if w := l.Stats().Wire; w.BytesOut > 0 && casts > 0 {
+		fmt.Printf("wire           %d B out, %.0f B/cast, %.1f frames/write",
+			w.BytesOut, float64(w.BytesOut)/float64(casts), w.FramesPerEnvelope())
+		if cr := w.CompressionRatio(); cr > 0 {
+			fmt.Printf(", compression %.2fx", cr)
+		}
+		fmt.Println()
+	}
 	if opts.BenchJSON != "" {
 		st := l.Stats()
 		fs := l.FsyncStats()
@@ -149,6 +166,7 @@ func runLive(algo harness.Algo, opts harness.Options, basePort, casts int, rate 
 			r.FsyncsPerBatch = float64(r.Fsyncs) / float64(r.BatchesDecided)
 		}
 		r.WanHops = harness.WanHopHist(st.DegreeHist)
+		r.SetWire(st.Wire, opts.Bandwidth, opts.Uncoalesced)
 		if tr := l.Tracer(); tr != nil {
 			r.Stages = harness.StageBreakdown(tr.Stats().Snapshot())
 		}

@@ -124,10 +124,24 @@ func (m *BundleMsg) DecodeFrom(data []byte) (rest []byte, err error) {
 
 // AppendRecords appends a record batch (an A2 consensus value and the body
 // of every bundle).
+//
+// Batches are delta-encoded: the first record's MessageID is written in
+// full, every subsequent one as zig-zag varint deltas of (Origin, Seq)
+// against its predecessor. Bundles are runs of per-origin sequences, so the
+// deltas are almost always (0, +1) — two bytes where the full ID spent up
+// to twelve.
 func AppendRecords(buf []byte, rs []Record) []byte {
 	buf = wire.AppendUvarint(buf, uint64(len(rs)))
-	for _, r := range rs {
-		buf = r.AppendTo(buf)
+	for i := range rs {
+		r := &rs[i]
+		if i == 0 {
+			buf = r.AppendTo(buf)
+			continue
+		}
+		prev := &rs[i-1]
+		buf = wire.AppendVarint(buf, int64(r.ID.Origin)-int64(prev.ID.Origin))
+		buf = wire.AppendVarint(buf, int64(r.ID.Seq-prev.ID.Seq))
+		buf = wire.AppendValue(buf, r.Payload)
 	}
 	return buf
 }
@@ -142,8 +156,22 @@ func DecodeRecords(data []byte) ([]Record, []byte, error) {
 		return nil, data, nil
 	}
 	rs := make([]Record, n)
-	for i := range rs {
-		if data, err = rs[i].DecodeFrom(data); err != nil {
+	if data, err = rs[0].DecodeFrom(data); err != nil {
+		return nil, nil, err
+	}
+	for i := 1; i < n; i++ {
+		prev := &rs[i-1]
+		r := &rs[i]
+		var dv int64
+		if dv, data, err = wire.Varint(data); err != nil {
+			return nil, nil, err
+		}
+		r.ID.Origin = types.ProcessID(int64(prev.ID.Origin) + dv)
+		if dv, data, err = wire.Varint(data); err != nil {
+			return nil, nil, err
+		}
+		r.ID.Seq = prev.ID.Seq + uint64(dv)
+		if r.Payload, data, err = wire.DecodeValue(data); err != nil {
 			return nil, nil, err
 		}
 	}

@@ -24,6 +24,14 @@ type BenchResult struct {
 	P50Ms         float64 `json:"p50_ms"`          // wall cast→deliver latency
 	P99Ms         float64 `json:"p99_ms"`
 
+	// Wire-traffic accounting (zero when the run recorded no wire stats).
+	WireBytesPerOp   float64 `json:"wire_bytes_per_op,omitempty"` // wire bytes out / ordered message
+	WireBytesOut     uint64  `json:"wire_bytes_out,omitempty"`    // total wire bytes written
+	FramesPerWrite   float64 `json:"frames_per_write,omitempty"`  // protocol messages / envelope write
+	CompressionRatio float64 `json:"compression_ratio,omitempty"` // raw/compressed payload over compressed envelopes
+	Bandwidth        string  `json:"bandwidth,omitempty"`         // configured per-link cap, ParseBandwidth form
+	Uncoalesced      bool    `json:"wire_uncoalesced,omitempty"`  // plain per-message frames (baseline codec)
+
 	// Simulation scale-sweep accounting (zero on live runs): throughput
 	// and allocation behavior of the discrete-event runtime itself at one
 	// topology shape (see RunScaleSweep / wansim -sweep).
@@ -64,6 +72,24 @@ type BenchResult struct {
 	FsyncsPerBatch float64 `json:"fsyncs_per_batch"` // Fsyncs / BatchesDecided
 
 	StartedAt string `json:"started_at"` // RFC 3339, informational
+}
+
+// SetWire fills the wire-traffic fields from a recorded WireStats
+// snapshot. Runs with no wire accounting (sim without bandwidth modeling,
+// gob codec) leave the fields zero so JSON omits them. WireBytesPerOp
+// divides by Casts, so set Casts first.
+func (r *BenchResult) SetWire(w metrics.WireStats, bandwidth string, uncoalesced bool) {
+	if w.BytesOut == 0 {
+		return
+	}
+	r.WireBytesOut = w.BytesOut
+	if r.Casts > 0 {
+		r.WireBytesPerOp = float64(w.BytesOut) / float64(r.Casts)
+	}
+	r.FramesPerWrite = w.FramesPerEnvelope()
+	r.CompressionRatio = w.CompressionRatio()
+	r.Bandwidth = bandwidth
+	r.Uncoalesced = uncoalesced
 }
 
 // StageBreakdown converts the tracer's per-stage summaries into the

@@ -9,6 +9,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"wanamcast/internal/abcast"
@@ -21,6 +23,7 @@ import (
 	"wanamcast/internal/rmcast"
 	"wanamcast/internal/scenario"
 	"wanamcast/internal/types"
+	"wanamcast/internal/wire"
 )
 
 // Algo names an algorithm the harness can build.
@@ -75,6 +78,63 @@ func ValidatePortRange(base, n int) error {
 	return nil
 }
 
+// ParseBandwidth parses a link-rate string into bytes per second. The
+// number may be fractional; the unit suffix (case-insensitive, optional
+// "/s") selects bits or bytes with decimal (1000-based) prefixes, the
+// networking convention: "50Mbit" = 50·10⁶ bit/s = 6.25·10⁶ B/s.
+// Accepted units: bit, kbit, Mbit, Gbit, B, kB, MB, GB; a bare number
+// means bytes per second. Zero or empty means uncapped; negative rates
+// and rates that round below one byte per second are rejected.
+func ParseBandwidth(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	num := strings.TrimRight(s, "/sS")
+	i := len(num)
+	for i > 0 {
+		c := num[i-1]
+		if c >= '0' && c <= '9' || c == '.' {
+			break
+		}
+		i--
+	}
+	unit, num := num[i:], num[:i]
+	val, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bandwidth %q: %q is not a number", s, num)
+	}
+	var scale float64 // bytes per unit
+	switch strings.ToLower(unit) {
+	case "", "b":
+		scale = 1
+	case "kb":
+		scale = 1e3
+	case "mb":
+		scale = 1e6
+	case "gb":
+		scale = 1e9
+	case "bit":
+		scale = 1.0 / 8
+	case "kbit":
+		scale = 1e3 / 8
+	case "mbit":
+		scale = 1e6 / 8
+	case "gbit":
+		scale = 1e9 / 8
+	default:
+		return 0, fmt.Errorf("bandwidth %q: unknown unit %q (want bit, kbit, Mbit, Gbit, B, kB, MB, or GB)", s, unit)
+	}
+	bytesPerSec := val * scale
+	if bytesPerSec < 0 {
+		return 0, fmt.Errorf("bandwidth %q: rate must be non-negative", s)
+	}
+	if val > 0 && bytesPerSec < 1 {
+		return 0, fmt.Errorf("bandwidth %q: rounds below one byte per second", s)
+	}
+	return int64(bytesPerSec), nil
+}
+
 // MulticastAlgos lists the Figure 1(a) contenders in the paper's row order.
 func MulticastAlgos() []Algo {
 	return []Algo{AlgoDelporte, AlgoRodrigues, AlgoFritzke, AlgoA1, AlgoDetMerge}
@@ -126,6 +186,21 @@ type Options struct {
 	// GobWire reverts the live transport to the legacy encoding/gob codec
 	// (benchmark baseline); ignored by the simulated runtime.
 	GobWire bool
+	// Bandwidth caps every link at this rate (ParseBandwidth forms, e.g.
+	// "50Mbit", "6.25MB"; empty or "0" = uncapped). The simulator adds the
+	// transmission delay and per-link FIFO queueing to its delay model; the
+	// live transport paces each connection's writer. Heartbeats are exempt
+	// on the live path — a saturated link must not look like a crash.
+	Bandwidth string
+	// Uncoalesced reverts the live transport to one plain frame per
+	// protocol message (no batch envelopes, no compression) — the
+	// bandwidth-efficiency baseline. Ignored by the simulated runtime,
+	// which sizes each message as its own frame either way.
+	Uncoalesced bool
+	// CompressMin is the live transport's batch compression threshold in
+	// bytes (0 = default wire.MinCompress, negative = compression off).
+	// Positive values below wire.MinCompress (one MTU) are rejected.
+	CompressMin int
 	// DataDir enables durability on a live cluster: each process persists
 	// its WAL and snapshots under DataDir/p<N> and can be crash-recovered
 	// (LiveCluster.Restart; wannode recovers at startup). Empty disables
@@ -188,6 +263,17 @@ type Options struct {
 	Trace func(format string, args ...any)
 }
 
+// BandwidthBytes returns the parsed Options.Bandwidth in bytes per second
+// (0 = uncapped). Call Validate first; a malformed rate parses as uncapped
+// here.
+func (o Options) BandwidthBytes() int64 {
+	bw, err := ParseBandwidth(o.Bandwidth)
+	if err != nil {
+		return 0
+	}
+	return bw
+}
+
 // TraceLifecycle reports whether the options ask for lifecycle span
 // tracing: any of the telemetry plane, a span buffer size, or a flight
 // dump path implies it.
@@ -235,6 +321,11 @@ func (o Options) Validate() error {
 		return fmt.Errorf("the clock-skew guard %v consumes the whole lease window %v", o.MaxClockSkew, o.LeaseDuration)
 	case o.SpanBuf < 0:
 		return fmt.Errorf("span buffer size must be non-negative: %d", o.SpanBuf)
+	case o.CompressMin > 0 && o.CompressMin < wire.MinCompress:
+		return fmt.Errorf("compression threshold %d is below one MTU (%d): compressing sub-packet payloads burns CPU for nothing", o.CompressMin, wire.MinCompress)
+	}
+	if _, err := ParseBandwidth(o.Bandwidth); err != nil {
+		return err
 	}
 	if o.TelemetryAddr != "" {
 		if err := ValidateTelemetryAddr(o.TelemetryAddr); err != nil {
@@ -310,7 +401,8 @@ func Build(algo Algo, opts Options) *System {
 	opts.fill()
 	topo := types.NewTopology(opts.Groups, opts.PerGroup)
 	col := &metrics.Collector{LogSends: opts.LogSends}
-	model := network.Model{IntraGroup: opts.Intra, InterGroup: opts.Inter, Jitter: opts.Jitter}
+	model := network.Model{IntraGroup: opts.Intra, InterGroup: opts.Inter, Jitter: opts.Jitter,
+		Bandwidth: opts.BandwidthBytes()}
 	rt := node.NewRuntime(topo, model, opts.Seed, col)
 	rt.Trace = opts.Trace
 	rt.SetLanes(opts.Lanes)

@@ -13,6 +13,9 @@ func TestOptionsValidate(t *testing.T) {
 		{Groups: 3, PerGroup: 3, Inter: time.Second, MaxBatch: 64, A1Pipeline: 4},
 		{DataDir: "/tmp/x", NoFsync: true, SnapshotEvery: 128},
 		{DataDir: "/tmp/x", SnapshotEvery: -1}, // negative = snapshots off
+		{Bandwidth: "50mbit", CompressMin: 4096},
+		{Bandwidth: "6.25MB/s", Uncoalesced: true},
+		{CompressMin: -1}, // negative = compression off
 	}
 	for i, o := range good {
 		if err := o.Validate(); err != nil {
@@ -32,6 +35,11 @@ func TestOptionsValidate(t *testing.T) {
 		"neg retry":             {ConsensusRetry: -1},
 		"nofsync w/o datadir":   {NoFsync: true},
 		"snapshots w/o datadir": {SnapshotEvery: 64},
+		"garbage bandwidth":     {Bandwidth: "fifty"},
+		"bad bandwidth unit":    {Bandwidth: "50parsecs"},
+		"negative bandwidth":    {Bandwidth: "-3mb"},
+		"sub-byte bandwidth":    {Bandwidth: "0.5bit"},
+		"compressmin below MTU": {CompressMin: 512},
 	}
 	for name, o := range bad {
 		if err := o.Validate(); err == nil {

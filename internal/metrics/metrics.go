@@ -60,6 +60,8 @@ type Collector struct {
 	maxBatch    int
 
 	fdPerGroup map[types.GroupID]*FDCount
+
+	wire WireTraffic
 }
 
 // FDCount is the failure-detector accounting for one group: how often its
@@ -299,6 +301,10 @@ type Stats struct {
 	TrustRestorations uint64
 	LeaderChanges     uint64
 	PerGroupFD        map[types.GroupID]FDCount
+
+	// Wire holds the wire-level traffic accounting (bytes, frames,
+	// envelopes, compression) reported by the transports.
+	Wire WireStats
 }
 
 // Snapshot computes aggregate statistics over everything recorded so far.
@@ -316,6 +322,7 @@ func (c *Collector) Snapshot() Stats {
 	st.BatchesDecided = c.batchesN
 	st.BatchedMessages = c.batchedMsgs
 	st.MaxBatchSize = c.maxBatch
+	st.Wire = c.wire.snapshot()
 	if len(c.fdPerGroup) > 0 {
 		st.PerGroupFD = make(map[types.GroupID]FDCount, len(c.fdPerGroup))
 		for g, fc := range c.fdPerGroup {
@@ -719,6 +726,15 @@ func (st Stats) String() string {
 		s += fmt.Sprintf("\n  batches=%d batched-msgs=%d mean-batch=%.2f max-batch=%d throughput=%.1f msg/s ordered/learn=%.3f",
 			st.BatchesDecided, st.BatchedMessages, st.MeanBatchSize, st.MaxBatchSize,
 			st.ThroughputPerSec, st.OrderedPerLearn)
+	}
+	if st.Wire.BytesOut > 0 || st.Wire.BytesIn > 0 {
+		s += fmt.Sprintf("\n  wire: out=%dB in=%dB frames-out=%d envelopes-out=%d frames/write=%.2f",
+			st.Wire.BytesOut, st.Wire.BytesIn, st.Wire.FramesOut, st.Wire.EnvelopesOut,
+			st.Wire.FramesPerEnvelope())
+		if ratio := st.Wire.CompressionRatio(); ratio > 0 {
+			s += fmt.Sprintf(" compression=%.2fx (%dB->%dB)",
+				ratio, st.Wire.RawPayloadOut, st.Wire.CompressedPayloadOut)
+		}
 	}
 	if st.Suspicions > 0 || st.TrustRestorations > 0 || st.LeaderChanges > 0 {
 		s += fmt.Sprintf("\n  fd: suspicions=%d trust-restored=%d leader-changes=%d",

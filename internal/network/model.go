@@ -35,6 +35,23 @@ type Model struct {
 	// PairDelay, if non-nil, overrides the base delay for a (from, to)
 	// pair when it returns ok=true. Jitter still applies on top.
 	PairDelay func(from, to types.ProcessID) (time.Duration, bool)
+	// Bandwidth, if positive, caps every link at this many bytes per
+	// second: each message additionally occupies its link for
+	// TransmitTime(Bandwidth, size) and queues behind earlier traffic on
+	// the same link (transmission delay on top of the propagation delay
+	// above). Zero models infinitely fast links — the default, and the
+	// paper's own abstraction, where only propagation delay exists.
+	Bandwidth int64
+}
+
+// TransmitTime returns how long n bytes occupy a link capped at rate
+// bytes/s — the transmission-delay term of a bandwidth-modeled link. A
+// non-positive rate means an uncapped link: zero transmission time.
+func TransmitTime(rate int64, n int) time.Duration {
+	if rate <= 0 || n <= 0 {
+		return 0
+	}
+	return time.Duration(n) * time.Second / time.Duration(rate)
 }
 
 // WAN returns the default wide-area model used across the benchmarks:

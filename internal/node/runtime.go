@@ -8,6 +8,7 @@ import (
 	"wanamcast/internal/network"
 	"wanamcast/internal/sim"
 	"wanamcast/internal/types"
+	"wanamcast/internal/wire"
 )
 
 // Runtime is the simulated whole-system runtime: it owns the scheduler, the
@@ -33,6 +34,20 @@ type Runtime struct {
 
 	held         map[network.Link][]heldMsg // parked sends of severed links
 	isoSuspected map[types.ProcessID]bool   // suspected due to isolation, not crash
+
+	// Bandwidth modeling state, touched only when the fabric is
+	// bandwidth-capped (Fabric.BandwidthOn). Each capped link is a FIFO
+	// transmission queue: a message occupies the link for its transmit
+	// time and queues behind earlier traffic, so sized messages convert
+	// directly into latency. bwScratch is the reusable encode buffer that
+	// sizes each message exactly as the live wire codec would; bwNextFree
+	// is each link's earliest free instant; bwCounters caches the fabric's
+	// per-link byte counters. An uncapped run never touches any of this —
+	// its event stream is byte-identical to one without the machinery.
+	bwNextFree map[network.Link]time.Duration
+	bwCounters map[network.Link]*network.LinkCounter
+	bwScratch  []byte
+	wireRec    wireRecorder // rt.rec, if it also records wire traffic
 
 	// suspectFn is the crash-suspicion notifier, built once so every
 	// Crash schedules a typed evCall event instead of a fresh closure.
@@ -90,6 +105,9 @@ func NewRuntime(topo *types.Topology, model network.Model, seed int64, rec Recor
 	}
 	if obs, ok := rec.(fd.Observer); ok {
 		rt.oracle.Observer = obs
+	}
+	if wr, ok := rec.(wireRecorder); ok {
+		rt.wireRec = wr
 	}
 	rt.procs = make([]*Proc, topo.N())
 	for _, id := range topo.AllProcesses() {
@@ -215,6 +233,9 @@ func (rt *Runtime) Transmit(from, to types.ProcessID, proto string, body any, se
 	if rt.Trace != nil {
 		rt.Tracef("SEND %v->%v %s ts=%d %+v", from, to, proto, sendTS, body)
 	}
+	if from != to && rt.fabric.BandwidthOn() {
+		delay += rt.bwDelay(from, to, proto, body, sendTS)
+	}
 	prio := 0
 	if interGroup {
 		prio = 1 // at equal instants, local events precede WAN arrivals
@@ -222,10 +243,62 @@ func (rt *Runtime) Transmit(from, to types.ProcessID, proto string, body any, se
 	rt.sched.DeliverAfter(delay, prio, int32(from), int32(to), proto, body, sendTS)
 }
 
+// wireRecorder is the optional recorder extension for wire-byte accounting
+// (metrics.Collector implements it).
+type wireRecorder interface {
+	OnWireSend(kind byte, n int)
+	OnWireFlush(wireBytes, rawLen, compLen int)
+}
+
+// bwDelay sizes one message the way the live wire codec would and returns
+// its transmission + queueing delay on the (possibly capped) link, counting
+// the bytes against the fabric's per-link counter and the wire metrics.
+// Called only on bandwidth-modeled runs.
+func (rt *Runtime) bwDelay(from, to types.ProcessID, proto string, body any, sendTS int64) time.Duration {
+	buf, err := wire.AppendFrame(rt.bwScratch[:0], from, proto, sendTS, body)
+	if err != nil {
+		// Unencodable payload (gob rejection): nothing sized, nothing owed.
+		return 0
+	}
+	rt.bwScratch = buf[:0]
+	n := len(buf)
+	l := network.Link{From: from, To: to}
+	c := rt.bwCounters[l]
+	if c == nil {
+		if rt.bwCounters == nil {
+			rt.bwCounters = make(map[network.Link]*network.LinkCounter)
+		}
+		c = rt.fabric.Counter(from, to)
+		rt.bwCounters[l] = c
+	}
+	c.Count(n)
+	if rt.wireRec != nil {
+		rt.wireRec.OnWireSend(byte(wire.KindOf(body)), n)
+		rt.wireRec.OnWireFlush(n, 0, 0)
+	}
+	rate := rt.fabric.Bandwidth(from, to)
+	if rate <= 0 {
+		return 0
+	}
+	now := rt.sched.Now()
+	start := now
+	if rt.bwNextFree == nil {
+		rt.bwNextFree = make(map[network.Link]time.Duration)
+	} else if nf := rt.bwNextFree[l]; nf > start {
+		start = nf
+	}
+	finish := start + network.TransmitTime(rate, n)
+	rt.bwNextFree[l] = finish
+	return finish - now
+}
+
 // scheduleDelivery applies the fabric delay and enqueues the arrival — the
 // held-message release path (Transmit routes inline).
 func (rt *Runtime) scheduleDelivery(from, to types.ProcessID, proto string, body any, sendTS int64) {
 	delay := rt.fabric.Delay(from, to, rt.sched.Rand())
+	if from != to && rt.fabric.BandwidthOn() {
+		delay += rt.bwDelay(from, to, proto, body, sendTS)
+	}
 	prio := 0
 	if !rt.topo.SameGroup(from, to) {
 		prio = 1 // at equal instants, local events precede WAN arrivals

@@ -111,7 +111,10 @@ func (h *heartbeatFD) tick() {
 			tos = append(tos, q)
 		}
 	}
-	h.api.Multicast(tos, "fd", heartbeatMsg{Beat: int64(now)})
+	// One beat body serves every peer: the writer goroutines only read it,
+	// and the receive side decodes its own pooled copy. (Send-side bodies
+	// are NOT pooled — a queued frame may outlive this tick.)
+	h.api.Multicast(tos, "fd", &heartbeatMsg{Beat: int64(now)})
 	if h.leaseDur > 0 && h.leader == self && h.canGrantTo(self, now) {
 		// Self-grant through the same fencing path followers use: our own
 		// vote counts toward the majority only while no other candidate
@@ -124,7 +127,9 @@ func (h *heartbeatFD) tick() {
 	h.api.After(h.every, h.tick)
 }
 
-// Receive implements node.Protocol.
+// Receive implements node.Protocol. The pooled message bodies are released
+// back to their free-lists here — the end of lane processing — which is what
+// keeps the heartbeat receive path allocation-free end to end.
 func (h *heartbeatFD) Receive(from types.ProcessID, body any) {
 	h.lastSeen[from] = h.api.Now()
 	if h.suspected[from] {
@@ -132,14 +137,17 @@ func (h *heartbeatFD) Receive(from types.ProcessID, body any) {
 		// again): the fresh beat restores trust, Ω taking its mistake back.
 		h.restore(from)
 	}
-	if h.leaseDur <= 0 {
-		return
-	}
 	switch m := body.(type) {
-	case heartbeatMsg:
-		h.maybeGrant(from, m.Beat)
-	case leaseGrantMsg:
-		h.acceptGrant(from, m.Beat)
+	case *heartbeatMsg:
+		if h.leaseDur > 0 {
+			h.maybeGrant(from, m.Beat)
+		}
+		hbPool.Put(m)
+	case *leaseGrantMsg:
+		if h.leaseDur > 0 {
+			h.acceptGrant(from, m.Beat)
+		}
+		lgPool.Put(m)
 	}
 }
 
@@ -155,7 +163,7 @@ func (h *heartbeatFD) maybeGrant(from types.ProcessID, beat int64) {
 		return
 	}
 	h.promiseEnd[from] = now + h.leaseDur + h.skew
-	h.api.Send(from, "fd", leaseGrantMsg{Beat: beat})
+	h.api.Send(from, "fd", &leaseGrantMsg{Beat: beat})
 }
 
 // canGrantTo reports whether every outstanding promise to a candidate

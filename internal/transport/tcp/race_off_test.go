@@ -1,0 +1,7 @@
+//go:build !race
+
+package tcp
+
+// raceEnabled reports whether the race detector instruments this binary;
+// allocation pins are skipped under it (instrumentation allocates).
+const raceEnabled = false

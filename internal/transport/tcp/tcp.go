@@ -100,22 +100,42 @@ func RegisterWireTypes() {
 	gob.Register(abcast.SyncResp{})
 	gob.Register(baseline.SkeenData{})
 	gob.Register(baseline.SkeenProp{})
-	gob.Register(heartbeatMsg{})
-	gob.Register(leaseGrantMsg{})
+	gob.Register(&heartbeatMsg{})
+	gob.Register(&leaseGrantMsg{})
 }
+
+// The failure detector's messages are the highest-frequency frames a quiet
+// deployment receives, so their decoded bodies come from free-lists: the
+// codec draws a pooled pointer, the detector releases it after processing
+// (fd.go), and the steady-state heartbeat receive path allocates nothing —
+// a pointer in an interface needs no box, unlike the old value bodies.
+var (
+	hbPool = sync.Pool{New: func() any { return new(heartbeatMsg) }}
+	lgPool = sync.Pool{New: func() any { return new(leaseGrantMsg) }}
+)
 
 func init() {
 	wire.Register(wire.KindHeartbeat,
-		func(buf []byte, m heartbeatMsg) []byte { return wire.AppendVarint(buf, m.Beat) },
-		func(data []byte) (heartbeatMsg, []byte, error) {
+		func(buf []byte, m *heartbeatMsg) []byte { return wire.AppendVarint(buf, m.Beat) },
+		func(data []byte) (*heartbeatMsg, []byte, error) {
 			b, rest, err := wire.Varint(data)
-			return heartbeatMsg{Beat: b}, rest, err
+			if err != nil {
+				return nil, rest, err
+			}
+			m := hbPool.Get().(*heartbeatMsg)
+			m.Beat = b
+			return m, rest, nil
 		})
 	wire.Register(wire.KindLeaseGrant,
-		func(buf []byte, m leaseGrantMsg) []byte { return wire.AppendVarint(buf, m.Beat) },
-		func(data []byte) (leaseGrantMsg, []byte, error) {
+		func(buf []byte, m *leaseGrantMsg) []byte { return wire.AppendVarint(buf, m.Beat) },
+		func(data []byte) (*leaseGrantMsg, []byte, error) {
 			b, rest, err := wire.Varint(data)
-			return leaseGrantMsg{Beat: b}, rest, err
+			if err != nil {
+				return nil, rest, err
+			}
+			m := lgPool.Get().(*leaseGrantMsg)
+			m.Beat = b
+			return m, rest, nil
 		})
 }
 
@@ -174,6 +194,14 @@ type Config struct {
 	// loopback's real latency).
 	WANDelay time.Duration
 	LANDelay time.Duration
+	// Bandwidth caps every link at this many bytes per second (0 =
+	// uncapped): each connection's writer paces itself so a flushed burst
+	// occupies the link for its transmission time before further protocol
+	// frames go out. Builds into the private fabric's base model; with an
+	// injected Config.Fabric the fabric's own base (plus per-link
+	// SetBandwidth overrides) governs instead. fd frames are exempt — see
+	// fdProto.
+	Bandwidth int64
 	// HeartbeatEvery and SuspectAfter tune the failure detector
 	// (defaults 50 ms and 250 ms).
 	HeartbeatEvery time.Duration
@@ -222,6 +250,19 @@ type Config struct {
 	// Codec selects the wire format (default CodecWire). Both ends of a
 	// deployment must agree.
 	Codec Codec
+	// Uncoalesced disables batch envelopes: every protocol message goes out
+	// as its own length-prefixed frame, one preamble per message, never
+	// compressed. This is the pre-envelope wire format, kept as the
+	// bandwidth-efficiency baseline the WAN benchmarks compare against.
+	// Receivers always understand both forms.
+	Uncoalesced bool
+	// CompressMin is the batch compression threshold: an envelope whose
+	// payload reaches this many bytes is deflated (compress/flate,
+	// BestSpeed) unless compression fails to shrink it. 0 means the default
+	// (wire.MinCompress, one MTU); negative disables compression entirely.
+	// Thresholds in (0, wire.MinCompress) are rejected by harness
+	// validation — compressing sub-packet payloads burns CPU for nothing.
+	CompressMin int
 	// Fabric, when non-nil, is the mutable link table chaos scenarios
 	// drive: a severed (from, to) link kills the outbound connection,
 	// rejects dials, and parks outbound frames (heartbeats excepted) until
@@ -253,12 +294,14 @@ type Config struct {
 
 // Runtime is the live counterpart of node.Runtime.
 type Runtime struct {
-	cfg    Config
-	topo   *types.Topology
-	rec    *lockedRecorder
-	fabric *network.Fabric
-	base   network.Model // the fabric's base, for the override-free fast path
-	start  time.Time
+	cfg         Config
+	topo        *types.Topology
+	rec         *lockedRecorder
+	wrec        wireRecorder // cfg.Recorder's wire-traffic surface; nil when absent
+	compressMin int          // resolved Config.CompressMin; 0 = compression off
+	fabric      *network.Fabric
+	base        network.Model // the fabric's base, for the override-free fast path
+	start       time.Time
 
 	rngMu sync.Mutex
 	jrng  *rand.Rand // feeds fabric jitter overrides; dispatch goroutines share it
@@ -327,6 +370,23 @@ func New(cfg Config) *Runtime {
 	if rec == nil {
 		rec = node.NopRecorder{}
 	}
+	// Wire-traffic accounting is an optional recorder surface (the Recorder
+	// interface predates it): a recorder that implements wireRecorder gets
+	// byte/frame/envelope counts. It is called from writer and read
+	// goroutines — concurrently, outside lockedRecorder — so the runtime
+	// wraps it in its own lock rather than demanding internal
+	// synchronisation of every implementation.
+	var wrec wireRecorder
+	if w, ok := rec.(wireRecorder); ok {
+		wrec = &lockedWireRecorder{inner: w}
+	}
+	compressMin := cfg.CompressMin
+	switch {
+	case compressMin == 0:
+		compressMin = wire.MinCompress
+	case compressMin < 0:
+		compressMin = 0 // compression off
+	}
 	tracef := cfg.Trace
 	if tracef == nil && os.Getenv("WANAMCAST_TCP_DEBUG") != "" {
 		tracef = func(format string, args ...any) {
@@ -338,19 +398,22 @@ func New(cfg Config) *Runtime {
 		fabric = network.NewFabric(cfg.Topo, network.Model{
 			IntraGroup: cfg.LANDelay,
 			InterGroup: cfg.WANDelay,
+			Bandwidth:  cfg.Bandwidth,
 		})
 	}
 	rt := &Runtime{
-		cfg:    cfg,
-		topo:   cfg.Topo,
-		rec:    &lockedRecorder{inner: rec},
-		fabric: fabric,
-		base:   fabric.Base(),
-		jrng:   rand.New(rand.NewSource(time.Now().UnixNano())),
-		links:  make(map[connKey]*link),
-		trace:  tracef,
-		tracer: cfg.Tracer,
-		done:   make(chan struct{}),
+		cfg:         cfg,
+		topo:        cfg.Topo,
+		rec:         &lockedRecorder{inner: rec},
+		wrec:        wrec,
+		compressMin: compressMin,
+		fabric:      fabric,
+		base:        fabric.Base(),
+		jrng:        rand.New(rand.NewSource(time.Now().UnixNano())),
+		links:       make(map[connKey]*link),
+		trace:       tracef,
+		tracer:      cfg.Tracer,
+		done:        make(chan struct{}),
 	}
 	// Writer goroutines block on their queues; a fabric transition must
 	// wake the affected link so a sever kills its connection immediately
@@ -778,17 +841,52 @@ func (rt *Runtime) readLoop(to types.ProcessID, conn net.Conn) {
 			rt.dispatch(to, wire.Frame{From: f.From, Proto: f.Proto, TS: f.TS, Body: f.Body})
 		}
 	}
+	// The wire read path reuses all of its storage across envelopes: the
+	// frame scratch, the inflate scratch, and the Batch (whose Msgs slice is
+	// recycled). Decoded bodies never alias the scratch buffers — every
+	// registered codec copies or builds fresh values — so handing them to
+	// lanes while the next envelope overwrites the scratch is safe, and the
+	// steady-state receive machinery allocates nothing per envelope.
 	br := bufio.NewReaderSize(conn, 64<<10)
-	var scratch []byte
+	var (
+		scratch []byte
+		inflate []byte
+		bat     wire.Batch
+	)
 	for {
-		f, err := wire.ReadFrame(br, &scratch)
+		data, err := wire.ReadFrameBytes(br, &scratch)
 		if err != nil {
 			rt.Tracef("decode error at %v: %v", to, err)
 			return // connection closed or corrupt; peers redial
 		}
+		if rt.wrec != nil {
+			rt.wrec.OnWireEnvelopeIn(len(data) + 4)
+		}
+		f, kind, isBatch, err := wire.DecodeFrameOrBatch(data, &bat, &inflate)
+		if err != nil {
+			rt.Tracef("decode error at %v: %v", to, err)
+			return
+		}
+		if isBatch {
+			if !rt.validFrom(bat.From) {
+				rt.Tracef("drop batch at %v: sender %d outside topology", to, int(bat.From))
+				return
+			}
+			for i := range bat.Msgs {
+				m := &bat.Msgs[i]
+				if rt.wrec != nil {
+					rt.wrec.OnWireRecv(byte(m.Kind), m.Size)
+				}
+				rt.dispatch(to, wire.Frame{From: bat.From, Proto: m.Proto, TS: m.TS, Body: m.Body})
+			}
+			continue
+		}
 		if !rt.validFrom(f.From) {
 			rt.Tracef("drop frame at %v: sender %d outside topology", to, int(f.From))
 			return
+		}
+		if rt.wrec != nil {
+			rt.wrec.OnWireRecv(byte(kind), len(data))
 		}
 		rt.dispatch(to, f)
 	}
@@ -905,8 +1003,15 @@ func (rt *Runtime) Transmit(from, to types.ProcessID, proto string, body any, se
 	if l == nil {
 		return // runtime stopped
 	}
+	// fd frames ride their own small queue: a protocol backlog (bandwidth
+	// pacing, slow peer) filling l.queue must never drop or delay the
+	// liveness signals, or congestion would masquerade as a crash.
+	q := l.queue
+	if proto == fdProto {
+		q = l.fdq
+	}
 	select {
-	case l.queue <- outFrame{proto: proto, ts: sendTS, body: body}:
+	case q <- outFrame{proto: proto, ts: sendTS, body: body}:
 		// Record only frames actually handed to a writer: counting drops
 		// as sends would skew message statistics in exactly the overload
 		// regime the queue bound exists for.
@@ -935,7 +1040,9 @@ func (rt *Runtime) link(from, to types.ProcessID) *link {
 		from:  from,
 		to:    to,
 		queue: make(chan outFrame, rt.cfg.SendQueue),
+		fdq:   make(chan outFrame, 16),
 		wake:  make(chan struct{}, 1),
+		ctr:   rt.fabric.Counter(from, to),
 	}
 	rt.links[key] = l
 	rt.wg.Add(1)
@@ -948,7 +1055,31 @@ type outFrame struct {
 	proto string
 	ts    int64
 	body  any
+	// encSize is writePending scratch: the frame's encoded size inside the
+	// envelope being built (-1 when the body failed to encode).
+	encSize int
 }
+
+// fdProto is the failure detector's proto label. fd frames get transport
+// privileges: they are never folded into batch envelopes, never compressed,
+// and exempt from bandwidth pacing — a saturated or compressed link must
+// keep carrying the liveness signals, or congestion would masquerade as
+// crashes.
+const fdProto = "fd"
+
+// maxEnvelopeFrames caps how many additional frames the writer pulls off
+// its queue into one flush cycle, bounding a single batch envelope.
+const maxEnvelopeFrames = 512
+
+// paceChunkBytes caps one write burst on a bandwidth-capped link. Without
+// it the writer would hand a whole coalesced cycle — potentially megabytes —
+// to the kernel at memory speed and then sit silent through the transmission
+// debt, so the peer would see an instantaneous flood followed by a gap. The
+// flood is the dangerous half: hundreds of frames land on the receiver's
+// lane at once and heartbeat processing queues behind them past
+// SuspectAfter. Chunking the burst and paying the debt between chunks makes
+// the peer receive at the modeled rate instead.
+const paceChunkBytes = 128 << 10
 
 // link owns one outbound TCP connection: a bounded frame queue drained by a
 // single writer goroutine that dials, encodes, and writes with coalesced
@@ -959,7 +1090,14 @@ type link struct {
 	rt       *Runtime
 	from, to types.ProcessID
 	queue    chan outFrame
-	wake     chan struct{} // fabric transition signal, capacity 1
+	fdq      chan outFrame        // fd frames only: immune to protocol backlog
+	wake     chan struct{}        // fabric transition signal, capacity 1
+	ctr      *network.LinkCounter // the fabric's independent per-link byte count
+
+	// Writer-goroutine state, reused across flush cycles.
+	bat      wire.BatchWriter
+	pend     []outFrame
+	nextFree time.Time // bandwidth pacing: when the written bytes have drained
 }
 
 func (l *link) writeLoop() {
@@ -995,6 +1133,8 @@ func (l *link) writeLoop() {
 		var f outFrame
 		var got bool
 		select {
+		case f = <-l.fdq:
+			got = true
 		case f = <-l.queue:
 			got = true
 		case <-l.wake:
@@ -1051,60 +1191,305 @@ func (l *link) writeLoop() {
 				genc = gob.NewEncoder(bw)
 			}
 		}
-		// Coalesce: write the held frames (usually just the one received
-		// above; more after a heal), then keep encoding queued frames into
-		// the write buffer for at most FlushEvery, and flush them as one
-		// syscall (bufio flushes on its own if the batch outgrows the
-		// buffer).
+		// Coalesce: gather the held frames (usually just the one received
+		// above; more after a heal) plus whatever the queue yields within
+		// FlushEvery, and write them as one flush. On the wire codec the
+		// gathered protocol frames pack into a single batch envelope — one
+		// length header and one sender preamble for the whole burst, one
+		// syscall — while fd frames are written immediately as plain
+		// frames (see fdProto). The legacy gob codec encodes frame by
+		// frame, exactly as before.
 		deadline := time.Now().Add(rt.cfg.FlushEvery)
 		var err error
+		pend := l.pend[:0]
+		take := func(f outFrame) {
+			switch {
+			case genc != nil:
+				err = genc.Encode(gobFrame{From: l.from, Proto: f.proto, TS: f.ts, Body: f.body})
+			case f.proto == fdProto:
+				_, err = l.writePlain(bw, &buf, f)
+			default:
+				pend = append(pend, f)
+			}
+		}
 		for len(held) > 0 && err == nil {
-			if err = l.writeFrame(bw, genc, &buf, held[0]); err == nil {
+			take(held[0])
+			if err == nil {
 				held = held[1:]
 			}
 		}
 		if len(held) == 0 {
 			held = nil // release the backing array
 		}
-		for err == nil && time.Now().Before(deadline) {
+		for err == nil && len(pend) < maxEnvelopeFrames && time.Now().Before(deadline) {
 			var more bool
 			select {
-			case f = <-l.queue:
+			case f = <-l.fdq:
 				more = true
 			default:
+				select {
+				case f = <-l.queue:
+					more = true
+				default:
+				}
 			}
 			if !more {
 				break
 			}
-			err = l.writeFrame(bw, genc, &buf, f)
+			take(f)
 		}
+		// Write the gathered protocol frames. On an uncapped link the whole
+		// cycle goes out as one burst (one envelope on the wire codec). On a
+		// bandwidth-capped link it goes out in paceChunkBytes chunks with the
+		// transmission debt paid between them — modeling the burst draining
+		// through a rate-limited pipe, and keeping the peer's receive rate at
+		// the modeled rate (see paceChunkBytes).
+		rate := rt.fabric.Bandwidth(l.from, l.to)
+		limit := 0
+		if rate > 0 {
+			limit = paceChunkBytes
+		}
+		for off := 0; err == nil && off < len(pend); {
+			var payBytes, used int
+			payBytes, used, err = l.writePending(bw, &buf, pend[off:], limit)
+			off += used
+			if err == nil {
+				err = bw.Flush()
+			}
+			if err == nil && payBytes > 0 && rate > 0 {
+				now := time.Now()
+				if l.nextFree.Before(now) {
+					l.nextFree = now
+				}
+				l.nextFree = l.nextFree.Add(network.TransmitTime(rate, payBytes))
+				err = l.pace(&held, bw, &buf)
+			}
+		}
+		for i := range pend {
+			pend[i] = outFrame{} // drop body references
+		}
+		l.pend = pend[:0]
 		if err == nil {
-			err = bw.Flush()
+			err = bw.Flush() // fd and gob frames written outside writePending
 		}
 		if err != nil {
 			// Unwritten held frames stay parked for the next attempt (a
 			// heal racing a broken connection must not lose them).
 			rt.Tracef("write error %v->%v: %v", l.from, l.to, err)
 			teardown()
+			continue
 		}
 	}
 }
 
-// writeFrame encodes one frame into the connection's write buffer.
-func (l *link) writeFrame(bw *bufio.Writer, genc *gob.Encoder, buf *[]byte, f outFrame) error {
-	if genc != nil {
-		return genc.Encode(gobFrame{From: l.from, Proto: f.proto, TS: f.ts, Body: f.body})
+// writePending encodes the cycle's gathered protocol frames: one batch
+// envelope when two or more coalesced (unless Config.Uncoalesced reverts to
+// the plain per-message format), and also when a lone frame reaches the
+// compression threshold — the envelope is the unit of compression, and on a
+// payload that size its preamble is noise next to the deflate win. A lone
+// frame below the threshold goes out plain: there the preamble costs more
+// than it saves. It consumes frames from the front of pend — all of them
+// when limit is zero, otherwise stopping once the payload reaches limit
+// bytes (always at least one frame) — and returns the pacing-liable wire
+// bytes written plus how many frames it consumed.
+func (l *link) writePending(bw *bufio.Writer, buf *[]byte, pend []outFrame, limit int) (payBytes, used int, err error) {
+	rt := l.rt
+	if len(pend) == 0 {
+		return 0, 0, nil
 	}
-	b, err := wire.AppendFrame((*buf)[:0], l.from, f.proto, f.ts, f.body)
-	if err != nil {
-		// The body itself is unencodable (e.g. an unregistered exotic
-		// payload): drop this frame, keep the connection.
-		l.rt.Tracef("encode error %v->%v %s: %v", l.from, l.to, f.proto, err)
-		return nil
+	if rt.cfg.Uncoalesced {
+		total := 0
+		for i := range pend {
+			n, werr := l.writePlain(bw, buf, pend[i])
+			total += n
+			used = i + 1
+			if werr != nil {
+				return total, used, werr
+			}
+			if limit > 0 && total >= limit {
+				break
+			}
+		}
+		return total, used, nil
+	}
+	l.bat.Begin(l.from)
+	solo := -1
+	for i := range pend {
+		f := &pend[i]
+		n, aerr := l.bat.Add(f.proto, f.ts, f.body)
+		used = i + 1
+		if aerr != nil {
+			// The body itself is unencodable (e.g. an unregistered exotic
+			// payload): drop this frame, keep the rest of the envelope.
+			rt.Tracef("encode error %v->%v %s: %v", l.from, l.to, f.proto, aerr)
+			f.encSize = -1
+			continue
+		}
+		f.encSize = n
+		solo = i
+		if limit > 0 && l.bat.Len() >= limit {
+			break
+		}
+	}
+	if l.bat.Count() == 0 {
+		return 0, used, nil
+	}
+	if l.bat.Count() == 1 && (rt.compressMin <= 0 || l.bat.Len() < rt.compressMin) {
+		n, werr := l.writePlain(bw, buf, pend[solo])
+		return n, used, werr
+	}
+	if rt.wrec != nil {
+		for i := 0; i < used; i++ {
+			if pend[i].encSize >= 0 {
+				rt.wrec.OnWireSend(byte(wire.KindOf(pend[i].body)), pend[i].encSize)
+			}
+		}
+	}
+	b, rawLen, compLen, wireLen, ferr := l.bat.Finish((*buf)[:0], rt.compressMin)
+	if ferr != nil {
+		rt.Tracef("encode error %v->%v batch: %v", l.from, l.to, ferr)
+		return 0, used, nil
 	}
 	*buf = b
+	l.ctr.Count(wireLen)
+	if rt.wrec != nil {
+		rt.wrec.OnWireFlush(wireLen, rawLen, compLen)
+	}
+	_, werr := bw.Write(b)
+	return wireLen, used, werr
+}
+
+// writePlain encodes one frame in the plain (non-envelope) wire format and
+// counts its bytes. It returns the frame's pacing-liable wire bytes: zero
+// for fd frames, which are exempt from bandwidth pacing. Encode failures
+// drop the frame but keep the connection; only write failures return error.
+func (l *link) writePlain(bw *bufio.Writer, buf *[]byte, f outFrame) (int, error) {
+	rt := l.rt
+	b, err := wire.AppendFrame((*buf)[:0], l.from, f.proto, f.ts, f.body)
+	if err != nil {
+		rt.Tracef("encode error %v->%v %s: %v", l.from, l.to, f.proto, err)
+		return 0, nil
+	}
+	*buf = b
+	l.ctr.Count(len(b))
+	if rt.wrec != nil {
+		rt.wrec.OnWireSend(byte(wire.KindOf(f.body)), len(b))
+		rt.wrec.OnWireFlush(len(b), 0, 0)
+	}
 	_, err = bw.Write(b)
-	return err
+	if f.proto == fdProto {
+		return 0, err
+	}
+	return len(b), err
+}
+
+// pace blocks until the link's transmission-debt clock (nextFree) passes:
+// after a burst of n bytes on a link capped at rate bytes/s the writer
+// accepts no further protocol frames for TransmitTime(rate, n) — the
+// written bytes draining through the modeled pipe. fd frames are exempt:
+// they are written and flushed immediately during the wait, so a saturated
+// link keeps carrying heartbeats and congestion cannot masquerade as a
+// crash. Other frames arriving mid-wait park in held for the next cycle,
+// bounded by SendQueue exactly like the partition hold.
+func (l *link) pace(held *[]outFrame, bw *bufio.Writer, buf *[]byte) error {
+	rt := l.rt
+	for {
+		d := time.Until(l.nextFree)
+		if d <= 0 {
+			return nil
+		}
+		t := time.NewTimer(d)
+		select {
+		case f := <-l.fdq:
+			// fd frames are exempt from pacing: write and flush them
+			// through the capped window so the wait cannot starve the
+			// failure detector.
+			t.Stop()
+			if rt.fabric.Severed(l.from, l.to) {
+				continue // heartbeats never cross a severed link
+			}
+			if _, err := l.writePlain(bw, buf, f); err != nil {
+				return err
+			}
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+		case f := <-l.queue:
+			t.Stop()
+			if len(*held) < rt.cfg.SendQueue {
+				*held = append(*held, f)
+			} else {
+				rt.Tracef("pacing hold full: drop %v->%v %s", l.from, l.to, f.proto)
+			}
+		case <-l.wake:
+			t.Stop()
+			if rt.fabric.Severed(l.from, l.to) {
+				// A sever must kill the connection now: hand control back
+				// to the main loop with the wake re-armed so it sees the
+				// transition. Remaining debt stays on nextFree.
+				select {
+				case l.wake <- struct{}{}:
+				default:
+				}
+				return nil
+			}
+			// A heal or reverse-link transition changes nothing for an
+			// unsevered writer: keep pacing.
+		case <-rt.done:
+			t.Stop()
+			return nil
+		case <-t.C:
+			return nil
+		}
+	}
+}
+
+// wireRecorder is the optional wire-traffic surface of a Recorder
+// (metrics.Collector and metrics.LockedCollector implement it). The
+// transport calls it from writer and read goroutines concurrently —
+// outside lockedRecorder — so the runtime wraps the configured
+// implementation in lockedWireRecorder. OnWireSend/OnWireRecv count
+// protocol messages and attribute their encoded bytes to a value kind;
+// OnWireFlush/OnWireEnvelopeIn own the authoritative wire byte totals, one
+// call per envelope (a plain frame is its own envelope).
+type wireRecorder interface {
+	OnWireSend(kind byte, n int)
+	OnWireRecv(kind byte, n int)
+	OnWireFlush(wireBytes, rawLen, compLen int)
+	OnWireEnvelopeIn(n int)
+}
+
+// lockedWireRecorder serialises the concurrent writer/read-goroutine calls
+// onto one wireRecorder, so plain (unsynchronised) recorders are safe to
+// configure. The counters are a few integer adds; one uncontended mutex per
+// envelope is noise next to the write it accounts for.
+type lockedWireRecorder struct {
+	mu    sync.Mutex
+	inner wireRecorder
+}
+
+func (l *lockedWireRecorder) OnWireSend(kind byte, n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inner.OnWireSend(kind, n)
+}
+
+func (l *lockedWireRecorder) OnWireRecv(kind byte, n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inner.OnWireRecv(kind, n)
+}
+
+func (l *lockedWireRecorder) OnWireFlush(wireBytes, rawLen, compLen int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inner.OnWireFlush(wireBytes, rawLen, compLen)
+}
+
+func (l *lockedWireRecorder) OnWireEnvelopeIn(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inner.OnWireEnvelopeIn(n)
 }
 
 // lockedRecorder makes any Recorder safe for the live runtime's loops.

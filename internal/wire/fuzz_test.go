@@ -2,6 +2,7 @@ package wire_test
 
 import (
 	"bytes"
+	"sort"
 	"testing"
 
 	"wanamcast/internal/wire"
@@ -25,6 +26,29 @@ func FuzzWireRoundTrip(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0x00})
+	// Batch-envelope seeds: every registered type packed into one envelope,
+	// once raw and once deflated, so the fuzzer starts from both batch
+	// decode paths (sorted iteration keeps the corpus deterministic).
+	vals := roundTripValues()
+	names := make([]string, 0, len(vals))
+	for name := range vals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var bw wire.BatchWriter
+	for _, compressMin := range []int{0, 1} {
+		bw.Begin(2)
+		for _, name := range names {
+			if _, err := bw.Add("a1.cons", 11, vals[name]); err != nil {
+				f.Fatal(err)
+			}
+		}
+		frame, _, _, _, err := bw.Finish(nil, compressMin)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(append([]byte(nil), frame[4:]...))
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		decoded, err := wire.DecodeFrame(data)
 		if err != nil {

@@ -96,6 +96,7 @@ const (
 	KindSvcReadResp       Kind = 56 // svc.ReadResp (server → client)
 	KindSvcCertReq        Kind = 57 // svc.CertReq (client → server, delivery certificate)
 	KindSvcCertShare      Kind = 58 // svc.CertShare (server → client, one HMAC countersignature)
+	KindBatch             Kind = 60 // batch envelope: many frames, one header (batch.go)
 )
 
 // MaxFrame bounds one frame on the wire. A larger length prefix is treated
@@ -456,19 +457,8 @@ func DecodeFrame(data []byte) (Frame, error) {
 // receive buffer (growing it as needed). On success the returned Frame's
 // Body owns its memory; *scratch may be reused for the next frame.
 func ReadFrame(r io.Reader, scratch *[]byte) (Frame, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return Frame{}, err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrame {
-		return Frame{}, corrupt(fmt.Sprintf("frame length %d exceeds MaxFrame", n))
-	}
-	if uint32(cap(*scratch)) < n {
-		*scratch = make([]byte, n)
-	}
-	buf := (*scratch)[:n]
-	if _, err := io.ReadFull(r, buf); err != nil {
+	buf, err := ReadFrameBytes(r, scratch)
+	if err != nil {
 		return Frame{}, err
 	}
 	return DecodeFrame(buf)

@@ -61,6 +61,11 @@ type LiveConfig struct {
 	// MaxBatch caps how many messages one consensus instance may order,
 	// for both A1 and A2 (default 0: unbounded, the paper's rule).
 	MaxBatch int
+	// ConsensusRetry overrides the re-drive period for undecided consensus
+	// proposals (default 40 ms). Raise it on bandwidth-capped clusters:
+	// re-driving faster than the links drain only multiplies the queued
+	// bytes the retries are waiting behind.
+	ConsensusRetry time.Duration
 	// Lanes shards the cluster's processes across exactly this many
 	// ordering lane goroutines, by group (lane = group mod Lanes): each
 	// group's protocol state stays confined to one lane while different
@@ -85,6 +90,18 @@ type LiveConfig struct {
 	// (the benchmark baseline). The default is the zero-allocation
 	// internal/wire codec.
 	GobCodec bool
+	// Bandwidth caps every link at this many bytes per second (0 =
+	// uncapped): each TCP connection's writer paces itself to the rate.
+	// Heartbeats are exempt, so a saturated link cannot look like a crash.
+	// Commands parse human-readable rates via harness.ParseBandwidth.
+	Bandwidth int64
+	// Uncoalesced reverts the wire codec to one plain frame per protocol
+	// message — no batch envelopes, no compression. The WAN-efficiency
+	// baseline the bandwidth benchmarks compare against.
+	Uncoalesced bool
+	// CompressMin is the batch compression threshold in bytes (0 = default
+	// wire.MinCompress, negative = compression off).
+	CompressMin int
 	// RetainDeliveries bounds the cluster's delivery bookkeeping: only the
 	// most recent RetainDeliveries entries of the Deliveries() log are
 	// kept, and the per-message counts behind WaitDelivered and
@@ -233,6 +250,9 @@ func NewLiveCluster(cfg LiveConfig) *LiveCluster {
 		SendQueue:      cfg.SendQueue,
 		FlushEvery:     cfg.FlushEvery,
 		Codec:          codec,
+		Bandwidth:      cfg.Bandwidth,
+		Uncoalesced:    cfg.Uncoalesced,
+		CompressMin:    cfg.CompressMin,
 		Recorder:       col,
 		Tracer:         tr,
 	})
@@ -321,15 +341,16 @@ func (l *LiveCluster) buildEndpoints(id ProcessID, proc *node.Proc, det fd.Detec
 		onSynced = func() { l.rt.Async(id, func() { l.snapshot(id) }) }
 	}
 	l.a1[id] = amcast.New(amcast.Config{
-		Host:        proc,
-		Detector:    det,
-		SkipStages:  true,
-		NextID:      nextID,
-		MaxBatch:    l.cfg.MaxBatch,
-		Pipeline:    l.cfg.Pipeline,
-		Log:         log,
-		SyncArchive: l.cfg.SyncArchive,
-		OnSynced:    onSynced,
+		Host:           proc,
+		Detector:       det,
+		SkipStages:     true,
+		NextID:         nextID,
+		MaxBatch:       l.cfg.MaxBatch,
+		Pipeline:       l.cfg.Pipeline,
+		ConsensusRetry: l.cfg.ConsensusRetry,
+		Log:            log,
+		SyncArchive:    l.cfg.SyncArchive,
+		OnSynced:       onSynced,
 		OnSyncFailed: func() {
 			l.flightRecord(fmt.Sprintf("a1 state transfer abandoned at %v", id))
 		},
@@ -341,6 +362,7 @@ func (l *LiveCluster) buildEndpoints(id ProcessID, proc *node.Proc, det fd.Detec
 		KeepAliveRounds: l.cfg.KeepAliveRounds,
 		Pipeline:        l.cfg.Pipeline,
 		MaxBatch:        l.cfg.MaxBatch,
+		ConsensusRetry:  l.cfg.ConsensusRetry,
 		NextID:          nextID,
 		Log:             log,
 		SyncArchive:     l.cfg.SyncArchive,
@@ -624,10 +646,17 @@ func (l *LiveCluster) TelemetrySource(cmd string, svcStats *metrics.Service) har
 		Stats: l.Stats,
 		Gauges: func() map[string]float64 {
 			fs := l.FsyncStats()
+			w := l.Stats().Wire
 			g := map[string]float64{
-				"wanamcast_fsyncs_total":      float64(fs.Fsyncs),
-				"wanamcast_gc_barriers_total": float64(fs.Barriers),
-				"wanamcast_gc_windows_total":  float64(fs.Windows),
+				"wanamcast_fsyncs_total":           float64(fs.Fsyncs),
+				"wanamcast_gc_barriers_total":      float64(fs.Barriers),
+				"wanamcast_gc_windows_total":       float64(fs.Windows),
+				"wanamcast_wire_bytes_out_total":   float64(w.BytesOut),
+				"wanamcast_wire_bytes_in_total":    float64(w.BytesIn),
+				"wanamcast_wire_frames_out_total":  float64(w.FramesOut),
+				"wanamcast_wire_writes_out_total":  float64(w.EnvelopesOut),
+				"wanamcast_wire_compression_ratio": w.CompressionRatio(),
+				"wanamcast_wire_frames_per_write":  w.FramesPerEnvelope(),
 			}
 			for i, d := range l.LaneDepths() {
 				g[fmt.Sprintf("wanamcast_lane_depth{lane=\"%d\"}", i)] = float64(d)
